@@ -1,0 +1,103 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table I, Table II, Figures 7-10) on the SIMT simulator,
+   plus Bechamel wall-clock micro-benchmarks of the compile pipelines
+   (one Test per Table II row).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig7 table2  # a subset
+*)
+
+module H = Darm_harness
+module Registry = Darm_kernels.Registry
+module Kernel = Darm_kernels.Kernel
+
+let run_figures which =
+  let want name = which = [] || List.mem name which in
+  if want "table1" then H.Figures.table1 ();
+  if want "fig7" then ignore (H.Figures.fig7 ());
+  if want "fig8" then ignore (H.Figures.fig8 ());
+  if want "fig9" then ignore (H.Figures.fig9 ());
+  if want "fig10" then ignore (H.Figures.fig10 ());
+  if want "table2" then H.Figures.table2 ();
+  if want "ablation" then H.Ablation.run ();
+  if List.mem "csv" which then H.Csv_export.export ~dir:"bench_csv"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of compile time (Table II's measurement,
+   with proper statistics). *)
+
+open Bechamel
+open Toolkit
+
+let compile_tests () =
+  let mk_test (kernel : Kernel.t) (name : string)
+      (pipeline : Darm_ir.Ssa.func -> unit) =
+    let block_size = List.nth kernel.Kernel.block_sizes 1 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let inst =
+             kernel.Kernel.make ~seed:1 ~block_size ~n:kernel.Kernel.default_n
+           in
+           pipeline inst.Kernel.func))
+  in
+  let o3 f =
+    ignore (Darm_transforms.Simplify_cfg.run f);
+    ignore (Darm_transforms.Constfold.run f);
+    ignore (Darm_transforms.Dce.run f)
+  in
+  let darm f =
+    o3 f;
+    ignore (Darm_core.Pass.run f)
+  in
+  Test.make_grouped ~name:"compile"
+    (List.concat_map
+       (fun k ->
+         [
+           mk_test k (k.Kernel.tag ^ "/O3") o3;
+           mk_test k (k.Kernel.tag ^ "/DARM") darm;
+         ])
+       Registry.real_world)
+
+let run_bechamel () =
+  print_newline ();
+  print_endline "== Bechamel: compile-time micro-benchmarks (Table II) ==";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (compile_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols_r acc -> (name, ols_r) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-24s %16s\n" "test" "time/run";
+  Printf.printf "%s\n" (String.make 42 '-');
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some (t :: _) -> Printf.sprintf "%10.3f ms" (t /. 1e6)
+        | _ -> "n/a"
+      in
+      Printf.printf "%-24s %16s\n" name est)
+    rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let figure_args =
+    List.filter (fun a -> a <> "bechamel" && a <> "quick") args
+  in
+  Printf.printf
+    "DARM evaluation harness (simulated AMD-style GPU, warp size %d)\n"
+    Darm_sim.Simulator.default_config.Darm_sim.Simulator.warp_size;
+  if args = [] then begin
+    run_figures [];
+    run_bechamel ()
+  end
+  else begin
+    if figure_args <> [] then run_figures figure_args;
+    if List.mem "bechamel" args then run_bechamel ()
+  end

@@ -1,0 +1,376 @@
+(* darm_opt: command-line driver for the DARM melding pipeline.
+
+   Examples:
+     darm_opt list
+     darm_opt show --kernel BIT --block-size 128
+     darm_opt meld --kernel BIT --block-size 128 --dump-after
+     darm_opt meld --kernel SB3 --pass branch-fusion
+     darm_opt divergence --kernel PCM
+     darm_opt simulate --kernel BIT --block-size 128 -n 512
+*)
+
+open Cmdliner
+module Kernel = Darm_kernels.Kernel
+module Registry = Darm_kernels.Registry
+module E = Darm_harness.Experiment
+
+let find_kernel tag =
+  match Registry.find tag with
+  | Some k -> k
+  | None ->
+      Printf.eprintf "unknown kernel %s; available: %s\n" tag
+        (String.concat ", " (Registry.tags ()));
+      exit 2
+
+let kernel_arg =
+  let doc = "Benchmark kernel tag (see the list command)." in
+  Arg.(value & opt string "BIT" & info [ "k"; "kernel" ] ~docv:"TAG" ~doc)
+
+let block_size_arg =
+  let doc = "Thread-block size." in
+  Arg.(value & opt int 128 & info [ "b"; "block-size" ] ~docv:"N" ~doc)
+
+let n_arg =
+  let doc = "Number of input elements (defaults to the kernel's choice)." in
+  Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Input random seed." in
+  Arg.(value & opt int 2022 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let pass_arg =
+  let doc = "Transformation: darm, branch-fusion, tail-merge or none." in
+  Arg.(value & opt string "darm" & info [ "p"; "pass" ] ~docv:"PASS" ~doc)
+
+let transform_of_name = function
+  | "darm" -> E.darm_transform ()
+  | "branch-fusion" -> E.branch_fusion_transform
+  | "tail-merge" -> E.tail_merge_transform
+  | "none" -> E.identity_transform
+  | other ->
+      Printf.eprintf "unknown pass %s\n" other;
+      exit 2
+
+let make_instance kernel ~seed ~block_size ~n =
+  let n = Option.value ~default:kernel.Kernel.default_n n in
+  kernel.Kernel.make ~seed ~block_size ~n
+
+(* --- commands --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun k ->
+        Printf.printf "%-8s %-36s block sizes: %s\n" k.Kernel.tag
+          k.Kernel.name
+          (String.concat ", " (List.map string_of_int k.Kernel.block_sizes)))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available benchmark kernels.")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run tag block_size n seed =
+    let kernel = find_kernel tag in
+    let inst = make_instance kernel ~seed ~block_size ~n in
+    print_string (Darm_ir.Printer.func_to_string inst.Kernel.func)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a kernel's SSA IR before any transformation.")
+    Term.(const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg)
+
+let divergence_cmd =
+  let run tag block_size n seed =
+    let kernel = find_kernel tag in
+    let inst = make_instance kernel ~seed ~block_size ~n in
+    let f = inst.Kernel.func in
+    let dvg = Darm_analysis.Divergence.compute f in
+    print_string (Darm_analysis.Divergence.report dvg f)
+  in
+  Cmd.v
+    (Cmd.info "divergence"
+       ~doc:"Run divergence analysis on a kernel and print the report.")
+    Term.(const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg)
+
+let meld_cmd =
+  let dump_before =
+    Arg.(value & flag & info [ "dump-before" ] ~doc:"Print the input IR.")
+  in
+  let dump_after =
+    Arg.(value & flag & info [ "dump-after" ] ~doc:"Print the output IR.")
+  in
+  let run tag block_size n seed pass before after =
+    let kernel = find_kernel tag in
+    let inst = make_instance kernel ~seed ~block_size ~n in
+    let f = inst.Kernel.func in
+    if before then begin
+      print_endline ";; --- before ---";
+      print_string (Darm_ir.Printer.func_to_string f)
+    end;
+    let t = transform_of_name pass in
+    let rewrites = t.E.t_apply f in
+    Darm_ir.Verify.run_exn f;
+    Printf.printf ";; pass %s applied %d rewrite(s)\n" t.E.t_name rewrites;
+    if after then begin
+      print_endline ";; --- after ---";
+      print_string (Darm_ir.Printer.func_to_string f)
+    end
+  in
+  Cmd.v
+    (Cmd.info "meld" ~doc:"Apply a divergence-reduction pass to a kernel.")
+    Term.(
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg
+      $ dump_before $ dump_after)
+
+let simulate_cmd =
+  let run tag block_size n seed pass =
+    let kernel = find_kernel tag in
+    let t = transform_of_name pass in
+    let r = E.run ~transform:t ~seed ?n kernel ~block_size in
+    let ws = E.sim_config.Darm_sim.Simulator.warp_size in
+    Printf.printf "kernel %s, block size %d, pass %s (%d rewrites)\n" r.E.tag
+      r.E.block_size r.E.transform_name r.E.rewrites;
+    Printf.printf "  baseline: %s\n"
+      (Darm_sim.Metrics.to_string r.E.base ~warp_size:ws);
+    Printf.printf "  %-9s %s\n"
+      (r.E.transform_name ^ ":")
+      (Darm_sim.Metrics.to_string r.E.opt ~warp_size:ws);
+    Printf.printf "  speedup: %.3fx   output %s\n" (E.speedup r)
+      (if r.E.correct then "correct" else "INCORRECT");
+    if not r.E.correct then exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Simulate a kernel with and without a pass; report metrics and \
+          verify output equivalence.")
+    Term.(
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg)
+
+let sweep_cmd =
+  let run tag n seed pass =
+    let kernel = find_kernel tag in
+    let t = transform_of_name pass in
+    Printf.printf "%-8s %8s %12s %12s %9s %9s %8s\n" "bench" "bs" "base cyc"
+      "opt cyc" "speedup" "alu-util" "correct";
+    List.iter
+      (fun block_size ->
+        let r = E.run ~transform:t ~seed ?n kernel ~block_size in
+        Printf.printf "%-8s %8d %12d %12d %8.2fx %8.1f%% %8s\n" r.E.tag
+          block_size r.E.base.Darm_sim.Metrics.cycles
+          r.E.opt.Darm_sim.Metrics.cycles (E.speedup r)
+          (Darm_sim.Metrics.alu_utilization r.E.opt
+             ~warp_size:E.sim_config.Darm_sim.Simulator.warp_size)
+          (if r.E.correct then "yes" else "NO"))
+      kernel.Kernel.block_sizes
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a kernel's full block-size sweep and tabulate the metrics.")
+    Term.(const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg)
+
+let parse_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual IR file (.cir).")
+  in
+  let run file =
+    match Darm_ir.Parser.parse_file file with
+    | Ok m ->
+        List.iter
+          (fun f ->
+            Darm_ir.Verify.run_exn f;
+            print_string (Darm_ir.Printer.func_to_string f))
+          m.Darm_ir.Ssa.funcs
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:"Parse, verify and re-print a textual IR file (round-trip).")
+    Term.(const run $ file)
+
+let compile_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual IR file (.cir).")
+  in
+  let pipeline =
+    Arg.(
+      value
+      & opt (list string) [ "simplify"; "darm" ]
+      & info [ "passes" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Comma-separated pipeline over: simplify, constfold, dce, \
+             unroll, tail-merge, branch-fusion, darm, if-convert.")
+  in
+  let run file passes =
+    let parsed =
+      if Filename.check_suffix file ".hip" || Filename.check_suffix file ".cu"
+      then Darm_frontend.Lower.compile_file file
+      else Darm_ir.Parser.parse_file file
+    in
+    match parsed with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | Ok m ->
+        let apply f = function
+          | "simplify" -> ignore (Darm_transforms.Simplify_cfg.run f)
+          | "constfold" -> ignore (Darm_transforms.Constfold.run f)
+          | "dce" -> ignore (Darm_transforms.Dce.run f)
+          | "unroll" -> ignore (Darm_transforms.Loop_unroll.run f)
+          | "tail-merge" -> ignore (Darm_transforms.Tail_merge.run f)
+          | "branch-fusion" ->
+              ignore (Darm_core.Pass.run_branch_fusion f)
+          | "darm" -> ignore (Darm_core.Pass.run f)
+          | "if-convert" ->
+              ignore (Darm_transforms.Simplify_cfg.if_convert f)
+          | other ->
+              Printf.eprintf "unknown pass %s\n" other;
+              exit 2
+        in
+        List.iter
+          (fun f ->
+            List.iter (apply f) passes;
+            Darm_ir.Verify.run_exn f)
+          m.Darm_ir.Ssa.funcs;
+        print_string (Darm_ir.Printer.module_to_string m)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Parse a module (.cir textual IR, or .hip/.cu Mini-HIP source), \
+          run a pass pipeline over every kernel, verify, and print the \
+          resulting IR.")
+    Term.(const run $ file $ pipeline)
+
+let dot_cmd =
+  let melded =
+    Arg.(value & flag & info [ "melded" ] ~doc:"Run DARM before exporting.")
+  in
+  let run tag block_size n seed melded =
+    let kernel = find_kernel tag in
+    let inst = make_instance kernel ~seed ~block_size ~n in
+    let f = inst.Kernel.func in
+    if melded then ignore (Darm_core.Pass.run f);
+    let dvg = Darm_analysis.Divergence.compute f in
+    print_string
+      (Darm_ir.Dot.func_to_dot
+         ~highlight:(Darm_analysis.Divergence.is_divergent_branch dvg)
+         f)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Export a kernel's CFG as Graphviz dot (divergent branches           highlighted); pipe into `dot -Tsvg`.")
+    Term.(
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ melded)
+
+let trace_cmd =
+  let run tag block_size n seed pass =
+    let kernel = find_kernel tag in
+    let inst = make_instance kernel ~seed ~block_size ~n in
+    let f = inst.Kernel.func in
+    let t = transform_of_name pass in
+    ignore (t.E.t_apply f);
+    Darm_ir.Verify.run_exn f;
+    let config =
+      { Darm_sim.Simulator.default_config with trace = Some print_endline }
+    in
+    let m =
+      Darm_sim.Simulator.run ~config f ~args:inst.Kernel.args
+        ~global:inst.Kernel.global inst.Kernel.launch
+    in
+    Printf.printf ";; %s
+"
+      (Darm_sim.Metrics.to_string m
+         ~warp_size:config.Darm_sim.Simulator.warp_size)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Execute a kernel printing one line per basic block a warp           executes - divergence appears as interleaved half-mask lines.")
+    Term.(
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg)
+
+let fuzz_cmd =
+  let count =
+    Arg.(value & opt int 50 & info [ "count" ] ~docv:"N"
+           ~doc:"Number of random kernels per pipeline.")
+  in
+  let run count =
+    let module RK = Darm_kernels.Random_kernel in
+    let pipelines =
+      [
+        ("darm", fun f -> ignore (Darm_core.Pass.run ~verify_each:true f));
+        ("branch-fusion",
+         fun f -> ignore (Darm_core.Pass.run_branch_fusion ~verify_each:true f));
+        ("tail-merge",
+         fun f ->
+           ignore (Darm_transforms.Tail_merge.run f);
+           Darm_ir.Verify.run_exn f);
+        ("unroll+darm",
+         fun f ->
+           ignore (Darm_transforms.Loop_unroll.run ~max_trip:8 f);
+           ignore (Darm_core.Pass.run ~verify_each:true f));
+        ("darm-align",
+         fun f ->
+           ignore
+             (Darm_core.Pass.run
+                ~config:
+                  { Darm_core.Pass.default_config with
+                    pairing = Darm_core.Pass.Alignment }
+                ~verify_each:true f));
+        ("full+ifconv",
+         fun f ->
+           ignore (Darm_transforms.Simplify_cfg.run f);
+           ignore (Darm_transforms.Constfold.run f);
+           ignore (Darm_core.Pass.run ~verify_each:true f);
+           ignore (Darm_transforms.Simplify_cfg.if_convert f);
+           ignore (Darm_transforms.Dce.run f);
+           Darm_ir.Verify.run_exn f);
+      ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (name, transform) ->
+        let bad = ref 0 in
+        for seed = 0 to count - 1 do
+          match RK.check_transform ~seed ~block_size:64 ~transform () with
+          | Ok () -> ()
+          | Error e ->
+              incr bad;
+              incr failures;
+              Printf.printf "FAIL [%s] %s
+" name e
+        done;
+        Printf.printf "%-14s %d/%d ok
+" name (count - !bad) count)
+      pipelines;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random divergent kernels must behave           identically before and after every transformation.")
+    Term.(const run $ count)
+
+let main =
+  let info =
+    Cmd.info "darm_opt" ~version:"1.0"
+      ~doc:
+        "DARM control-flow melding: analyses, transformations and SIMT \
+         simulation."
+  in
+  Cmd.group info
+    [ list_cmd; show_cmd; divergence_cmd; meld_cmd; simulate_cmd; sweep_cmd;
+      parse_cmd;
+      compile_cmd; dot_cmd; trace_cmd; fuzz_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bitonic_walkthrough.ml: Darm_analysis Darm_core Darm_harness Darm_ir Darm_kernels List Printer Printf Ssa

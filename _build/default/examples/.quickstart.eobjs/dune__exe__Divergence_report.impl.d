@@ -1,0 +1,1 @@
+examples/divergence_report.ml: Darm_analysis Darm_harness Darm_kernels Darm_sim List Printf String

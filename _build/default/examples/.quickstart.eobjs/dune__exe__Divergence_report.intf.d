@@ -1,0 +1,1 @@
+examples/divergence_report.mli:

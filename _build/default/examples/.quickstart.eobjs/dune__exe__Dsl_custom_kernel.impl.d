@@ -1,0 +1,1 @@
+examples/dsl_custom_kernel.ml: Array Darm_core Darm_ir Darm_sim Dsl Parser Printer Printf Types Verify

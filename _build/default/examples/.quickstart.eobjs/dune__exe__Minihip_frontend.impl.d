@@ -1,0 +1,1 @@
+examples/minihip_frontend.ml: Array Darm_core Darm_frontend Darm_ir Darm_sim List Printer Printf Ssa Verify

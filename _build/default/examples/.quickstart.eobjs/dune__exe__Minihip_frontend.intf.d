@@ -1,0 +1,1 @@
+examples/minihip_frontend.mli:

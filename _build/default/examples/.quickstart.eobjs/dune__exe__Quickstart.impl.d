@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Darm_analysis Darm_core Darm_ir Darm_sim Dsl List Printer Printf Ssa Types

@@ -1,0 +1,38 @@
+(* Divergence analysis as a standalone tool: print, for every
+   benchmark kernel, which branches are divergent and how much dynamic
+   divergence the simulator actually observes — static analysis vs
+   dynamic truth, side by side.
+
+     dune exec examples/divergence_report.exe
+*)
+
+module A = Darm_analysis
+module K = Darm_kernels
+module E = Darm_harness.Experiment
+
+let () =
+  Printf.printf "%-8s %18s %20s %16s\n" "kernel" "divergent branches"
+    "dynamic warp splits" "splits after DARM";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun (kernel : K.Kernel.t) ->
+      let block_size = List.hd kernel.K.Kernel.block_sizes in
+      let inst =
+        kernel.K.Kernel.make ~seed:1 ~block_size
+          ~n:(min kernel.K.Kernel.default_n 512)
+      in
+      let dvg = A.Divergence.compute inst.K.Kernel.func in
+      let static_count =
+        List.length (A.Divergence.divergent_branches dvg inst.K.Kernel.func)
+      in
+      let r = E.run kernel ~block_size ~n:(min kernel.K.Kernel.default_n 512) in
+      Printf.printf "%-8s %18d %20d %16d\n" kernel.K.Kernel.tag static_count
+        r.E.base.Darm_sim.Metrics.divergent_branches
+        r.E.opt.Darm_sim.Metrics.divergent_branches)
+    K.Registry.all;
+  print_newline ();
+  print_endline
+    "note: LUD's branch is statically divergent at every block size, but\n\
+     dynamically uniform when half the block is a multiple of the warp\n\
+     width - compare LUD here (divergent at its small default) with the\n\
+     block-size sweep in Figure 8."

@@ -1,0 +1,1 @@
+lib/align/instr_align.ml: Array Darm_analysis Darm_ir Op Sequence Types

@@ -1,0 +1,1 @@
+lib/align/instr_align.mli: Darm_analysis Darm_ir Sequence Ssa Types

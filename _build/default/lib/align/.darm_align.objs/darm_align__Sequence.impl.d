@@ -1,0 +1,1 @@
+lib/align/sequence.ml: Array

@@ -1,0 +1,64 @@
+(** Instruction-level alignment: the match predicate and the FP_I scoring
+    function of the paper (§IV-C), applied through Needleman–Wunsch.
+
+    Two instructions are meldable ("match") under the criteria of Rocha
+    et al. (Function Merging, PLDI'20), restricted to our IR: identical
+    opcode, identical operand count, compatible operand and result types.
+    Loads (and stores) of different address spaces still match — the
+    melded access goes through a select of the two pointers, which
+    degrades to the flat address space.  This is the mechanism behind the
+    paper's flat-instruction counter changes (Fig. 10).
+
+    FP_I(I1, I2) = lat(I1) - N_s * l_sel when the instructions match
+    (N_s = number of select instructions needed for diverging operands),
+    0 when they do not — in which case both must execute, so nothing is
+    saved.  A gap run costs two branches regardless of its length, hence
+    the affine gap with zero extension cost. *)
+
+open Darm_ir
+open Darm_ir.Ssa
+module Latency = Darm_analysis.Latency
+
+(** Result and operand types compatible for melding: equal, or both
+    pointers (possibly of different address spaces). *)
+let types_compatible (a : Types.ty) (b : Types.ty) : bool =
+  Types.equal a b || (Types.is_pointer a && Types.is_pointer b)
+
+let match_instrs (i1 : instr) (i2 : instr) : bool =
+  Op.equal i1.op i2.op
+  && Array.length i1.operands = Array.length i2.operands
+  && types_compatible i1.ty i2.ty
+  && Array.for_all2
+       (fun a b -> types_compatible (value_ty a) (value_ty b))
+       i1.operands i2.operands
+
+(** Number of operand positions that need a select because the operands
+    are (statically) different values.  An over-approximation of the
+    post-melding count: operands that map to the same melded instruction
+    collapse later, the paper accepts the same imprecision. *)
+let selects_needed (i1 : instr) (i2 : instr) : int =
+  let n = ref 0 in
+  Array.iteri
+    (fun k a -> if not (value_equal a i2.operands.(k)) then incr n)
+    i1.operands;
+  !n
+
+let fp_i (c : Latency.config) (i1 : instr) (i2 : instr) : float option =
+  if not (match_instrs i1 i2) then None
+  else
+    let saved = Latency.of_instr c i1 in
+    let select_cost = selects_needed i1 i2 * c.select in
+    Some (float_of_int (saved - select_cost))
+
+(** Optimal alignment of the body instructions (no phis, no terminator)
+    of two basic blocks. *)
+let align_blocks (c : Latency.config) (b1 : block) (b2 : block) :
+    (instr, instr) Sequence.aligned list =
+  let body1 = Array.of_list (body b1) in
+  let body2 = Array.of_list (body b2) in
+  let gap = float_of_int (-2 * c.branch) in
+  let alignment, _score =
+    Sequence.needleman_wunsch ~score:(fp_i c) ~gap_open:gap ~gap_extend:0.
+      body1 body2
+  in
+  alignment

@@ -1,0 +1,36 @@
+(** Instruction-level alignment: the match predicate and the FP_I
+    scoring function of the paper (§IV-C), applied through
+    Needleman–Wunsch.
+
+    FP_I(I1, I2) = lat(I1) - N_s * l_sel when the instructions match
+    (N_s = number of selects needed for diverging operands), undefined
+    (no alignment allowed) when they do not.  A gap run costs two
+    branches regardless of its length, hence the affine gap with zero
+    extension cost in {!align_blocks}. *)
+
+open Darm_ir
+
+(** Result and operand types compatible for melding: equal, or both
+    pointers (possibly of different address spaces — the melded access
+    degrades to flat addressing). *)
+val types_compatible : Types.ty -> Types.ty -> bool
+
+(** Meldability under the criteria of Rocha et al. (Function Merging,
+    PLDI'20): identical opcode, identical operand count, compatible
+    operand and result types. *)
+val match_instrs : Ssa.instr -> Ssa.instr -> bool
+
+(** Number of operand positions that statically differ — an
+    over-approximation of the selects the meld will need. *)
+val selects_needed : Ssa.instr -> Ssa.instr -> int
+
+val fp_i :
+  Darm_analysis.Latency.config -> Ssa.instr -> Ssa.instr -> float option
+
+(** Optimal alignment of the body instructions (no phis, no terminator)
+    of two basic blocks. *)
+val align_blocks :
+  Darm_analysis.Latency.config ->
+  Ssa.block ->
+  Ssa.block ->
+  (Ssa.instr, Ssa.instr) Sequence.aligned list

@@ -1,0 +1,115 @@
+(** Generic pairwise sequence alignment.
+
+    Two algorithms, both parameterised by a scoring function:
+    - {!needleman_wunsch}: global alignment with affine gap penalties
+      (Gotoh's algorithm) — used for instruction alignment, where the
+      paper's gap cost is two branches per gap {e run}, independent of
+      run length;
+    - {!smith_waterman}: local alignment with linear gaps — provided for
+      the subgraph-alignment formulation of the paper (the default
+      melding pipeline uses the greedy pairing instead, as the paper's
+      implementation does). *)
+
+type ('a, 'b) aligned =
+  | Both of 'a * 'b   (** proper alignment: "I-I" pair *)
+  | Left of 'a        (** item of the first sequence aligned with a gap *)
+  | Right of 'b       (** item of the second sequence aligned with a gap *)
+
+let neg_inf = neg_infinity
+
+(** [needleman_wunsch ~score ~gap_open ~gap_extend a b] computes an
+    optimal global alignment.  [score x y] returns [None] when [x] and
+    [y] must not be aligned (e.g. a load against a store) and [Some s]
+    for a permitted alignment of benefit [s].  [gap_open] and
+    [gap_extend] are non-positive costs for starting and extending a run
+    of gaps.  Returns the alignment in order plus its total score. *)
+let needleman_wunsch ~(score : 'a -> 'b -> float option)
+    ~(gap_open : float) ~(gap_extend : float) (a : 'a array) (b : 'b array) :
+    ('a, 'b) aligned list * float =
+  let n = Array.length a and m = Array.length b in
+  (* dp.(i).(j) considers a[0..i-1] vs b[0..j-1].
+     Three matrices: mm = last move was a match, gx = last move consumed
+     from a (gap in b), gy = last move consumed from b (gap in a). *)
+  let mm = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  let gx = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  let gy = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  mm.(0).(0) <- 0.;
+  for i = 1 to n do
+    gx.(i).(0) <- gap_open +. (float_of_int (i - 1) *. gap_extend)
+  done;
+  for j = 1 to m do
+    gy.(0).(j) <- gap_open +. (float_of_int (j - 1) *. gap_extend)
+  done;
+  let max3 x y z = max x (max y z) in
+  for i = 1 to n do
+    for j = 1 to m do
+      (match score a.(i - 1) b.(j - 1) with
+      | Some s ->
+          mm.(i).(j) <-
+            s +. max3 mm.(i - 1).(j - 1) gx.(i - 1).(j - 1) gy.(i - 1).(j - 1)
+      | None -> mm.(i).(j) <- neg_inf);
+      gx.(i).(j) <-
+        max3
+          (mm.(i - 1).(j) +. gap_open)
+          (gx.(i - 1).(j) +. gap_extend)
+          (gy.(i - 1).(j) +. gap_open);
+      gy.(i).(j) <-
+        max3
+          (mm.(i).(j - 1) +. gap_open)
+          (gy.(i).(j - 1) +. gap_extend)
+          (gx.(i).(j - 1) +. gap_open)
+    done
+  done;
+  (* traceback *)
+  let best i j = max3 mm.(i).(j) gx.(i).(j) gy.(i).(j) in
+  let rec walk i j acc =
+    if i = 0 && j = 0 then acc
+    else if i > 0 && j > 0 && best i j = mm.(i).(j) then
+      walk (i - 1) (j - 1) (Both (a.(i - 1), b.(j - 1)) :: acc)
+    else if i > 0 && (j = 0 || best i j = gx.(i).(j)) then
+      walk (i - 1) j (Left a.(i - 1) :: acc)
+    else walk i (j - 1) (Right b.(j - 1) :: acc)
+  in
+  let total = best n m in
+  (walk n m [], total)
+
+(** [smith_waterman ~score ~gap a b] computes the best-scoring local
+    alignment (a contiguous aligned window of both sequences) with linear
+    gap penalty [gap <= 0].  Returns the aligned window and its score
+    (0 and [] when nothing scores positively). *)
+let smith_waterman ~(score : 'a -> 'b -> float option) ~(gap : float)
+    (a : 'a array) (b : 'b array) : ('a, 'b) aligned list * float =
+  let n = Array.length a and m = Array.length b in
+  let h = Array.make_matrix (n + 1) (m + 1) 0. in
+  let best = ref 0. and best_ij = ref (0, 0) in
+  for i = 1 to n do
+    for j = 1 to m do
+      let diag =
+        match score a.(i - 1) b.(j - 1) with
+        | Some s -> h.(i - 1).(j - 1) +. s
+        | None -> neg_inf
+      in
+      let v = max 0. (max diag (max (h.(i - 1).(j) +. gap) (h.(i).(j - 1) +. gap))) in
+      h.(i).(j) <- v;
+      if v > !best then begin
+        best := v;
+        best_ij := (i, j)
+      end
+    done
+  done;
+  let rec walk i j acc =
+    if h.(i).(j) = 0. then acc
+    else
+      let diag =
+        match score a.(i - 1) b.(j - 1) with
+        | Some s -> h.(i - 1).(j - 1) +. s
+        | None -> neg_inf
+      in
+      if i > 0 && j > 0 && h.(i).(j) = diag then
+        walk (i - 1) (j - 1) (Both (a.(i - 1), b.(j - 1)) :: acc)
+      else if i > 0 && h.(i).(j) = h.(i - 1).(j) +. gap then
+        walk (i - 1) j (Left a.(i - 1) :: acc)
+      else walk i (j - 1) (Right b.(j - 1) :: acc)
+  in
+  let i0, j0 = !best_ij in
+  (walk i0 j0 [], !best)

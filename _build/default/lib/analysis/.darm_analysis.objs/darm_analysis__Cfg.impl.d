@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Darm_ir Hashtbl List

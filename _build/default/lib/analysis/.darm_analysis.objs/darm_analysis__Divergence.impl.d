@@ -1,0 +1,1 @@
+lib/analysis/divergence.ml: Array Buffer Cfg Darm_ir Domtree Hashtbl List Op Printer Printf Types

@@ -1,0 +1,1 @@
+lib/analysis/divergence.mli: Darm_ir Domtree Ssa

@@ -1,0 +1,1 @@
+lib/analysis/latency.ml: Array Darm_ir List Op Ssa Types

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Darm_ir Domtree Hashtbl List

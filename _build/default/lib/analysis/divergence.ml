@@ -1,0 +1,135 @@
+(** GPU divergence analysis.
+
+    Determines which values and branches can differ between threads of a
+    warp, in the style of LLVM's divergence analysis (Karrenberg & Hack):
+
+    - {b data dependence}: [thread.idx] is divergent; any instruction with
+      a divergent operand is divergent (this covers loads, whose value is
+      divergent exactly when the address is — a load from a uniform
+      address broadcasts one location and is uniform);
+    - {b sync dependence}: for each divergent conditional branch, the phi
+      nodes at its control-flow joins (every multi-predecessor block on a
+      path between the branch and its immediate post-dominator, including
+      the post-dominator itself) merge values from paths taken by
+      different threads, and are therefore divergent.  Because a loop's
+      back edge re-enters the header, a divergent loop exit marks the
+      header phis as well (temporal divergence).
+
+    The analysis is a may-analysis: "divergent" is the conservative
+    answer.  The melding pass only uses it to {e select} branches worth
+    melding, so imprecision costs optimization opportunity, never
+    correctness. *)
+
+open Darm_ir
+open Darm_ir.Ssa
+
+type t = {
+  divergent : (int, unit) Hashtbl.t;  (** divergent instruction ids *)
+  pdt : Domtree.t;
+}
+
+let is_divergent_instr (t : t) (i : instr) = Hashtbl.mem t.divergent i.id
+
+let is_divergent_value (t : t) (v : value) =
+  match v with
+  | Instr i -> is_divergent_instr t i
+  | Int _ | Bool _ | Float _ | Undef _ | Param _ -> false
+
+(** A conditional branch whose condition is thread-dependent. *)
+let is_divergent_branch (t : t) (b : block) : bool =
+  has_terminator b
+  &&
+  let term = terminator b in
+  term.op = Op.Condbr && is_divergent_value t term.operands.(0)
+
+(** Multi-predecessor blocks on paths from the successors of [b] that
+    stop at (and include) [b]'s immediate post-dominator — the sync
+    joins of a branch at [b]. *)
+let sync_joins (f : func) (pdt : Domtree.t) (b : block) : block list =
+  let preds = predecessors f in
+  match Domtree.idom pdt b with
+  | None ->
+      (* No post-dominator (e.g. divergence straight to exit): every
+         multi-pred block reachable from b is potentially a join. *)
+      List.filter
+        (fun blk -> List.length (preds_of preds blk) >= 2)
+        (Cfg.reachable_without b ~stop:[])
+  | Some m ->
+      let region =
+        List.concat_map
+          (fun s -> Cfg.reachable_without s ~stop:[ m ])
+          (successors b)
+      in
+      let joins =
+        List.filter
+          (fun blk -> List.length (preds_of preds blk) >= 2)
+          region
+      in
+      let dedup = Hashtbl.create 8 in
+      let out = ref [ m ] in
+      Hashtbl.replace dedup m.bid ();
+      List.iter
+        (fun j ->
+          if not (Hashtbl.mem dedup j.bid) then begin
+            Hashtbl.replace dedup j.bid ();
+            out := j :: !out
+          end)
+        joins;
+      !out
+
+let compute (f : func) : t =
+  let pdt = Domtree.compute_post f in
+  let divergent = Hashtbl.create 64 in
+  let t = { divergent; pdt } in
+  let changed = ref true in
+  let mark i =
+    if not (Hashtbl.mem divergent i.id) then begin
+      Hashtbl.replace divergent i.id ();
+      changed := true
+    end
+  in
+  (* seeds *)
+  iter_instrs f (fun i -> if i.op = Op.Thread_idx then mark i);
+  while !changed do
+    changed := false;
+    (* data dependence *)
+    iter_instrs f (fun i ->
+        if (not (Hashtbl.mem divergent i.id)) && i.op <> Op.Phi then
+          if Array.exists (is_divergent_value t) i.operands then mark i);
+    (* phi data dependence *)
+    iter_instrs f (fun i ->
+        if i.op = Op.Phi && not (Hashtbl.mem divergent i.id) then
+          if Array.exists (is_divergent_value t) i.operands then mark i);
+    (* sync dependence *)
+    List.iter
+      (fun b ->
+        if is_divergent_branch t b then
+          List.iter
+            (fun join -> List.iter mark (phis join))
+            (sync_joins f pdt b))
+      f.blocks_list
+  done;
+  t
+
+(** Blocks ending in a divergent conditional branch. *)
+let divergent_branches (t : t) (f : func) : block list =
+  List.filter (is_divergent_branch t) (Cfg.reachable_blocks f)
+
+let report (t : t) (f : func) : string =
+  let names = Printer.assign_names f in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "divergence report for @%s:\n" f.fname);
+  iter_instrs f (fun i ->
+      if not (Types.equal i.ty Types.Void) then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s : %s\n"
+             (Printer.value_str names (Instr i))
+             (if is_divergent_instr t i then "divergent" else "uniform")));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  branch in %s : divergent\n"
+           (Printer.block_str names b)))
+    (divergent_branches t f);
+  Buffer.contents buf

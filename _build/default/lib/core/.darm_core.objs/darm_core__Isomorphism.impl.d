@@ -1,0 +1,1 @@
+lib/core/isomorphism.ml: Array Darm_ir Hashtbl List Region

@@ -1,0 +1,1 @@
+lib/core/isomorphism.mli: Darm_ir Region Ssa

@@ -1,0 +1,1 @@
+lib/core/meld.ml: Array Darm_align Darm_analysis Darm_ir Hashtbl List Op Printf Region Types

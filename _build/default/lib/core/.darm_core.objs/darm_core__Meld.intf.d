@@ -1,0 +1,1 @@
+lib/core/meld.mli: Darm_analysis Darm_ir Region Ssa

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Array Darm_align Darm_analysis Darm_ir Darm_transforms Isomorphism List Meld Profitability Region Simplify_region

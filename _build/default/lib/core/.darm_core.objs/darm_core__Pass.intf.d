@@ -1,0 +1,1 @@
+lib/core/pass.mli: Darm_analysis Darm_ir Meld Ssa

@@ -1,0 +1,1 @@
+lib/core/profitability.ml: Darm_analysis Darm_ir Hashtbl List Option

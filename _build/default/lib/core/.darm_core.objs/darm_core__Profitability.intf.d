@@ -1,0 +1,1 @@
+lib/core/profitability.mli: Darm_analysis Darm_ir Hashtbl Ssa

@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Darm_analysis Darm_ir Hashtbl List

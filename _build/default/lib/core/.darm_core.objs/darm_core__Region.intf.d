@@ -1,0 +1,1 @@
+lib/core/region.mli: Darm_analysis Darm_ir Hashtbl Ssa

@@ -1,0 +1,1 @@
+lib/core/simplify_region.ml: Darm_ir Hashtbl List Op Region Types

@@ -1,0 +1,1 @@
+lib/core/simplify_region.mli: Darm_ir Region Ssa

@@ -1,0 +1,74 @@
+(** Structural matching of SESE subgraphs (paper Definition 6).
+
+    Two subgraphs are meldable when they are isomorphic as rooted,
+    edge-ordered CFGs: a simultaneous traversal from the two entries must
+    match terminator kinds and successor positions (the true/false arms
+    of conditional branches correspond pairwise), and edges leaving the
+    subgraphs must leave simultaneously.  The single-block/single-block
+    case (Definition 6 case 3) falls out as isomorphism of one-node
+    graphs.
+
+    The mixed case (simple region vs. single block, Definition 6 case 2)
+    is not melded by this implementation — as in the paper, melding
+    non-isomorphic shapes requires restructuring one side and "is usually
+    expensive"; the paper's own evaluation only exercises the isomorphic
+    cases. *)
+
+open Darm_ir.Ssa
+
+(** [match_subgraphs s1 s2] returns the block correspondence in pre-order
+    (entry first, dominating blocks before dominated ones — the
+    linearization order required by Algorithm 2), or [None] when the
+    subgraphs are not isomorphic. *)
+let match_subgraphs (s1 : Region.subgraph) (s2 : Region.subgraph) :
+    (block * block) list option =
+  if Region.subgraph_size s1 <> Region.subgraph_size s2 then None
+  else begin
+    let fwd = Hashtbl.create 8 and bwd = Hashtbl.create 8 in
+    let order = ref [] in
+    let exception Mismatch in
+    let rec visit (a : block) (b : block) =
+      match Hashtbl.find_opt fwd a.bid, Hashtbl.find_opt bwd b.bid with
+      | Some b', _ when b'.bid <> b.bid -> raise Mismatch
+      | _, Some a' when a'.bid <> a.bid -> raise Mismatch
+      | Some _, Some _ -> () (* already matched consistently *)
+      | Some _, None | None, Some _ -> raise Mismatch
+      | None, None ->
+          Hashtbl.replace fwd a.bid b;
+          Hashtbl.replace bwd b.bid a;
+          order := (a, b) :: !order;
+          let ta = terminator a and tb = terminator b in
+          let same_kind =
+            match ta.op, tb.op with
+            | Darm_ir.Op.Br, Darm_ir.Op.Br -> true
+            | Darm_ir.Op.Condbr, Darm_ir.Op.Condbr -> true
+            | _ -> false
+          in
+          if not same_kind then raise Mismatch;
+          if Array.length ta.blocks <> Array.length tb.blocks then
+            raise Mismatch;
+          Array.iteri
+            (fun k sa ->
+              let sb = tb.blocks.(k) in
+              let a_internal = Region.in_subgraph s1 sa in
+              let b_internal = Region.in_subgraph s2 sb in
+              match a_internal, b_internal with
+              | true, true -> visit sa sb
+              | false, false ->
+                  (* both leave; exits are unique per subgraph *)
+                  if
+                    sa.bid <> s1.sg_exit_dest.bid
+                    || sb.bid <> s2.sg_exit_dest.bid
+                  then raise Mismatch
+              | true, false | false, true -> raise Mismatch)
+            ta.blocks
+    in
+    match visit s1.sg_entry s2.sg_entry with
+    | () ->
+        if
+          Hashtbl.length fwd = Region.subgraph_size s1
+          && Hashtbl.length bwd = Region.subgraph_size s2
+        then Some (List.rev !order)
+        else None
+    | exception Mismatch -> None
+  end

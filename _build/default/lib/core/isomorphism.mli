@@ -1,0 +1,19 @@
+(** Structural matching of SESE subgraphs (paper Definition 6).
+
+    Two subgraphs are meldable when they are isomorphic as rooted,
+    edge-ordered CFGs: a simultaneous traversal from the two entries
+    must match terminator kinds and successor positions (the true/false
+    arms of conditional branches correspond pairwise), and edges leaving
+    the subgraphs must leave simultaneously.  The single-block case
+    (Definition 6 case 3) falls out as isomorphism of one-node graphs;
+    the mixed region-vs-block case (case 2) is rejected, as in the
+    paper's implementation. *)
+
+open Darm_ir
+
+(** [match_subgraphs s1 s2] returns the block correspondence in
+    pre-order (entry first, dominating blocks before dominated ones —
+    the linearization order required by Algorithm 2), or [None] when the
+    subgraphs are not isomorphic. *)
+val match_subgraphs :
+  Region.subgraph -> Region.subgraph -> (Ssa.block * Ssa.block) list option

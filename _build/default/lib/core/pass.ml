@@ -1,0 +1,248 @@
+(** The DARM melding pass driver (paper Algorithm 1).
+
+    Repeatedly: find a meldable divergent region, decompose both paths
+    into SESE subgraph sequences, greedily pick the most profitable
+    isomorphic subgraph pair (FP_S above the threshold, ties broken
+    towards the pair that dominates the most remaining subgraphs), meld
+    it, clean up, recompute the control-flow analyses — until no
+    profitable meld remains.
+
+    [diamonds_only] restricts the transformation to regions whose two
+    paths are single basic blocks, which is exactly the {e branch
+    fusion} baseline of Coutinho et al. (Table I). *)
+
+open Darm_ir.Ssa
+module Latency = Darm_analysis.Latency
+module Domtree = Darm_analysis.Domtree
+module Divergence = Darm_analysis.Divergence
+
+(** How the subgraph pair to meld is chosen (paper §IV-C): [Greedy] is
+    the paper's implementation (m x n profitability comparison);
+    [Alignment] computes an optimal order-preserving Needleman–Wunsch
+    alignment of the two subgraph sequences first (Definition 7) and
+    picks the most profitable aligned pair. *)
+type pairing = Greedy | Alignment
+
+type config = {
+  latency : Latency.config;
+  pairing : pairing;
+  threshold : float;  (** minimum FP_S to meld; the paper uses a small
+                          positive cutoff *)
+  unpredicate : bool;  (** move {e all} gap runs out of line (§IV-E);
+                           unsafe-to-speculate runs always move *)
+  diamonds_only : bool;  (** branch-fusion compatibility mode *)
+  max_iterations : int;
+  run_cleanups : bool;  (** run SimplifyCFG + DCE after each meld *)
+  if_convert_after : bool;
+      (** re-run the predicating if-conversion after the pass, modelling
+          the later -O3 pipeline (the paper's §VI-C observation) *)
+}
+
+let default_config : config =
+  {
+    latency = Latency.default;
+    pairing = Greedy;
+    threshold = 0.1;
+    unpredicate = true;
+    diamonds_only = false;
+    max_iterations = 64;
+    run_cleanups = true;
+    if_convert_after = false;
+  }
+
+let branch_fusion_config : config =
+  { default_config with diamonds_only = true }
+
+type stats = {
+  mutable iterations : int;
+  mutable regions_found : int;
+  mutable melds_applied : int;
+  meld_stats : Meld.stats;
+}
+
+let empty_stats () =
+  {
+    iterations = 0;
+    regions_found = 0;
+    melds_applied = 0;
+    meld_stats = Meld.empty_stats ();
+  }
+
+type candidate = {
+  c_region : Region.t;
+  c_st : Region.subgraph;
+  c_sf : Region.subgraph;
+  c_profit : float;
+  c_rank : int;  (** position sum: smaller dominates more of the rest *)
+}
+
+(* profitability of a subgraph pair, when meldable *)
+let pair_profit (cfg : config) (st : Region.subgraph) (sf : Region.subgraph)
+    : float option =
+  match Isomorphism.match_subgraphs st sf with
+  | None -> None
+  | Some pairs -> Some (Profitability.fp_s cfg.latency pairs)
+
+(* Greedy MostProfitableSubgraphPair: m x n comparison (paper §IV-C). *)
+let best_pair_greedy (cfg : config) (r : Region.t)
+    (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
+    candidate option =
+  let best = ref None in
+  List.iteri
+    (fun ti st ->
+      List.iteri
+        (fun fi sf ->
+          match pair_profit cfg st sf with
+          | None -> ()
+          | Some profit ->
+              if profit > cfg.threshold then begin
+                let rank = ti + fi in
+                match !best with
+                | Some b
+                  when b.c_profit > profit
+                       || (b.c_profit = profit && b.c_rank <= rank) ->
+                    ()
+                | _ ->
+                    best :=
+                      Some
+                        {
+                          c_region = r;
+                          c_st = st;
+                          c_sf = sf;
+                          c_profit = profit;
+                          c_rank = rank;
+                        }
+              end)
+        f_sgs)
+    t_sgs;
+  !best
+
+(* Subgraph-sequence alignment (Definition 7): an order-preserving
+   Needleman-Wunsch over the two sequences, scored by FP_S; the most
+   profitable aligned pair is melded this iteration (the rest re-align
+   after the CFG is rebuilt). *)
+let best_pair_alignment (cfg : config) (r : Region.t)
+    (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
+    candidate option =
+  let score st sf =
+    match pair_profit cfg st sf with
+    | Some p when p > cfg.threshold -> Some p
+    | Some _ | None -> None
+  in
+  let aligned, _ =
+    Darm_align.Sequence.needleman_wunsch ~score ~gap_open:0. ~gap_extend:0.
+      (Array.of_list t_sgs) (Array.of_list f_sgs)
+  in
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Darm_align.Sequence.Both (st, sf) -> (
+          match pair_profit cfg st sf with
+          | Some profit when profit > cfg.threshold -> (
+              match acc with
+              | Some b when b.c_profit >= profit -> acc
+              | _ ->
+                  Some
+                    {
+                      c_region = r;
+                      c_st = st;
+                      c_sf = sf;
+                      c_profit = profit;
+                      c_rank = 0;
+                    })
+          | Some _ | None -> acc)
+      | Darm_align.Sequence.Left _ | Darm_align.Sequence.Right _ -> acc)
+    None aligned
+
+let best_pair (cfg : config) (r : Region.t) (pdt : Domtree.t) :
+    candidate option =
+  let t_sgs = Region.true_subgraphs pdt r in
+  let f_sgs = Region.false_subgraphs pdt r in
+  let single_block sg = Region.subgraph_size sg = 1 in
+  if
+    cfg.diamonds_only
+    && not
+         (List.length t_sgs = 1 && List.length f_sgs = 1
+         && List.for_all single_block t_sgs
+         && List.for_all single_block f_sgs)
+  then None
+  else
+    match cfg.pairing with
+    | Greedy -> best_pair_greedy cfg r t_sgs f_sgs
+    | Alignment -> best_pair_alignment cfg r t_sgs f_sgs
+
+(* Meld one candidate; the subgraphs are re-matched after normalization
+   since normalization adds the dedicated exit blocks. *)
+let apply_candidate (cfg : config) (f : func) (c : candidate)
+    (stats : stats) : unit =
+  let st = Simplify_region.normalize_exit f c.c_st in
+  let sf = Simplify_region.normalize_exit f c.c_sf in
+  let st, pre_t = Simplify_region.normalize_entry f st in
+  let sf, pre_f = Simplify_region.normalize_entry f sf in
+  let pairs =
+    match Isomorphism.match_subgraphs st sf with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          "Pass.apply_candidate: normalization broke subgraph isomorphism"
+  in
+  let dt = Domtree.compute f in
+  ignore
+    (Meld.run f ~cond:c.c_region.Region.r_cond ~dt ~lat:cfg.latency ~s_t:st
+       ~s_f:sf ~pre_t ~pre_f ~pairs ~unpredicate:cfg.unpredicate
+       ~stats:stats.meld_stats);
+  stats.melds_applied <- stats.melds_applied + 1
+
+(** Run the melding pass on [f] to a fixpoint; returns the statistics.
+    The function is verified after every meld when [verify_each] is set
+    (the test suites use this). *)
+let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
+  let stats = empty_stats () in
+  let continue_ = ref true in
+  while !continue_ && stats.iterations < config.max_iterations do
+    stats.iterations <- stats.iterations + 1;
+    let dvg = Divergence.compute f in
+    let dt = Domtree.compute f in
+    let pdt = Domtree.compute_post f in
+    let candidate =
+      List.fold_left
+        (fun acc b ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match Region.detect f dvg dt pdt b with
+              | None -> None
+              | Some r ->
+                  stats.regions_found <- stats.regions_found + 1;
+                  best_pair config r pdt))
+        None
+        (Darm_analysis.Cfg.reachable_blocks f)
+    in
+    match candidate with
+    | None -> continue_ := false
+    | Some c ->
+        apply_candidate config f c stats;
+        if config.run_cleanups then begin
+          ignore (Darm_transforms.Simplify_cfg.run f);
+          ignore (Darm_transforms.Dce.run f)
+        end;
+        if verify_each then Darm_ir.Verify.run_exn f
+  done;
+  if config.if_convert_after then begin
+    ignore (Darm_transforms.Simplify_cfg.if_convert f);
+    ignore (Darm_transforms.Dce.run f)
+  end;
+  stats
+
+(** Branch fusion (Coutinho et al.): the diamond-only restriction of
+    control-flow melding, used as a baseline in Table I and §VI. *)
+let run_branch_fusion ?(verify_each = false) (f : func) : stats =
+  run ~config:branch_fusion_config ~verify_each f
+
+(** Run the melding pass over every kernel of a module; returns the
+    per-function statistics. *)
+let run_module ?config ?verify_each (m : Darm_ir.Ssa.modul) :
+    (string * stats) list =
+  List.map
+    (fun f -> (f.Darm_ir.Ssa.fname, run ?config ?verify_each f))
+    m.Darm_ir.Ssa.funcs

@@ -1,0 +1,62 @@
+(** The DARM melding pass driver (paper Algorithm 1).
+
+    Repeatedly: find a meldable divergent region, decompose both paths
+    into SESE subgraph sequences, pick the most profitable isomorphic
+    subgraph pair (greedily or through sequence alignment), meld it,
+    clean up, recompute the control-flow analyses — until no profitable
+    meld remains. *)
+
+open Darm_ir
+module Latency = Darm_analysis.Latency
+
+(** How the subgraph pair to meld is chosen (paper §IV-C): [Greedy] is
+    the paper's implementation (m × n profitability comparison);
+    [Alignment] computes an optimal order-preserving Needleman–Wunsch
+    alignment of the two subgraph sequences (Definition 7) and picks the
+    most profitable aligned pair. *)
+type pairing = Greedy | Alignment
+
+type config = {
+  latency : Latency.config;
+  pairing : pairing;
+  threshold : float;
+      (** minimum FP_S to meld; the paper uses a small positive cutoff *)
+  unpredicate : bool;
+      (** move {e all} gap runs out of line (§IV-E);
+          unsafe-to-speculate runs always move *)
+  diamonds_only : bool;  (** branch-fusion compatibility mode *)
+  max_iterations : int;
+  run_cleanups : bool;  (** SimplifyCFG + DCE after each meld *)
+  if_convert_after : bool;
+      (** re-run the predicating if-conversion after the pass, modelling
+          the later -O3 pipeline (the paper's §VI-C observation) *)
+}
+
+val default_config : config
+
+(** [default_config] restricted to single-block diamonds — branch fusion
+    (Coutinho et al.), the Table I baseline. *)
+val branch_fusion_config : config
+
+type stats = {
+  mutable iterations : int;
+  mutable regions_found : int;
+  mutable melds_applied : int;
+  meld_stats : Meld.stats;
+}
+
+val empty_stats : unit -> stats
+
+(** Run the melding pass to a fixpoint; returns the statistics.  The
+    function is verified after every meld when [verify_each] is set (the
+    test suites use this). *)
+val run : ?config:config -> ?verify_each:bool -> Ssa.func -> stats
+
+(** Branch fusion: the diamond-only restriction of control-flow melding,
+    used as a baseline in Table I and §VI. *)
+val run_branch_fusion : ?verify_each:bool -> Ssa.func -> stats
+
+(** Run the melding pass over every kernel of a module; returns the
+    per-function statistics. *)
+val run_module :
+  ?config:config -> ?verify_each:bool -> Ssa.modul -> (string * stats) list

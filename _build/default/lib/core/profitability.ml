@@ -1,0 +1,98 @@
+(** Melding profitability heuristics FP_B and FP_S (paper §IV-C).
+
+    FP_B(b1, b2) approximates the fraction of thread cycles saved by
+    melding two basic blocks, assuming every instruction class common to
+    both blocks melds:
+
+    FP_B = (Σ_i min(freq(i,b1), freq(i,b2)) · w_i) / (lat(b1) + lat(b2))
+
+    Two blocks with identical opcode-frequency profiles score 0.5 — the
+    best case, where the pair executes in the cycles of one block.
+
+    FP_S lifts FP_B to isomorphic subgraphs as the latency-weighted
+    average over corresponding block pairs, i.e. the fraction of the
+    subgraph pair's total cycles saved. *)
+
+open Darm_ir.Ssa
+module Latency = Darm_analysis.Latency
+
+(* Only body instructions participate: phis do not occupy issue slots
+   and terminators exist in every block, so counting them would make a
+   pair of empty blocks look 0.5-profitable and the pass would meld its
+   own freshly created exit blocks forever. *)
+let profiled (b : block) : instr list =
+  List.filter
+    (fun i -> i.op <> Darm_ir.Op.Phi && not (Darm_ir.Op.is_terminator i.op))
+    b.instrs
+
+(* The class set Q is the plain opcode, as in the paper: a shared and a
+   global load are the same class (they are meldable into one flat
+   access), even though their latencies differ. *)
+let class_key (i : instr) : string = Darm_ir.Op.to_string i.op
+
+(** Instruction-class frequency profile of a block. *)
+let block_profile (b : block) : (string, int) Hashtbl.t =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let key = class_key i in
+      Hashtbl.replace t key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t key)))
+    (profiled b);
+  t
+
+(** Latency of an instruction class — w_i in the paper.  When the two
+    sides disagree (e.g. shared vs global memory), the cheaper latency
+    is the conservative estimate of what melding can save. *)
+let class_weight (c : Latency.config) (b : block) : (string, int) Hashtbl.t =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let key = class_key i in
+      let lat = Latency.of_instr c i in
+      let lat =
+        match Hashtbl.find_opt t key with
+        | Some prev -> min prev lat
+        | None -> lat
+      in
+      Hashtbl.replace t key lat)
+    (profiled b);
+  t
+
+(** Static latency of a block's body instructions — lat(b). *)
+let body_latency (c : Latency.config) (b : block) : int =
+  List.fold_left (fun acc i -> acc + Latency.of_instr c i) 0 (profiled b)
+
+let fp_b (c : Latency.config) (b1 : block) (b2 : block) : float =
+  let p1 = block_profile b1 and p2 = block_profile b2 in
+  let w1 = class_weight c b1 in
+  let w2 = class_weight c b2 in
+  let saved = ref 0 in
+  Hashtbl.iter
+    (fun cls f1 ->
+      match Hashtbl.find_opt p2 cls with
+      | Some f2 ->
+          let wi =
+            match Hashtbl.find_opt w1 cls, Hashtbl.find_opt w2 cls with
+            | Some x, Some y -> min x y
+            | Some x, None | None, Some x -> x
+            | None, None -> 1
+          in
+          saved := !saved + (min f1 f2 * wi)
+      | None -> ())
+    p1;
+  let denom = body_latency c b1 + body_latency c b2 in
+  if denom = 0 then 0. else float_of_int !saved /. float_of_int denom
+
+(** FP_S over an isomorphic block correspondence [o]. *)
+let fp_s (c : Latency.config) (o : (block * block) list) : float =
+  let num = ref 0. and denom = ref 0. in
+  List.iter
+    (fun (b1, b2) ->
+      let lat =
+        float_of_int (body_latency c b1 + body_latency c b2)
+      in
+      num := !num +. (fp_b c b1 b2 *. lat);
+      denom := !denom +. lat)
+    o;
+  if !denom = 0. then 0. else !num /. !denom

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Darm_ir Dsl Filename List Op Option Parse Printf Ssa Types

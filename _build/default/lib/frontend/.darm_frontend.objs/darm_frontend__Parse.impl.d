@@ -1,0 +1,1 @@
+lib/frontend/parse.ml: Ast List Option Printf String

@@ -1,0 +1,60 @@
+(** Abstract syntax of Mini-HIP, the C-like kernel language accepted by
+    {!Parse} and lowered to SSA by {!Lower}.
+
+    The surface language covers what the paper's HIP/CUDA kernels use:
+    integer/float/bool scalars, global pointer parameters, [__shared__]
+    arrays, arithmetic with C precedence, short-circuit [&&]/[||],
+    if/else, while, for, [__syncthreads()], and the thread-geometry
+    builtins. *)
+
+type sty = S_int | S_float | S_bool
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Band | Bor | Bxor
+  | Land | Lor  (** short-circuit *)
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Index of string * expr      (** [a\[i\]]: load through array [a] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Ternary of expr * expr * expr  (** [c ? a : b] *)
+  | Call of string * expr list
+      (** builtins: threadIdx, blockIdx, blockDim, gridDim, min, max,
+          float(int), int(float) *)
+
+type lvalue =
+  | L_var of string
+  | L_index of string * expr
+
+type stmt =
+  | Decl of sty * string * expr option
+  | Shared_decl of sty * string * int  (** [__shared__ int s\[N\];] *)
+  | Assign of lvalue * expr
+  | Op_assign of lvalue * binop * expr  (** [x += e] and friends *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Sync
+  | Expr_stmt of expr
+  | Block of block
+
+and block = stmt list
+
+type param = {
+  p_name : string;
+  p_sty : sty;
+  p_pointer : bool;  (** pointer parameters live in global memory *)
+}
+
+type kernel = { k_name : string; k_params : param list; k_body : block }
+
+type program = kernel list

@@ -1,0 +1,417 @@
+(** Hand-written lexer and recursive-descent parser for Mini-HIP.
+
+    Expression parsing uses precedence climbing with the C operator
+    table; statements are the usual C statement forms.  Both [//] line
+    comments and [/* */] block comments are accepted.  Errors carry
+    line numbers. *)
+
+open Ast
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | PUNCT of string  (* operators and delimiters, longest-match *)
+  | EOF
+
+let puncts =
+  (* order matters: longest first *)
+  [ "<<="; ">>="; "&&"; "||"; "=="; "!="; "<="; ">="; "<<"; ">>"; "+=";
+    "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "("; ")"; "{";
+    "}"; "["; "]"; ";"; ","; "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "&";
+    "|"; "^"; "!"; "?"; ":"; "~" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then errf "line %d: unterminated comment" !line;
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          fin := true;
+          i := !i + 2
+        end
+        else incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.') do
+        incr i
+      done;
+      (* a trailing f suffix, as in C float literals *)
+      let text = String.sub src start (!i - start) in
+      let has_f = !i < n && src.[!i] = 'f' in
+      if has_f then incr i;
+      if String.contains text '.' || has_f then
+        match float_of_string_opt text with
+        | Some f -> push (FLOAT f)
+        | None -> errf "line %d: bad float literal %S" !line text
+      else begin
+        match int_of_string_opt text with
+        | Some v -> push (INT v)
+        | None -> errf "line %d: bad integer literal %S" !line text
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !i + l <= n && String.sub src !i l = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+          push (PUNCT p);
+          i := !i + String.length p
+      | None -> errf "line %d: unexpected character %C" !line c
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Token stream *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek s = match s.toks with (t, _) :: _ -> t | [] -> EOF
+let peek2 s = match s.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+let line_of s = match s.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance s =
+  match s.toks with
+  | (t, _) :: rest ->
+      s.toks <- rest;
+      t
+  | [] -> EOF
+
+let eat_punct s p =
+  match advance s with
+  | PUNCT q when q = p -> ()
+  | _ -> errf "line %d: expected %S" (line_of s) p
+
+let eat_ident s what =
+  match advance s with
+  | IDENT x -> x
+  | _ -> errf "line %d: expected %s" (line_of s) what
+
+let accept_punct s p =
+  match peek s with
+  | PUNCT q when q = p ->
+      ignore (advance s);
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let sty_of_name = function
+  | "int" -> Some S_int
+  | "float" -> Some S_float
+  | "bool" -> Some S_bool
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing *)
+
+let binop_of_punct = function
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Rem, 10)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "&" -> Some (Band, 5)
+  | "^" -> Some (Bxor, 4)
+  | "|" -> Some (Bor, 3)
+  | "&&" -> Some (Land, 2)
+  | "||" -> Some (Lor, 1)
+  | _ -> None
+
+let rec parse_expr (s : stream) : expr = parse_ternary s
+
+and parse_ternary s =
+  let c = parse_binary s 1 in
+  if accept_punct s "?" then begin
+    let t = parse_expr s in
+    eat_punct s ":";
+    let f = parse_expr s in
+    Ternary (c, t, f)
+  end
+  else c
+
+and parse_binary s min_prec =
+  let lhs = ref (parse_unary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek s with
+    | PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            ignore (advance s);
+            let rhs = parse_binary s (prec + 1) in
+            lhs := Binary (op, !lhs, rhs)
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary s =
+  if accept_punct s "-" then Unary (Neg, parse_unary s)
+  else if accept_punct s "!" then Unary (Not, parse_unary s)
+  else parse_primary s
+
+and parse_primary s =
+  match advance s with
+  | INT v -> Int_lit v
+  | FLOAT f -> Float_lit f
+  | IDENT "true" -> Bool_lit true
+  | IDENT "false" -> Bool_lit false
+  | IDENT name ->
+      if accept_punct s "(" then begin
+        (* builtin call *)
+        let args = ref [] in
+        if not (accept_punct s ")") then begin
+          let rec loop () =
+            args := parse_expr s :: !args;
+            if accept_punct s "," then loop () else eat_punct s ")"
+          in
+          loop ()
+        end;
+        Call (name, List.rev !args)
+      end
+      else if accept_punct s "[" then begin
+        let idx = parse_expr s in
+        eat_punct s "]";
+        Index (name, idx)
+      end
+      else Var name
+  | PUNCT "(" ->
+      let e = parse_expr s in
+      eat_punct s ")";
+      e
+  | _ -> errf "line %d: expected an expression" (line_of s)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_lvalue_from_ident s (name : string) : lvalue =
+  if accept_punct s "[" then begin
+    let idx = parse_expr s in
+    eat_punct s "]";
+    L_index (name, idx)
+  end
+  else L_var name
+
+let op_assign_of_punct = function
+  | "+=" -> Some Add
+  | "-=" -> Some Sub
+  | "*=" -> Some Mul
+  | "/=" -> Some Div
+  | "%=" -> Some Rem
+  | "&=" -> Some Band
+  | "|=" -> Some Bor
+  | "^=" -> Some Bxor
+  | _ -> None
+
+(* assignment or expression statement, without the trailing ';' (shared
+   with for-headers) *)
+let rec parse_simple_stmt (s : stream) : stmt =
+  match peek s with
+  | IDENT name when sty_of_name name <> None && (match peek2 s with IDENT _ -> true | _ -> false) ->
+      let sty = Option.get (sty_of_name (eat_ident s "type")) in
+      let var = eat_ident s "a variable name" in
+      let init = if accept_punct s "=" then Some (parse_expr s) else None in
+      Decl (sty, var, init)
+  | IDENT name -> (
+      ignore (advance s);
+      match peek s with
+      | PUNCT "(" ->
+          (* call statement, e.g. __syncthreads() *)
+          s.toks <- (IDENT name, line_of s) :: s.toks;
+          let e = parse_expr s in
+          Expr_stmt e
+      | _ -> (
+          let lv = parse_lvalue_from_ident s name in
+          match advance s with
+          | PUNCT "=" -> Assign (lv, parse_expr s)
+          | PUNCT "++" -> Op_assign (lv, Add, Int_lit 1)
+          | PUNCT "--" -> Op_assign (lv, Sub, Int_lit 1)
+          | PUNCT p -> (
+              match op_assign_of_punct p with
+              | Some op -> Op_assign (lv, op, parse_expr s)
+              | None ->
+                  errf "line %d: expected an assignment operator" (line_of s))
+          | _ -> errf "line %d: expected an assignment" (line_of s)))
+  | _ -> errf "line %d: expected a statement" (line_of s)
+
+and parse_stmt (s : stream) : stmt =
+  match peek s with
+  | PUNCT "{" -> Block (parse_block s)
+  | IDENT "__shared__" ->
+      ignore (advance s);
+      let sty =
+        match sty_of_name (eat_ident s "element type") with
+        | Some t -> t
+        | None -> errf "line %d: bad shared element type" (line_of s)
+      in
+      let name = eat_ident s "array name" in
+      eat_punct s "[";
+      let size =
+        match advance s with
+        | INT v -> v
+        | _ -> errf "line %d: shared array size must be a literal" (line_of s)
+      in
+      eat_punct s "]";
+      eat_punct s ";";
+      Shared_decl (sty, name, size)
+  | IDENT "if" ->
+      ignore (advance s);
+      eat_punct s "(";
+      let c = parse_expr s in
+      eat_punct s ")";
+      let then_b = parse_block_or_stmt s in
+      let else_b =
+        if peek s = IDENT "else" then begin
+          ignore (advance s);
+          Some (parse_block_or_stmt s)
+        end
+        else None
+      in
+      If (c, then_b, else_b)
+  | IDENT "while" ->
+      ignore (advance s);
+      eat_punct s "(";
+      let c = parse_expr s in
+      eat_punct s ")";
+      While (c, parse_block_or_stmt s)
+  | IDENT "for" ->
+      ignore (advance s);
+      eat_punct s "(";
+      let init =
+        if peek s = PUNCT ";" then None else Some (parse_simple_stmt s)
+      in
+      eat_punct s ";";
+      let cond = if peek s = PUNCT ";" then None else Some (parse_expr s) in
+      eat_punct s ";";
+      let step =
+        if peek s = PUNCT ")" then None else Some (parse_simple_stmt s)
+      in
+      eat_punct s ")";
+      For (init, cond, step, parse_block_or_stmt s)
+  | IDENT "__syncthreads" ->
+      ignore (advance s);
+      eat_punct s "(";
+      eat_punct s ")";
+      eat_punct s ";";
+      Sync
+  | _ ->
+      let st = parse_simple_stmt s in
+      eat_punct s ";";
+      st
+
+and parse_block (s : stream) : block =
+  eat_punct s "{";
+  let stmts = ref [] in
+  while peek s <> PUNCT "}" do
+    if peek s = EOF then errf "unexpected end of file in a block";
+    stmts := parse_stmt s :: !stmts
+  done;
+  eat_punct s "}";
+  List.rev !stmts
+
+and parse_block_or_stmt (s : stream) : block =
+  if peek s = PUNCT "{" then parse_block s else [ parse_stmt s ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernels *)
+
+let parse_param (s : stream) : param =
+  (* [global] type [*] name — 'global' is optional noise, pointers are
+     always global *)
+  let _ = if peek s = IDENT "global" then ignore (advance s) in
+  let sty =
+    match sty_of_name (eat_ident s "parameter type") with
+    | Some t -> t
+    | None -> errf "line %d: bad parameter type" (line_of s)
+  in
+  let pointer = accept_punct s "*" in
+  let name = eat_ident s "parameter name" in
+  { p_name = name; p_sty = sty; p_pointer = pointer }
+
+let parse_kernel (s : stream) : kernel =
+  (match advance s with
+  | IDENT ("kernel" | "__global__") -> ()
+  | _ -> errf "line %d: expected 'kernel'" (line_of s));
+  (* optional 'void' return type, as in CUDA *)
+  if peek s = IDENT "void" then ignore (advance s);
+  let name = eat_ident s "kernel name" in
+  eat_punct s "(";
+  let params = ref [] in
+  if not (accept_punct s ")") then begin
+    let rec loop () =
+      params := parse_param s :: !params;
+      if accept_punct s "," then loop () else eat_punct s ")"
+    in
+    loop ()
+  end;
+  let body = parse_block s in
+  { k_name = name; k_params = List.rev !params; k_body = body }
+
+let parse_program (src : string) : (program, string) result =
+  match
+    let s = { toks = tokenize src } in
+    let kernels = ref [] in
+    while peek s <> EOF do
+      kernels := parse_kernel s :: !kernels
+    done;
+    List.rev !kernels
+  with
+  | p -> Ok p
+  | exception Error msg -> Error msg

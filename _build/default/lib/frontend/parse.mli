@@ -1,0 +1,7 @@
+(** Hand-written lexer and recursive-descent parser for Mini-HIP:
+    C operator precedence, [//] and [/* */] comments, line-numbered
+    errors. *)
+
+exception Error of string
+
+val parse_program : string -> (Ast.program, string) result

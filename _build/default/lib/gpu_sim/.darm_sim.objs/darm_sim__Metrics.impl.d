@@ -1,0 +1,1 @@
+lib/gpu_sim/metrics.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/gpu_sim/simulator.mli: Darm_analysis Darm_ir Memory Metrics Ssa

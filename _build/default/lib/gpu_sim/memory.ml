@@ -1,0 +1,89 @@
+(** Runtime values and memories of the SIMT simulator.
+
+    Pointers are (concrete space, offset) pairs; the {e static} pointer
+    type may be [Flat] after melding, but at runtime every pointer knows
+    which memory it addresses — exactly like flat addressing on real
+    GPUs. *)
+
+type space = Sp_global | Sp_shared
+
+type rv =
+  | Rint of int
+  | Rbool of bool
+  | Rfloat of float
+  | Rptr of space * int
+  | Rundef
+
+exception Fault of string
+
+let faultf fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+(** A linear memory with bump allocation (the launcher owns one global
+    memory; each thread block owns one shared memory). *)
+type t = { cells : rv array; mutable brk : int; space : space }
+
+let create ~(space : space) (size : int) : t =
+  { cells = Array.make size Rundef; brk = 0; space }
+
+let size (m : t) = Array.length m.cells
+
+(** Allocate [n] cells, returning the base pointer. *)
+let alloc (m : t) (n : int) : rv =
+  if m.brk + n > Array.length m.cells then
+    faultf "out of memory: requested %d cells at brk %d (size %d)" n m.brk
+      (Array.length m.cells);
+  let base = m.brk in
+  m.brk <- m.brk + n;
+  Rptr (m.space, base)
+
+let read (m : t) (off : int) : rv =
+  if off < 0 || off >= Array.length m.cells then
+    faultf "load out of bounds: offset %d (size %d)" off (Array.length m.cells)
+  else m.cells.(off)
+
+let write (m : t) (off : int) (v : rv) : unit =
+  if off < 0 || off >= Array.length m.cells then
+    faultf "store out of bounds: offset %d (size %d)" off
+      (Array.length m.cells)
+  else m.cells.(off) <- v
+
+(* Convenience conversions for test harnesses *)
+
+let to_int = function
+  | Rint n -> n
+  | Rbool true -> 1
+  | Rbool false -> 0
+  | Rfloat _ | Rptr _ | Rundef -> raise (Fault "expected an integer value")
+
+let to_float = function
+  | Rfloat x -> x
+  | Rint n -> float_of_int n
+  | Rbool _ | Rptr _ | Rundef -> raise (Fault "expected a float value")
+
+(** Copy an OCaml int array into memory at a freshly allocated buffer. *)
+let alloc_of_int_array (m : t) (a : int array) : rv =
+  let ptr = alloc m (Array.length a) in
+  (match ptr with
+  | Rptr (_, base) ->
+      Array.iteri (fun k v -> m.cells.(base + k) <- Rint v) a
+  | _ -> assert false);
+  ptr
+
+let alloc_of_float_array (m : t) (a : float array) : rv =
+  let ptr = alloc m (Array.length a) in
+  (match ptr with
+  | Rptr (_, base) ->
+      Array.iteri (fun k v -> m.cells.(base + k) <- Rfloat v) a
+  | _ -> assert false);
+  ptr
+
+(** Read back [n] cells from [ptr] as an int array. *)
+let read_int_array (m : t) (ptr : rv) (n : int) : int array =
+  match ptr with
+  | Rptr (_, base) -> Array.init n (fun k -> to_int (read m (base + k)))
+  | _ -> raise (Fault "read_int_array: not a pointer")
+
+let read_float_array (m : t) (ptr : rv) (n : int) : float array =
+  match ptr with
+  | Rptr (_, base) -> Array.init n (fun k -> to_float (read m (base + k)))
+  | _ -> raise (Fault "read_float_array: not a pointer")

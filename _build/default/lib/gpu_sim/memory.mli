@@ -1,0 +1,37 @@
+(** Runtime values and memories of the SIMT simulator.
+
+    Pointers are (concrete space, offset) pairs; the static pointer type
+    may be flat after melding, but at runtime every pointer knows which
+    memory it addresses — exactly like flat addressing on real GPUs. *)
+
+type space = Sp_global | Sp_shared
+
+type rv =
+  | Rint of int
+  | Rbool of bool
+  | Rfloat of float
+  | Rptr of space * int
+  | Rundef
+
+exception Fault of string
+
+(** A linear memory with bump allocation (the launcher owns one global
+    memory; each thread block owns one shared memory). *)
+type t
+
+val create : space:space -> int -> t
+val size : t -> int
+
+(** Allocate [n] cells, returning the base pointer. *)
+val alloc : t -> int -> rv
+
+val read : t -> int -> rv
+val write : t -> int -> rv -> unit
+
+val to_int : rv -> int
+val to_float : rv -> float
+
+val alloc_of_int_array : t -> int array -> rv
+val alloc_of_float_array : t -> float array -> rv
+val read_int_array : t -> rv -> int -> int array
+val read_float_array : t -> rv -> int -> float array

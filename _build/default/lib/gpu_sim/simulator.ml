@@ -1,0 +1,601 @@
+(** SIMT execution engine with IPDOM-based reconvergence.
+
+    Models the execution substrate of the paper's evaluation platform
+    (an AMD Vega-class GPU) at the fidelity the evaluation needs:
+
+    - threads are grouped into warps ([warp_size] lanes, default 64 like
+      an AMD wavefront) that issue instructions in lock-step under an
+      active mask;
+    - each warp maintains a SIMT reconvergence stack: a divergent
+      conditional branch pushes one frame per taken arm with the
+      reconvergence point set to the branch block's immediate
+      post-dominator, and the parent frame resumes there once both arms
+      have drained — the IPDOM reconvergence scheme of §I/§II;
+    - every issued instruction costs its {!Darm_analysis.Latency} value
+      in cycles {e per issue}, so a divergent region pays for both arms
+      serially while a melded region pays once — the first-order effect
+      behind all of the paper's speedups;
+    - [syncthreads] suspends a warp until every warp of its block
+      reaches the barrier;
+    - the counters of {!Metrics} correspond to the rocprof counters used
+      in §VI (ALU utilization, vector/LDS/flat memory instructions).
+
+    The interpreter is also the correctness oracle: tests run the same
+    kernel before and after melding and require bit-identical memory. *)
+
+open Darm_ir
+open Darm_ir.Ssa
+open Memory
+
+type config = {
+  warp_size : int;
+  latency : Darm_analysis.Latency.config;
+  max_cycles_per_warp : int;  (** runaway-loop guard *)
+  trace : (string -> unit) option;
+      (** called once per executed basic block with
+          "block=<name> warp=<tid_base> mask=<popcount>"; shows the
+          serialization order of divergent execution *)
+}
+
+let default_config : config =
+  {
+    warp_size = 64;
+    latency = Darm_analysis.Latency.default;
+    max_cycles_per_warp = 400_000_000;
+    trace = None;
+  }
+
+exception Sim_error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Per-function static context *)
+
+type fctx = {
+  fn : func;
+  ipdom : (int, block option) Hashtbl.t;  (** block id -> reconvergence pt *)
+  shared_layout : (int, int) Hashtbl.t;   (** alloc_shared id -> offset *)
+  shared_size : int;
+}
+
+let prepare (fn : func) : fctx =
+  Verify.run_exn fn;
+  let pdt = Darm_analysis.Domtree.compute_post fn in
+  let ipdom = Hashtbl.create 32 in
+  List.iter
+    (fun b -> Hashtbl.replace ipdom b.bid (Darm_analysis.Domtree.idom pdt b))
+    fn.blocks_list;
+  let shared_layout = Hashtbl.create 4 in
+  let off = ref 0 in
+  iter_instrs fn (fun i ->
+      match i.op with
+      | Op.Alloc_shared n ->
+          Hashtbl.replace shared_layout i.id !off;
+          off := !off + n
+      | _ -> ());
+  { fn; ipdom; shared_layout; shared_size = !off }
+
+(* ------------------------------------------------------------------ *)
+(* Warp state *)
+
+type frame = {
+  mutable pc : block;
+  mutable ip : int;  (** resume index into [pc.instrs] (for barriers) *)
+  rpc : block option;  (** pop when [pc] reaches this block *)
+  mask : bool array;
+}
+
+type warp_status = Running | At_barrier | Finished
+
+type warp = {
+  tid_base : int;  (** thread index (within block) of lane 0 *)
+  regs : (int, rv array) Hashtbl.t;
+  pred : block option array;  (** per-lane predecessor block *)
+  mutable stack : frame list;
+  mutable status : warp_status;
+}
+
+type launch_ctx = {
+  cfg : config;
+  fctx : fctx;
+  args : rv array;
+  global : Memory.t;
+  shared : Memory.t;
+  block_idx : int;
+  block_dim : int;
+  grid_dim : int;
+  metrics : Metrics.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Value evaluation *)
+
+let reg_file (w : warp) (cfg : config) (i : instr) : rv array =
+  match Hashtbl.find_opt w.regs i.id with
+  | Some a -> a
+  | None ->
+      let a = Array.make cfg.warp_size Rundef in
+      Hashtbl.replace w.regs i.id a;
+      a
+
+let eval_value (ctx : launch_ctx) (w : warp) (lane : int) (v : value) : rv =
+  match v with
+  | Int n -> Rint n
+  | Bool b -> Rbool b
+  | Float x -> Rfloat x
+  | Undef _ -> Rundef
+  | Param p -> ctx.args.(p.pindex)
+  | Instr i -> (
+      match Hashtbl.find_opt w.regs i.id with
+      | Some a -> a.(lane)
+      | None -> Rundef)
+
+let as_int (what : string) = function
+  | Rint n -> n
+  | Rbool true -> 1
+  | Rbool false -> 0
+  | Rundef -> errf "%s: use of undef integer" what
+  | Rfloat _ | Rptr _ -> errf "%s: expected integer" what
+
+let as_bool (what : string) = function
+  | Rbool b -> b
+  | Rint n -> n <> 0
+  | Rundef -> errf "%s: use of undef condition" what
+  | Rfloat _ | Rptr _ -> errf "%s: expected boolean" what
+
+let as_float (what : string) = function
+  | Rfloat x -> x
+  | Rint n -> float_of_int n
+  | Rundef -> errf "%s: use of undef float" what
+  | Rbool _ | Rptr _ -> errf "%s: expected float" what
+
+let as_ptr (what : string) = function
+  | Rptr (s, o) -> (s, o)
+  | Rundef -> errf "%s: dereference of undef pointer" what
+  | Rint _ | Rbool _ | Rfloat _ -> errf "%s: expected pointer" what
+
+let mem_for (ctx : launch_ctx) = function
+  | Sp_global -> ctx.global
+  | Sp_shared -> ctx.shared
+
+let eval_ibin (op : Op.ibinop) (x : int) (y : int) : int =
+  match op with
+  | Op.Add -> x + y
+  | Op.Sub -> x - y
+  | Op.Mul -> x * y
+  | Op.Sdiv -> if y = 0 then errf "sdiv by zero" else x / y
+  | Op.Srem -> if y = 0 then errf "srem by zero" else x mod y
+  | Op.And -> x land y
+  | Op.Or -> x lor y
+  | Op.Xor -> x lxor y
+  | Op.Shl -> (x lsl (y land 31)) land 0xFFFFFFFF
+  | Op.Lshr -> (x land 0xFFFFFFFF) lsr (y land 31)
+  | Op.Ashr -> x asr (y land 31)
+  | Op.Smin -> min x y
+  | Op.Smax -> max x y
+
+let eval_fbin (op : Op.fbinop) (x : float) (y : float) : float =
+  match op with
+  | Op.Fadd -> x +. y
+  | Op.Fsub -> x -. y
+  | Op.Fmul -> x *. y
+  | Op.Fdiv -> x /. y
+  | Op.Fmin -> Float.min x y
+  | Op.Fmax -> Float.max x y
+
+let eval_icmp (p : Op.icmp_pred) (x : int) (y : int) : bool =
+  match p with
+  | Op.Ieq -> x = y
+  | Op.Ine -> x <> y
+  | Op.Islt -> x < y
+  | Op.Isle -> x <= y
+  | Op.Isgt -> x > y
+  | Op.Isge -> x >= y
+
+let eval_fcmp (p : Op.fcmp_pred) (x : float) (y : float) : bool =
+  match p with
+  | Op.Foeq -> x = y
+  | Op.Fone -> x <> y
+  | Op.Folt -> x < y
+  | Op.Fole -> x <= y
+  | Op.Fogt -> x > y
+  | Op.Foge -> x >= y
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting *)
+
+let account (ctx : launch_ctx) (i : instr) (mask : bool array) : unit =
+  let m = ctx.metrics in
+  let lat = Darm_analysis.Latency.of_instr ctx.cfg.latency i in
+  m.cycles <- m.cycles + lat;
+  m.instructions <- m.instructions + 1;
+  if Op.is_alu i.op then begin
+    let active = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+    m.alu_issues <- m.alu_issues + 1;
+    m.alu_active_lanes <- m.alu_active_lanes + active
+  end;
+  if Op.is_memory i.op then begin
+    match value_ty (if i.op = Op.Store then i.operands.(1) else i.operands.(0))
+    with
+    | Types.Ptr Types.Global -> m.mem_global <- m.mem_global + 1
+    | Types.Ptr Types.Shared -> m.mem_shared <- m.mem_shared + 1
+    | Types.Ptr Types.Flat -> m.mem_flat <- m.mem_flat + 1
+    | _ -> ()
+  end
+
+(* Memory coalescing: a warp-wide global access is served in 32-cell
+   transactions; the counter records how many distinct segments the
+   active lanes touch (rocprof's memory-transaction counters).  Shared
+   accesses instead hit 32 word-interleaved banks; lanes touching
+   different addresses in the same bank serialize (bank conflicts). *)
+let account_transactions (ctx : launch_ctx) (w : warp) (i : instr)
+    (mask : bool array) ~(ptr_index : int) : unit =
+  let ptr_ty = value_ty i.operands.(ptr_index) in
+  match ptr_ty with
+  | Types.Ptr (Types.Global | Types.Flat | Types.Shared) ->
+      let segments = Hashtbl.create 8 in
+      (* the 32 LDS banks serve the wavefront in 32-lane phases *)
+      let phase = ref 0 in
+      while !phase < ctx.cfg.warp_size do
+        let banks : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+        for lane = !phase to min (ctx.cfg.warp_size - 1) (!phase + 31) do
+          if mask.(lane) then
+            match eval_value ctx w lane i.operands.(ptr_index) with
+            | Rptr (Sp_global, off) -> Hashtbl.replace segments (off / 32) ()
+            | Rptr (Sp_shared, off) ->
+                let bank = off land 31 in
+                let cur =
+                  Option.value ~default:[] (Hashtbl.find_opt banks bank)
+                in
+                if not (List.mem off cur) then
+                  Hashtbl.replace banks bank (off :: cur)
+            | _ -> ()
+        done;
+        let worst_bank =
+          Hashtbl.fold (fun _ offs acc -> max acc (List.length offs)) banks 0
+        in
+        if worst_bank > 1 then
+          ctx.metrics.bank_conflicts <-
+            ctx.metrics.bank_conflicts + (worst_bank - 1);
+        phase := !phase + 32
+      done;
+      let n = Hashtbl.length segments in
+      if n > 0 then begin
+        ctx.metrics.global_transactions <-
+          ctx.metrics.global_transactions + n;
+        ctx.metrics.global_accesses <- ctx.metrics.global_accesses + 1
+      end
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution *)
+
+let popcount (mask : bool array) =
+  Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask
+
+(** Execute all phis of the block simultaneously (two-phase read/commit)
+    for the active lanes of [frame]. *)
+let exec_phis (ctx : launch_ctx) (w : warp) (frame : frame) : unit =
+  let ph = phis frame.pc in
+  if ph <> [] then begin
+    let staged =
+      List.map
+        (fun phi ->
+          let values =
+            Array.init ctx.cfg.warp_size (fun lane ->
+                if frame.mask.(lane) then
+                  match w.pred.(lane) with
+                  | None -> Rundef
+                  | Some pb -> (
+                      match phi_incoming_for phi pb with
+                      | Some v -> eval_value ctx w lane v
+                      | None ->
+                          errf "phi in %s has no incoming for pred %s"
+                            frame.pc.bname pb.bname)
+                else Rundef)
+          in
+          (phi, values))
+        ph
+    in
+    List.iter
+      (fun (phi, values) ->
+        let file = reg_file w ctx.cfg phi in
+        Array.iteri
+          (fun lane v -> if frame.mask.(lane) then file.(lane) <- v)
+          values)
+      staged
+  end
+
+exception Poison
+
+(** Execute one non-phi, non-terminator instruction under the mask.
+
+    Undef ({e poison}) semantics follow LLVM and real hardware: pure ALU
+    operations on undef produce undef (melding executes gap instructions
+    speculatively, and their discarded wrong-side results may depend on
+    undef entry-phi values); dereferencing an undef pointer, dividing by
+    an undef value or branching on an undef condition is a genuine
+    error and traps. *)
+let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (i : instr) :
+    unit =
+  account ctx i frame.mask;
+  let fail_context msg =
+    errf "%s (instr %d, op %s, block %s)" msg i.id (Op.to_string i.op)
+      (match i.parent with Some b -> b.bname | None -> "?")
+  in
+  let mask = frame.mask in
+  let per_lane (f : int -> rv) : unit =
+    let file = reg_file w ctx.cfg i in
+    for lane = 0 to ctx.cfg.warp_size - 1 do
+      if mask.(lane) then
+        file.(lane) <- (try f lane with Poison -> Rundef)
+    done
+  in
+  (* strict operand fetch for operations that must not see undef *)
+  let opv_strict k lane =
+    match eval_value ctx w lane i.operands.(k) with
+    | Rundef ->
+        fail_context
+          (Printf.sprintf "operand %d is undef in lane %d" k lane)
+    | v -> v
+  in
+  (* poisoning operand fetch for pure ALU operations *)
+  let opv k lane =
+    match eval_value ctx w lane i.operands.(k) with
+    | Rundef -> raise Poison
+    | v -> v
+  in
+  ignore opv_strict;
+  match i.op with
+  | Op.Ibin ((Op.Sdiv | Op.Srem) as op) ->
+      per_lane (fun l ->
+          Rint
+            (eval_ibin op
+               (as_int "ibin" (opv_strict 0 l))
+               (as_int "ibin" (opv_strict 1 l))))
+  | Op.Ibin op ->
+      per_lane (fun l ->
+          Rint (eval_ibin op (as_int "ibin" (opv 0 l)) (as_int "ibin" (opv 1 l))))
+  | Op.Fbin op ->
+      per_lane (fun l ->
+          Rfloat
+            (eval_fbin op (as_float "fbin" (opv 0 l))
+               (as_float "fbin" (opv 1 l))))
+  | Op.Icmp p ->
+      per_lane (fun l ->
+          Rbool
+            (eval_icmp p (as_int "icmp" (opv 0 l)) (as_int "icmp" (opv 1 l))))
+  | Op.Fcmp p ->
+      per_lane (fun l ->
+          Rbool
+            (eval_fcmp p
+               (as_float "fcmp" (opv 0 l))
+               (as_float "fcmp" (opv 1 l))))
+  | Op.Not -> per_lane (fun l -> Rbool (not (as_bool "not" (opv 0 l))))
+  | Op.Select ->
+      per_lane (fun l ->
+          (* the not-taken arm may be undef without poisoning the result *)
+          if as_bool "select" (opv 0 l) then
+            eval_value ctx w l i.operands.(1)
+          else eval_value ctx w l i.operands.(2))
+  | Op.Load ->
+      account_transactions ctx w i mask ~ptr_index:0;
+      per_lane (fun l ->
+          let sp, off = as_ptr "load" (opv_strict 0 l) in
+          Memory.read (mem_for ctx sp) off)
+  | Op.Store ->
+      account_transactions ctx w i mask ~ptr_index:1;
+      for lane = 0 to ctx.cfg.warp_size - 1 do
+        if mask.(lane) then begin
+          let v = eval_value ctx w lane i.operands.(0) in
+          let sp, off = as_ptr "store" (opv_strict 1 lane) in
+          Memory.write (mem_for ctx sp) off v
+        end
+      done
+  | Op.Gep ->
+      per_lane (fun l ->
+          let sp, off = as_ptr "gep" (opv 0 l) in
+          Rptr (sp, off + as_int "gep" (opv 1 l)))
+  | Op.Thread_idx -> per_lane (fun l -> Rint (w.tid_base + l))
+  | Op.Block_idx -> per_lane (fun _ -> Rint ctx.block_idx)
+  | Op.Block_dim -> per_lane (fun _ -> Rint ctx.block_dim)
+  | Op.Grid_dim -> per_lane (fun _ -> Rint ctx.grid_dim)
+  | Op.Alloc_shared _ ->
+      let off = Hashtbl.find ctx.fctx.shared_layout i.id in
+      per_lane (fun _ -> Rptr (Sp_shared, off))
+  | Op.Sitofp -> per_lane (fun l -> Rfloat (float_of_int (as_int "sitofp" (opv 0 l))))
+  | Op.Fptosi -> per_lane (fun l -> Rint (int_of_float (as_float "fptosi" (opv 0 l))))
+  | Op.Addrspace_cast -> per_lane (fun l -> opv 0 l)
+  | Op.Syncthreads | Op.Phi | Op.Br | Op.Condbr | Op.Ret ->
+      errf "exec_instr: %s handled elsewhere" (Op.to_string i.op)
+
+(* ------------------------------------------------------------------ *)
+(* Control flow *)
+
+let set_pred_for_mask (w : warp) (mask : bool array) (b : block) : unit =
+  Array.iteri (fun lane m -> if m then w.pred.(lane) <- Some b) mask
+
+(** Execute the terminator of the top frame, updating the stack. *)
+let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame) (t : instr) :
+    unit =
+  account ctx t frame.mask;
+  match t.op with
+  | Op.Ret -> w.stack <- List.tl w.stack
+  | Op.Br ->
+      set_pred_for_mask w frame.mask frame.pc;
+      frame.pc <- t.blocks.(0);
+      frame.ip <- 0
+  | Op.Condbr ->
+      let tmask = Array.make ctx.cfg.warp_size false in
+      let fmask = Array.make ctx.cfg.warp_size false in
+      for lane = 0 to ctx.cfg.warp_size - 1 do
+        if frame.mask.(lane) then
+          if as_bool "condbr" (eval_value ctx w lane t.operands.(0)) then
+            tmask.(lane) <- true
+          else fmask.(lane) <- true
+      done;
+      let cur = frame.pc in
+      let tcount = popcount tmask and fcount = popcount fmask in
+      if fcount = 0 then begin
+        set_pred_for_mask w frame.mask cur;
+        frame.pc <- t.blocks.(0);
+        frame.ip <- 0
+      end
+      else if tcount = 0 then begin
+        set_pred_for_mask w frame.mask cur;
+        frame.pc <- t.blocks.(1);
+        frame.ip <- 0
+      end
+      else begin
+        (* the warp splits: IPDOM reconvergence *)
+        ctx.metrics.divergent_branches <- ctx.metrics.divergent_branches + 1;
+        set_pred_for_mask w frame.mask cur;
+        let rpc = Hashtbl.find ctx.fctx.ipdom cur.bid in
+        let t_frame =
+          { pc = t.blocks.(0); ip = 0; rpc; mask = tmask }
+        in
+        let f_frame =
+          { pc = t.blocks.(1); ip = 0; rpc; mask = fmask }
+        in
+        match rpc with
+        | Some r ->
+            frame.pc <- r;
+            frame.ip <- 0;
+            w.stack <- t_frame :: f_frame :: w.stack
+        | None ->
+            (* no reconvergence point: both arms run to completion *)
+            w.stack <- t_frame :: f_frame :: List.tl w.stack
+      end
+  | _ -> errf "exec_terminator: %s is not a terminator" (Op.to_string t.op)
+
+(** Run the warp until it finishes or reaches a barrier. *)
+let run_warp (ctx : launch_ctx) (w : warp) : unit =
+  let budget = ref ctx.cfg.max_cycles_per_warp in
+  let continue_ = ref true in
+  while !continue_ do
+    if !budget <= 0 then errf "cycle budget exhausted (runaway loop?)";
+    match w.stack with
+    | [] ->
+        w.status <- Finished;
+        continue_ := false
+    | frame :: rest -> (
+        match frame.rpc with
+        | Some r when r.bid = frame.pc.bid ->
+            (* reconverged: drop the frame, the parent resumes at r *)
+            ctx.metrics.reconvergences <- ctx.metrics.reconvergences + 1;
+            w.stack <- rest
+        | _ ->
+            (match ctx.cfg.trace with
+            | Some emit when frame.ip = 0 ->
+                emit
+                  (Printf.sprintf "block=%s warp=%d mask=%d"
+                     frame.pc.bname w.tid_base (popcount frame.mask))
+            | _ -> ());
+            if frame.ip = 0 then exec_phis ctx w frame;
+            (* execute from the resume index *)
+            let instrs = frame.pc.instrs in
+            let n = List.length instrs in
+            let rec exec_from k lst =
+              match lst with
+              | [] -> errf "block %s has no terminator" frame.pc.bname
+              | i :: tl ->
+                  if k < frame.ip || i.op = Op.Phi then exec_from (k + 1) tl
+                  else if Op.is_terminator i.op then begin
+                    exec_terminator ctx w frame i;
+                    decr budget
+                  end
+                  else if i.op = Op.Syncthreads then begin
+                    account ctx i frame.mask;
+                    ctx.metrics.barriers <- ctx.metrics.barriers + 1;
+                    if List.length w.stack > 1 then
+                      errf "syncthreads in divergent control flow";
+                    frame.ip <- k + 1;
+                    w.status <- At_barrier
+                  end
+                  else begin
+                    exec_instr ctx w frame i;
+                    decr budget;
+                    exec_from (k + 1) tl
+                  end
+            in
+            ignore n;
+            exec_from 0 instrs;
+            if w.status = At_barrier then continue_ := false)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Grid launch *)
+
+type launch = { grid_dim : int; block_dim : int }
+
+(** [run ?config fn ~args ~global launch] executes the kernel over the
+    whole grid and returns the collected metrics.  [args] bind the
+    function parameters positionally. *)
+let run ?(config = default_config) (fn : func) ~(args : rv array)
+    ~(global : Memory.t) (launch : launch) : Metrics.t =
+  if List.length fn.params <> Array.length args then
+    errf "kernel @%s expects %d arguments, got %d" fn.fname
+      (List.length fn.params) (Array.length args);
+  let fctx = prepare fn in
+  let metrics = Metrics.create () in
+  for block_idx = 0 to launch.grid_dim - 1 do
+    let cycles_before = metrics.cycles in
+    let shared =
+      Memory.create ~space:Sp_shared (max fctx.shared_size 1)
+    in
+    let ctx =
+      {
+        cfg = config;
+        fctx;
+        args;
+        global;
+        shared;
+        block_idx;
+        block_dim = launch.block_dim;
+        grid_dim = launch.grid_dim;
+        metrics;
+      }
+    in
+    let nwarps =
+      (launch.block_dim + config.warp_size - 1) / config.warp_size
+    in
+    let warps =
+      Array.init nwarps (fun wi ->
+          let tid_base = wi * config.warp_size in
+          let live = min config.warp_size (launch.block_dim - tid_base) in
+          let mask = Array.init config.warp_size (fun l -> l < live) in
+          {
+            tid_base;
+            regs = Hashtbl.create 64;
+            pred = Array.make config.warp_size None;
+            stack =
+              [ { pc = entry_block fn; ip = 0; rpc = None; mask } ];
+            status = Running;
+          })
+    in
+    (* phase execution: run every warp to its next barrier or the end;
+       release the barrier when all non-finished warps have reached it *)
+    let all_done () =
+      Array.for_all (fun w -> w.status = Finished) warps
+    in
+    let guard = ref 0 in
+    while not (all_done ()) do
+      incr guard;
+      if !guard > 1_000_000 then errf "barrier deadlock";
+      Array.iter
+        (fun w -> if w.status = Running then run_warp ctx w)
+        warps;
+      (* all running warps have now either finished or hit a barrier *)
+      let at_barrier =
+        Array.exists (fun w -> w.status = At_barrier) warps
+      in
+      if at_barrier then
+        Array.iter
+          (fun w -> if w.status = At_barrier then w.status <- Running)
+          warps
+    done;
+    metrics.block_cycles <-
+      (metrics.cycles - cycles_before) :: metrics.block_cycles
+  done;
+  metrics

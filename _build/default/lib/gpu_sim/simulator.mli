@@ -1,0 +1,49 @@
+(** SIMT execution engine with IPDOM-based reconvergence.
+
+    Models the paper's evaluation platform (an AMD Vega-class GPU) at
+    the fidelity the evaluation needs: warps of [warp_size] lanes issue
+    instructions in lock-step under an active mask; each warp maintains
+    a SIMT reconvergence stack (a divergent conditional branch pushes
+    one frame per taken arm with the reconvergence point at the branch
+    block's immediate post-dominator); every issued instruction costs
+    its {!Darm_analysis.Latency} value in cycles per issue, so divergent
+    regions pay for both arms serially while melded regions pay once;
+    [syncthreads] suspends a warp until all warps of its block arrive.
+
+    Undef values follow LLVM-style poison semantics: pure ALU operations
+    on undef produce undef (melded code executes gap instructions
+    speculatively and discards the wrong-side results); dereferencing an
+    undef pointer, dividing by undef or branching on undef traps.
+
+    The interpreter doubles as the correctness oracle of the test
+    suites: a kernel is run before and after a transformation and the
+    final memories must be identical. *)
+
+open Darm_ir
+
+type config = {
+  warp_size : int;  (** 64 = an AMD wavefront *)
+  latency : Darm_analysis.Latency.config;
+  max_cycles_per_warp : int;  (** runaway-loop guard *)
+  trace : (string -> unit) option;
+      (** called once per executed basic block with
+          "block=<name> warp=<tid_base> mask=<popcount>"; shows the
+          serialization order of divergent execution *)
+}
+
+val default_config : config
+
+exception Sim_error of string
+
+type launch = { grid_dim : int; block_dim : int }
+
+(** Execute the kernel over the whole grid and return the collected
+    metrics.  [args] bind the function parameters positionally; the
+    function is verified before execution. *)
+val run :
+  ?config:config ->
+  Ssa.func ->
+  args:Memory.rv array ->
+  global:Memory.t ->
+  launch ->
+  Metrics.t

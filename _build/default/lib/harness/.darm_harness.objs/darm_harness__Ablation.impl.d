@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Darm_analysis Darm_core Darm_kernels Darm_sim Experiment List Printf

@@ -1,0 +1,1 @@
+lib/harness/csv_export.ml: Darm_kernels Darm_sim Experiment Filename List Printf Unix

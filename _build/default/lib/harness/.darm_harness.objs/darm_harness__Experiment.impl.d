@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Darm_core Darm_ir Darm_kernels Darm_sim Darm_transforms List Option

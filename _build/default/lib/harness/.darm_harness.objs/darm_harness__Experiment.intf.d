@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Darm_core Darm_ir Darm_kernels Darm_sim

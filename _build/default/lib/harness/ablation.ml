@@ -1,0 +1,162 @@
+(** Ablation studies for the design choices called out in DESIGN.md:
+
+    - unpredication on/off (paper §IV-E);
+    - melding-profitability threshold sweep (the [threshold] of
+      Algorithm 1);
+    - select-latency sensitivity of the FP_I scoring;
+    - re-predication by later passes (if-conversion after melding,
+      the §VI-C bitonic effect). *)
+
+module Kernel = Darm_kernels.Kernel
+module Pass = Darm_core.Pass
+module Latency = Darm_analysis.Latency
+module E = Experiment
+
+let pf = Printf.printf
+
+let run_with (config : Pass.config) (kernel : Kernel.t) ~block_size :
+    E.result =
+  E.run ~transform:(E.darm_transform ~config ()) kernel ~block_size
+
+let unpredication_ablation () =
+  pf "\n-- ablation: unpredication on/off --\n";
+  pf "%-8s %14s %14s\n" "bench" "unpred=on" "unpred=off";
+  List.iter
+    (fun (kernel : Kernel.t) ->
+      let block_size = List.hd kernel.Kernel.block_sizes in
+      let on =
+        run_with { Pass.default_config with unpredicate = true } kernel
+          ~block_size
+      in
+      let off =
+        run_with { Pass.default_config with unpredicate = false } kernel
+          ~block_size
+      in
+      pf "%-8s %13.2fx %13.2fx%s\n" kernel.Kernel.tag (E.speedup on)
+        (E.speedup off)
+        (if on.E.correct && off.E.correct then "" else "  (INCORRECT)"))
+    [ Darm_kernels.Sb.sb1_r; Darm_kernels.Sb.sb3_r; Darm_kernels.Bitonic.kernel ]
+
+let threshold_ablation () =
+  pf "\n-- ablation: melding profitability threshold --\n";
+  let kernel = Darm_kernels.Sb.sb3 in
+  pf "%-12s %10s %10s\n" "threshold" "melds" "speedup";
+  List.iter
+    (fun threshold ->
+      let r =
+        run_with { Pass.default_config with threshold } kernel ~block_size:64
+      in
+      pf "%-12.2f %10d %9.2fx\n" threshold r.E.rewrites (E.speedup r))
+    [ 0.05; 0.1; 0.2; 0.3; 0.45; 0.6 ]
+
+let select_latency_ablation () =
+  pf "\n-- ablation: select latency in FP_I --\n";
+  let kernel = Darm_kernels.Sb.sb1_r in
+  pf "%-12s %10s %10s\n" "l_sel" "melds" "speedup";
+  List.iter
+    (fun select ->
+      let config =
+        {
+          Pass.default_config with
+          latency = { Latency.default with select };
+        }
+      in
+      let r = run_with config kernel ~block_size:64 in
+      pf "%-12d %10d %9.2fx\n" select r.E.rewrites (E.speedup r))
+    [ 0; 1; 4; 16 ]
+
+let pairing_ablation () =
+  pf "\n-- ablation: greedy vs alignment subgraph pairing --\n";
+  pf "%-8s %14s %14s\n" "bench" "greedy" "alignment";
+  List.iter
+    (fun (kernel : Kernel.t) ->
+      let block_size = List.hd kernel.Kernel.block_sizes in
+      let g = run_with Pass.default_config kernel ~block_size in
+      let a =
+        run_with
+          { Pass.default_config with pairing = Pass.Alignment }
+          kernel ~block_size
+      in
+      pf "%-8s %13.2fx %13.2fx%s\n" kernel.Kernel.tag (E.speedup g)
+        (E.speedup a)
+        (if g.E.correct && a.E.correct then "" else "  (INCORRECT)"))
+    [
+      Darm_kernels.Sb.sb3;
+      Darm_kernels.Sb.sb3_r;
+      Darm_kernels.Bitonic.kernel;
+      Darm_kernels.Pcm.kernel;
+    ]
+
+let repredication_ablation () =
+  pf "\n-- ablation: re-predication by later passes (paper SVI-C) --\n";
+  let kernel = Darm_kernels.Bitonic.kernel in
+  let block_size = 128 in
+  let plain = run_with Pass.default_config kernel ~block_size in
+  let repred =
+    run_with { Pass.default_config with if_convert_after = true } kernel
+      ~block_size
+  in
+  pf "DARM:                %5.2fx\n" (E.speedup plain);
+  pf "DARM + if-convert:   %5.2fx%s\n" (E.speedup repred)
+    (if repred.E.correct then "" else "  (INCORRECT)")
+
+let memory_latency_ablation () =
+  pf "\n-- ablation: why melding shared memory wins (paper SVI-D) --\n";
+  pf "SB1's melded region is shared-memory-heavy; if LDS were as cheap\n";
+  pf "as the ALU, melding would save far less:\n";
+  pf "%-26s %10s\n" "latency model" "speedup";
+  let with_shared shared_mem =
+    let sim =
+      {
+        Darm_sim.Simulator.default_config with
+        latency = { Latency.default with shared_mem };
+      }
+    in
+    E.speedup (E.run ~sim Darm_kernels.Sb.sb1 ~block_size:64)
+  in
+  pf "%-26s %9.2fx\n" "LDS = default (24 cycles)"
+    (with_shared Latency.default.Latency.shared_mem);
+  pf "%-26s %9.2fx\n" "LDS = 8 cycles" (with_shared 8);
+  pf "%-26s %9.2fx\n" "LDS = 1 cycle (ALU-cheap)" (with_shared 1)
+
+let multi_cu_ablation () =
+  pf "\n-- ablation: does the speedup survive multi-CU scheduling? --\n";
+  pf "%-8s %10s %10s %10s\n" "bench" "1 CU" "8 CUs" "64 CUs";
+  List.iter
+    (fun (kernel : Kernel.t) ->
+      let block_size = List.hd kernel.Kernel.block_sizes in
+      let r = E.run kernel ~block_size in
+      let speed cus =
+        float_of_int (Darm_sim.Metrics.makespan r.E.base ~num_cus:cus)
+        /. float_of_int (Darm_sim.Metrics.makespan r.E.opt ~num_cus:cus)
+      in
+      pf "%-8s %9.2fx %9.2fx %9.2fx\n" kernel.Kernel.tag (speed 1) (speed 8)
+        (speed 64))
+    [ Darm_kernels.Sb.sb1; Darm_kernels.Bitonic.kernel; Darm_kernels.Pcm.kernel ]
+
+let warp_size_ablation () =
+  pf "\n-- ablation: warp width (wave32 vs wave64) --\n";
+  pf "LUD's branch splits the block in half, so it is dynamically\n";
+  pf "divergent only when half the block is narrower than the warp:\n";
+  pf "%-10s %12s %12s\n" "block size" "wave32" "wave64";
+  List.iter
+    (fun block_size ->
+      let speed warp_size =
+        let sim =
+          { Darm_sim.Simulator.default_config with warp_size }
+        in
+        E.speedup (E.run ~sim Darm_kernels.Lud.kernel ~block_size)
+      in
+      pf "%-10d %11.2fx %11.2fx\n" block_size (speed 32) (speed 64))
+    [ 16; 32; 64; 128; 256 ]
+
+let run () =
+  pf "\n== Ablation studies ==\n";
+  unpredication_ablation ();
+  threshold_ablation ();
+  pairing_ablation ();
+  select_latency_ablation ();
+  warp_size_ablation ();
+  memory_latency_ablation ();
+  multi_cu_ablation ();
+  repredication_ablation ()

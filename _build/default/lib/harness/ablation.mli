@@ -1,0 +1,6 @@
+(** Ablation studies beyond the paper: unpredication on/off, the melding
+    profitability threshold, the select-latency term of FP_I, greedy vs
+    alignment subgraph pairing, warp width, and post-meld
+    re-predication. *)
+
+val run : unit -> unit

@@ -1,0 +1,10 @@
+(** CSV export of the evaluation data — the artifact-style output
+    format, convenient for external plotting. *)
+
+val header : string
+
+(** One CSV row for a single experiment result. *)
+val result_row : Experiment.result -> string
+
+(** Run the full evaluation and write fig7.csv / fig8.csv into [dir]. *)
+val export : dir:string -> unit

@@ -1,0 +1,99 @@
+(** Experiment runner: executes a kernel baseline-vs-transformed on the
+    simulator and collects the paper's metrics. *)
+
+module Kernel = Darm_kernels.Kernel
+module Registry = Darm_kernels.Registry
+module Sim = Darm_sim.Simulator
+module Metrics = Darm_sim.Metrics
+module Pass = Darm_core.Pass
+
+type transform = {
+  t_name : string;
+  t_apply : Darm_ir.Ssa.func -> int;  (** returns #rewrites applied *)
+}
+
+let darm_transform ?(config = Pass.default_config) () : transform =
+  {
+    t_name = "DARM";
+    t_apply =
+      (fun f ->
+        let stats = Pass.run ~config f in
+        stats.Pass.melds_applied);
+  }
+
+let branch_fusion_transform : transform =
+  {
+    t_name = "branch-fusion";
+    t_apply =
+      (fun f ->
+        let stats = Pass.run_branch_fusion f in
+        stats.Pass.melds_applied);
+  }
+
+let tail_merge_transform : transform =
+  { t_name = "tail-merging"; t_apply = Darm_transforms.Tail_merge.run }
+
+let identity_transform : transform =
+  { t_name = "baseline"; t_apply = (fun _ -> 0) }
+
+type result = {
+  tag : string;
+  block_size : int;
+  transform_name : string;
+  rewrites : int;  (** melds / merges applied *)
+  base : Metrics.t;
+  opt : Metrics.t;
+  correct : bool;  (** transformed output == baseline output == reference *)
+}
+
+let speedup (r : result) : float =
+  if r.opt.Metrics.cycles = 0 then 1.
+  else float_of_int r.base.Metrics.cycles /. float_of_int r.opt.Metrics.cycles
+
+let sim_config = Sim.default_config
+
+let run_instance ?(config = sim_config) (inst : Kernel.instance) : Metrics.t =
+  Sim.run ~config inst.Kernel.func ~args:inst.Kernel.args
+    ~global:inst.Kernel.global inst.Kernel.launch
+
+(** Run [kernel] at [block_size] with and without [transform]; check
+    output equivalence against the host reference as a built-in sanity
+    gate.  [sim] overrides the machine model (e.g. the warp width). *)
+let run ?(transform = darm_transform ()) ?(seed = 2022) ?n ?sim
+    (kernel : Kernel.t) ~(block_size : int) : result =
+  let n = Option.value ~default:kernel.Kernel.default_n n in
+  let base_inst = kernel.Kernel.make ~seed ~block_size ~n in
+  let opt_inst = kernel.Kernel.make ~seed ~block_size ~n in
+  let rewrites = transform.t_apply opt_inst.Kernel.func in
+  Darm_ir.Verify.run_exn opt_inst.Kernel.func;
+  let base = run_instance ?config:sim base_inst in
+  let opt = run_instance ?config:sim opt_inst in
+  let out_base = base_inst.Kernel.read_result () in
+  let out_opt = opt_inst.Kernel.read_result () in
+  let expected = base_inst.Kernel.reference () in
+  let correct =
+    Kernel.rv_array_equal out_base expected
+    && Kernel.rv_array_equal out_opt out_base
+  in
+  {
+    tag = kernel.Kernel.tag;
+    block_size;
+    transform_name = transform.t_name;
+    rewrites;
+    base;
+    opt;
+    correct;
+  }
+
+(** Sweep a kernel over its block sizes. *)
+let sweep ?transform ?seed ?n (kernel : Kernel.t) : result list =
+  List.map
+    (fun block_size -> run ?transform ?seed ?n kernel ~block_size)
+    kernel.Kernel.block_sizes
+
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> 1.
+  | _ ->
+      exp (List.fold_left (fun a x -> a +. log x) 0. xs
+           /. float_of_int (List.length xs))

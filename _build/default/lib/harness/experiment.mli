@@ -1,0 +1,51 @@
+(** Experiment runner: executes a kernel baseline-vs-transformed on the
+    simulator and collects the paper's metrics, with a built-in output
+    equivalence check against the host reference. *)
+
+module Kernel = Darm_kernels.Kernel
+module Sim = Darm_sim.Simulator
+module Metrics = Darm_sim.Metrics
+module Pass = Darm_core.Pass
+
+type transform = {
+  t_name : string;
+  t_apply : Darm_ir.Ssa.func -> int;  (** returns #rewrites applied *)
+}
+
+val darm_transform : ?config:Pass.config -> unit -> transform
+val branch_fusion_transform : transform
+val tail_merge_transform : transform
+val identity_transform : transform
+
+type result = {
+  tag : string;
+  block_size : int;
+  transform_name : string;
+  rewrites : int;
+  base : Metrics.t;
+  opt : Metrics.t;
+  correct : bool;
+      (** transformed output == baseline output == reference *)
+}
+
+val speedup : result -> float
+
+val sim_config : Sim.config
+
+val run_instance : ?config:Sim.config -> Kernel.instance -> Metrics.t
+
+(** Run [kernel] at [block_size] with and without [transform]; [sim]
+    overrides the machine model (e.g. the warp width). *)
+val run :
+  ?transform:transform ->
+  ?seed:int ->
+  ?n:int ->
+  ?sim:Sim.config ->
+  Kernel.t ->
+  block_size:int ->
+  result
+
+(** Sweep a kernel over its block sizes. *)
+val sweep : ?transform:transform -> ?seed:int -> ?n:int -> Kernel.t -> result list
+
+val geomean : float list -> float

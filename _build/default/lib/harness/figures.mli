@@ -1,0 +1,29 @@
+(** Reproduction of every figure and table of the paper's evaluation
+    (§VI).  Each function runs the experiment and prints the same
+    rows/series the paper reports, with the paper's headline numbers
+    quoted alongside; see EXPERIMENTS.md for the recorded
+    paper-vs-measured comparison. *)
+
+module E = Experiment
+
+(** Synthetic benchmark speedups per block size, with geomean. *)
+val fig7 : ?n:int -> unit -> E.result list
+
+(** Real-world benchmark speedups per block size ('+' = best baseline
+    block size); GM, GM-best, and the speedup spread over input seeds. *)
+val fig8 : ?n:int -> unit -> E.result list
+
+(** ALU utilization, baseline vs DARM, at each benchmark's
+    best-improvement block size.  Returns (tag, baseline%, darm%). *)
+val fig9 : ?n:int -> unit -> (string * float * float) list
+
+(** Memory instruction counters after DARM normalized to baseline.
+    Returns (tag, vector, shared, flat). *)
+val fig10 : ?n:int -> unit -> (string * float * float * float) list
+
+(** Capability matrix: tail merging / branch fusion / DARM on the three
+    control-flow pattern classes. *)
+val table1 : ?n:int -> unit -> unit
+
+(** Compile time of the pass pipelines, averaged over [reps] runs. *)
+val table2 : ?reps:int -> unit -> unit

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer List Op Printer Printf Ssa String

@@ -1,0 +1,1 @@
+lib/ir/dsl.ml: Array Builder Hashtbl List Op Printf Ssa Types Verify

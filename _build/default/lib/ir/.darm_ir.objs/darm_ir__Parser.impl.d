@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Filename Float Hashtbl List Op Printf Ssa String Types

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer Format Hashtbl List Op Printf Ssa String Types

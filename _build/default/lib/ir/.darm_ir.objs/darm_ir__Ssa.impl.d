@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Float Hashtbl List Op String Types

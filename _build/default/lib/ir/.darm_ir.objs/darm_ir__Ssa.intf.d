@@ -1,0 +1,1 @@
+lib/ir/ssa.mli: Hashtbl Op Types

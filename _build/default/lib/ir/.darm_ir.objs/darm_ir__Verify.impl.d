@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Hashtbl List Op Printer Printf Ssa String Types

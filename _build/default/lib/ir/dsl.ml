@@ -1,0 +1,331 @@
+(** Structured kernel eDSL with on-the-fly SSA construction.
+
+    Kernels are written with mutable [var]s and structured control flow
+    ([if_] / [while_] / [for_]); the DSL lowers them to pruned SSA using
+    the algorithm of Braun et al. (CC 2013, "Simple and Efficient
+    Construction of Static Single Assignment Form"): variable reads
+    introduce phi nodes lazily, blocks are sealed once all their
+    predecessors are known, and trivial phis are removed recursively.
+
+    This plays the role of Clang + mem2reg in the paper's pipeline: the
+    evaluation kernels (bitonic sort, LUD, ...) are written against this
+    API and come out as the same shape of SSA CFG that HIPCC would
+    produce. *)
+
+open Ssa
+
+type var = { vid : int; vty : Types.ty; vname : string }
+
+type ctx = {
+  func : func;
+  builder : Builder.t;
+  mutable cur : block;
+  mutable terminated : bool;
+  sealed : (int, unit) Hashtbl.t;  (** block id -> sealed *)
+  current_def : (int * int, value) Hashtbl.t;  (** (var, block) -> value *)
+  incomplete : (int, (var * instr) list) Hashtbl.t;
+      (** block id -> phis awaiting operands *)
+  mutable var_count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Braun et al. SSA construction *)
+
+let write_variable ctx (v : var) (b : block) (value : value) =
+  Hashtbl.replace ctx.current_def (v.vid, b.bid) value
+
+let new_phi ctx (v : var) (b : block) : instr =
+  let i = mk_instr Op.Phi [||] [||] v.vty in
+  i.parent <- Some b;
+  let ps, rest = List.partition (fun x -> x.op = Op.Phi) b.instrs in
+  b.instrs <- ps @ (i :: rest);
+  ignore ctx;
+  i
+
+let block_preds ctx (b : block) : block list =
+  let tbl = predecessors ctx.func in
+  preds_of tbl b
+
+(* Remove phi if all its operands are the same value (or itself). *)
+let rec try_remove_trivial_phi ctx (phi : instr) : value =
+  let same = ref None in
+  let trivial = ref true in
+  Array.iter
+    (fun op ->
+      match op with
+      | Instr i when i.id = phi.id -> ()
+      | v -> (
+          match !same with
+          | None -> same := Some v
+          | Some s -> if not (value_equal s v) then trivial := false))
+    phi.operands;
+  if not !trivial then Instr phi
+  else begin
+    let replacement =
+      match !same with Some v -> v | None -> Undef phi.ty
+    in
+    (* Users that are phis may become trivial in turn. *)
+    let phi_users =
+      List.filter
+        (fun u -> u.op = Op.Phi && u.id <> phi.id)
+        (users ctx.func (Instr phi))
+    in
+    replace_all_uses ctx.func ~old_v:(Instr phi) ~new_v:replacement;
+    (match phi.parent with Some b -> remove_instr b phi | None -> ());
+    (* Fix current_def entries still pointing at the removed phi. *)
+    let to_fix =
+      Hashtbl.fold
+        (fun k v acc ->
+          if value_equal v (Instr phi) then k :: acc else acc)
+        ctx.current_def []
+    in
+    List.iter
+      (fun k -> Hashtbl.replace ctx.current_def k replacement)
+      to_fix;
+    List.iter (fun u -> ignore (try_remove_trivial_phi ctx u)) phi_users;
+    replacement
+  end
+
+let rec read_variable ctx (v : var) (b : block) : value =
+  match Hashtbl.find_opt ctx.current_def (v.vid, b.bid) with
+  | Some value -> value
+  | None -> read_variable_recursive ctx v b
+
+and read_variable_recursive ctx (v : var) (b : block) : value =
+  let value =
+    if not (Hashtbl.mem ctx.sealed b.bid) then begin
+      let phi = new_phi ctx v b in
+      let cur = try Hashtbl.find ctx.incomplete b.bid with Not_found -> [] in
+      Hashtbl.replace ctx.incomplete b.bid ((v, phi) :: cur);
+      Instr phi
+    end
+    else
+      match block_preds ctx b with
+      | [ p ] -> read_variable ctx v p
+      | [] -> Undef v.vty (* entry block, variable never written *)
+      | _ :: _ :: _ ->
+          let phi = new_phi ctx v b in
+          write_variable ctx v b (Instr phi);
+          add_phi_operands ctx v phi
+  in
+  write_variable ctx v b value;
+  value
+
+and add_phi_operands ctx (v : var) (phi : instr) : value =
+  let b = match phi.parent with Some b -> b | None -> assert false in
+  let preds = block_preds ctx b in
+  List.iter
+    (fun p ->
+      let value = read_variable ctx v p in
+      phi_add_incoming phi value p)
+    preds;
+  try_remove_trivial_phi ctx phi
+
+let seal_block ctx (b : block) =
+  if not (Hashtbl.mem ctx.sealed b.bid) then begin
+    let pending =
+      try Hashtbl.find ctx.incomplete b.bid with Not_found -> []
+    in
+    Hashtbl.replace ctx.sealed b.bid ();
+    Hashtbl.remove ctx.incomplete b.bid;
+    List.iter (fun (v, phi) -> ignore (add_phi_operands ctx v phi)) pending
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cursor helpers *)
+
+let at ctx : Builder.t =
+  Builder.position_at_end ctx.builder ctx.cur;
+  ctx.builder
+
+let move_to ctx (b : block) =
+  ctx.cur <- b;
+  ctx.terminated <- false
+
+let terminate_with_br ctx (dest : block) =
+  if not ctx.terminated then begin
+    Builder.ins_br (at ctx) dest;
+    ctx.terminated <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public API: variables *)
+
+let local ctx ?(name = "v") (ty : Types.ty) : var =
+  ctx.var_count <- ctx.var_count + 1;
+  { vid = ctx.var_count; vty = ty; vname = name }
+
+let set ctx (v : var) (value : value) =
+  if not (Types.equal (value_ty value) v.vty) then
+    invalid_arg
+      (Printf.sprintf "Dsl.set: variable %s has type %s, value has type %s"
+         v.vname (Types.to_string v.vty)
+         (Types.to_string (value_ty value)));
+  write_variable ctx v ctx.cur value
+
+let get ctx (v : var) : value = read_variable ctx v ctx.cur
+
+(* ------------------------------------------------------------------ *)
+(* Public API: expressions (all inserted into the current block) *)
+
+let i32 = Builder.i32
+let i1 = Builder.i1
+let f32 = Builder.f32
+let add ctx a b = Builder.add (at ctx) a b
+let sub ctx a b = Builder.sub (at ctx) a b
+let mul ctx a b = Builder.mul (at ctx) a b
+let sdiv ctx a b = Builder.sdiv (at ctx) a b
+let srem ctx a b = Builder.srem (at ctx) a b
+let and_ ctx a b = Builder.and_ (at ctx) a b
+let or_ ctx a b = Builder.or_ (at ctx) a b
+let xor ctx a b = Builder.xor (at ctx) a b
+let shl ctx a b = Builder.shl (at ctx) a b
+let lshr ctx a b = Builder.lshr (at ctx) a b
+let smin ctx a b = Builder.ins_ibin (at ctx) Op.Smin a b
+let smax ctx a b = Builder.ins_ibin (at ctx) Op.Smax a b
+let fadd ctx a b = Builder.ins_fbin (at ctx) Op.Fadd a b
+let fsub ctx a b = Builder.ins_fbin (at ctx) Op.Fsub a b
+let fmul ctx a b = Builder.ins_fbin (at ctx) Op.Fmul a b
+let fdiv ctx a b = Builder.ins_fbin (at ctx) Op.Fdiv a b
+let fmin ctx a b = Builder.ins_fbin (at ctx) Op.Fmin a b
+let fmax ctx a b = Builder.ins_fbin (at ctx) Op.Fmax a b
+let icmp ctx p a b = Builder.ins_icmp (at ctx) p a b
+let eq ctx a b = icmp ctx Op.Ieq a b
+let ne ctx a b = icmp ctx Op.Ine a b
+let slt ctx a b = icmp ctx Op.Islt a b
+let sle ctx a b = icmp ctx Op.Isle a b
+let sgt ctx a b = icmp ctx Op.Isgt a b
+let sge ctx a b = icmp ctx Op.Isge a b
+let fcmp ctx p a b = Builder.ins_fcmp (at ctx) p a b
+let not_ ctx a = Builder.ins_not (at ctx) a
+let select ctx c a b = Builder.ins_select (at ctx) c a b
+let load ctx p = Builder.ins_load (at ctx) p
+let load_f ctx p = Builder.ins_load_f (at ctx) p
+let store ctx v p = ignore (Builder.ins_store (at ctx) v p)
+let gep ctx p i = Builder.ins_gep (at ctx) p i
+let sitofp ctx a = Builder.ins_sitofp (at ctx) a
+let fptosi ctx a = Builder.ins_fptosi (at ctx) a
+let tid ctx = Builder.ins_thread_idx (at ctx)
+let bid ctx = Builder.ins_block_idx (at ctx)
+let bdim ctx = Builder.ins_block_dim (at ctx)
+let gdim ctx = Builder.ins_grid_dim (at ctx)
+let sync ctx = Builder.ins_syncthreads (at ctx)
+
+(** Allocate a per-block shared-memory array; hoisted to the entry block
+    like LLVM allocas / CUDA [__shared__] declarations. *)
+let shared_array ctx (n : int) : value =
+  let entry = entry_block ctx.func in
+  let i = mk_instr (Op.Alloc_shared n) [||] [||] (Types.Ptr Types.Shared) in
+  i.parent <- Some entry;
+  let ps, rest = List.partition (fun x -> x.op = Op.Phi) entry.instrs in
+  entry.instrs <- ps @ (i :: rest);
+  Instr i
+
+(* ------------------------------------------------------------------ *)
+(* Public API: structured control flow *)
+
+let fresh_block ctx (name : string) : block =
+  Builder.add_block ctx.builder name
+
+let if_ ctx (cond : value) (then_f : unit -> unit) (else_f : unit -> unit) =
+  let then_b = fresh_block ctx "if.then" in
+  let else_b = fresh_block ctx "if.else" in
+  let end_b = fresh_block ctx "if.end" in
+  Builder.ins_condbr (at ctx) cond then_b else_b;
+  ctx.terminated <- true;
+  seal_block ctx then_b;
+  seal_block ctx else_b;
+  move_to ctx then_b;
+  then_f ();
+  terminate_with_br ctx end_b;
+  move_to ctx else_b;
+  else_f ();
+  terminate_with_br ctx end_b;
+  seal_block ctx end_b;
+  move_to ctx end_b
+
+let if_then ctx (cond : value) (then_f : unit -> unit) =
+  let then_b = fresh_block ctx "if.then" in
+  let end_b = fresh_block ctx "if.end" in
+  Builder.ins_condbr (at ctx) cond then_b end_b;
+  ctx.terminated <- true;
+  seal_block ctx then_b;
+  move_to ctx then_b;
+  then_f ();
+  terminate_with_br ctx end_b;
+  seal_block ctx end_b;
+  move_to ctx end_b
+
+(** [while_ ctx cond body]: [cond] is evaluated in the (unsealed) loop
+    header so variable reads inside it correctly become loop phis. *)
+let while_ ctx (cond_f : unit -> value) (body_f : unit -> unit) =
+  let head = fresh_block ctx "while.head" in
+  terminate_with_br ctx head;
+  move_to ctx head;
+  let c = cond_f () in
+  let body_b = fresh_block ctx "while.body" in
+  let end_b = fresh_block ctx "while.end" in
+  Builder.ins_condbr (at ctx) c body_b end_b;
+  ctx.terminated <- true;
+  seal_block ctx body_b;
+  move_to ctx body_b;
+  body_f ();
+  terminate_with_br ctx head;
+  seal_block ctx head;
+  seal_block ctx end_b;
+  move_to ctx end_b
+
+(** Counted loop [for i = from; cmp i bound; i = step i]. *)
+let for_ ctx ?(name = "i") ~(from : value) ~(cmp : ctx -> value -> value)
+    ~(step : ctx -> value -> value) (body_f : value -> unit) =
+  let i = local ctx ~name Types.I32 in
+  set ctx i from;
+  while_ ctx
+    (fun () -> cmp ctx (get ctx i))
+    (fun () ->
+      let iv = get ctx i in
+      body_f iv;
+      set ctx i (step ctx (get ctx i)))
+
+(** Simple ascending loop [for i = from; i < until; i += 1]. *)
+let for_up ctx ?(name = "i") ~(from : value) ~(until : value)
+    (body_f : value -> unit) =
+  for_ ctx ~name ~from
+    ~cmp:(fun c iv -> slt c iv until)
+    ~step:(fun c iv -> add c iv (i32 1))
+    body_f
+
+(* ------------------------------------------------------------------ *)
+(* Kernel construction *)
+
+(** [build_kernel ~name ~params body] constructs a fully-sealed SSA
+    function.  [body] receives the context and the parameter values in
+    declaration order. *)
+let build_kernel ~(name : string) ~(params : (string * Types.ty) list)
+    (body : ctx -> value list -> unit) : func =
+  let ps =
+    List.mapi (fun k (pname, pty) -> { pname; pty; pindex = k }) params
+  in
+  let f = mk_func name ps in
+  let builder = Builder.create f in
+  let entry = Builder.add_block builder "entry" in
+  let ctx =
+    {
+      func = f;
+      builder;
+      cur = entry;
+      terminated = false;
+      sealed = Hashtbl.create 16;
+      current_def = Hashtbl.create 64;
+      incomplete = Hashtbl.create 16;
+      var_count = 0;
+    }
+  in
+  seal_block ctx entry;
+  body ctx (List.map (fun p -> Param p) ps);
+  if not ctx.terminated then begin
+    Builder.ins_ret (at ctx);
+    ctx.terminated <- true
+  end;
+  Verify.run_exn f;
+  f

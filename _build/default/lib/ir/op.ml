@@ -1,0 +1,121 @@
+(** Instruction opcodes and their static classification.
+
+    The opcode set covers what GPU kernels compiled from HIP/CUDA to
+    LLVM-IR actually use on the paths the melding transformation cares
+    about: integer/float ALU ops, comparisons, selects, memory accesses
+    with address spaces, [phi] nodes, branches and the GPU intrinsics
+    (thread/block indices, barrier, shared-memory allocation). *)
+
+type icmp_pred = Ieq | Ine | Islt | Isle | Isgt | Isge
+
+type fcmp_pred = Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type ibinop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Smin | Smax
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type t =
+  | Ibin of ibinop          (** operands: [a; b] *)
+  | Fbin of fbinop          (** operands: [a; b] *)
+  | Icmp of icmp_pred       (** operands: [a; b], result i1 *)
+  | Fcmp of fcmp_pred       (** operands: [a; b], result i1 *)
+  | Not                     (** operand: [a : i1] *)
+  | Select                  (** operands: [cond; tval; fval] *)
+  | Load                    (** operands: [ptr] *)
+  | Store                   (** operands: [value; ptr], result void *)
+  | Gep                     (** operands: [ptr; index] — element indexing *)
+  | Phi                     (** operands: incoming values; [blocks]: sources *)
+  | Br                      (** [blocks]: [dest] *)
+  | Condbr                  (** operands: [cond]; [blocks]: [tdest; fdest] *)
+  | Ret                     (** kernel exit *)
+  | Thread_idx              (** intrinsic: thread index within block *)
+  | Block_idx               (** intrinsic: block index within grid *)
+  | Block_dim               (** intrinsic: threads per block *)
+  | Grid_dim                (** intrinsic: blocks per grid *)
+  | Syncthreads             (** intrinsic: block-wide barrier *)
+  | Alloc_shared of int     (** static shared-memory array of [n] elements *)
+  | Sitofp                  (** operand: [a : i32], result f32 *)
+  | Fptosi                  (** operand: [a : f32], result i32 *)
+  | Addrspace_cast          (** operand: [ptr], result ptr(flat) *)
+
+let equal (a : t) (b : t) = a = b
+
+let is_terminator = function
+  | Br | Condbr | Ret -> true
+  | Ibin _ | Fbin _ | Icmp _ | Fcmp _ | Not | Select | Load | Store | Gep
+  | Phi | Thread_idx | Block_idx | Block_dim | Grid_dim | Syncthreads
+  | Alloc_shared _ | Sitofp | Fptosi | Addrspace_cast -> false
+
+(** Instructions observable from outside the defining thread or whose
+    execution can trap; these may never be executed speculatively and may
+    not be removed by dead-code elimination. *)
+let has_side_effect = function
+  | Store | Syncthreads | Ret | Br | Condbr -> true
+  | Ibin (Sdiv | Srem) -> true (* may trap on zero *)
+  | Ibin _ | Fbin _ | Icmp _ | Fcmp _ | Not | Select | Load | Gep | Phi
+  | Thread_idx | Block_idx | Block_dim | Grid_dim | Alloc_shared _
+  | Sitofp | Fptosi | Addrspace_cast -> false
+
+(** Instructions that are unsafe to hoist out of their guarding branch:
+    side effects plus memory reads (which can fault on an address that is
+    only valid on the guarded path). *)
+let unsafe_to_speculate op = has_side_effect op || op = Load
+
+(** ALU-class instructions for the utilization metric: everything issued
+    to the vector ALU, i.e. neither memory traffic nor control flow. *)
+let is_alu = function
+  | Ibin _ | Fbin _ | Icmp _ | Fcmp _ | Not | Select | Gep
+  | Sitofp | Fptosi | Addrspace_cast -> true
+  | Load | Store | Phi | Br | Condbr | Ret | Thread_idx | Block_idx
+  | Block_dim | Grid_dim | Syncthreads | Alloc_shared _ -> false
+
+let is_memory = function
+  | Load | Store -> true
+  | Ibin _ | Fbin _ | Icmp _ | Fcmp _ | Not | Select | Gep | Phi | Br
+  | Condbr | Ret | Thread_idx | Block_idx | Block_dim | Grid_dim
+  | Syncthreads | Alloc_shared _ | Sitofp | Fptosi | Addrspace_cast -> false
+
+let icmp_to_string = function
+  | Ieq -> "eq" | Ine -> "ne" | Islt -> "slt" | Isle -> "sle"
+  | Isgt -> "sgt" | Isge -> "sge"
+
+let fcmp_to_string = function
+  | Foeq -> "oeq" | Fone -> "one" | Folt -> "olt" | Fole -> "ole"
+  | Fogt -> "ogt" | Foge -> "oge"
+
+let ibinop_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+  | Smin -> "smin" | Smax -> "smax"
+
+let fbinop_to_string = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fmin -> "fmin" | Fmax -> "fmax"
+
+let to_string = function
+  | Ibin b -> ibinop_to_string b
+  | Fbin b -> fbinop_to_string b
+  | Icmp p -> "icmp " ^ icmp_to_string p
+  | Fcmp p -> "fcmp " ^ fcmp_to_string p
+  | Not -> "not"
+  | Select -> "select"
+  | Load -> "load"
+  | Store -> "store"
+  | Gep -> "gep"
+  | Phi -> "phi"
+  | Br -> "br"
+  | Condbr -> "condbr"
+  | Ret -> "ret"
+  | Thread_idx -> "thread.idx"
+  | Block_idx -> "block.idx"
+  | Block_dim -> "block.dim"
+  | Grid_dim -> "grid.dim"
+  | Syncthreads -> "syncthreads"
+  | Alloc_shared n -> Printf.sprintf "alloc.shared %d" n
+  | Sitofp -> "sitofp"
+  | Fptosi -> "fptosi"
+  | Addrspace_cast -> "addrspace.cast"

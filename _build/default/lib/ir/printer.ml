@@ -1,0 +1,147 @@
+(** Textual form of the IR, in an LLVM-like syntax that {!Parser} can read
+    back.
+
+    Example output:
+    {v
+    kernel @saxpy(%x: ptr(global), %n: i32) {
+    entry:
+      %0 = thread.idx
+      %1 = icmp slt %0, %n
+      condbr %1, body, exit
+    body:
+      ...
+    }
+    v} *)
+
+open Ssa
+
+type names = {
+  val_names : (int, string) Hashtbl.t;  (** instr id -> printable name *)
+  blk_names : (int, string) Hashtbl.t;  (** block id -> printable name *)
+}
+
+(** Assign stable, human-readable names: blocks keep their [bname]
+    (uniquified on collision), instruction results are numbered in block
+    order. *)
+let assign_names (f : func) : names =
+  let val_names = Hashtbl.create 64 in
+  let blk_names = Hashtbl.create 16 in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let base = if b.bname = "" then "bb" else b.bname in
+      let name =
+        if Hashtbl.mem used base then begin
+          let rec pick k =
+            let cand = Printf.sprintf "%s.%d" base k in
+            if Hashtbl.mem used cand then pick (k + 1) else cand
+          in
+          pick 1
+        end
+        else base
+      in
+      Hashtbl.replace used name ();
+      Hashtbl.replace blk_names b.bid name)
+    f.blocks_list;
+  let counter = ref 0 in
+  iter_instrs f (fun i ->
+      if not (Types.equal i.ty Types.Void) then begin
+        Hashtbl.replace val_names i.id (string_of_int !counter);
+        incr counter
+      end);
+  { val_names; blk_names }
+
+let value_str (n : names) (v : value) : string =
+  match v with
+  | Int k -> string_of_int k
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Float x -> Printf.sprintf "%h" x
+  | Undef t -> "undef:" ^ Types.to_string t
+  | Param p -> "%" ^ p.pname
+  | Instr i -> (
+      match Hashtbl.find_opt n.val_names i.id with
+      | Some s -> "%" ^ s
+      | None -> Printf.sprintf "%%?%d" i.id)
+
+let block_str (n : names) (b : block) : string =
+  match Hashtbl.find_opt n.blk_names b.bid with
+  | Some s -> s
+  | None -> Printf.sprintf "?blk%d" b.bid
+
+let instr_str (n : names) (i : instr) : string =
+  let v = value_str n in
+  let ops () =
+    String.concat ", " (Array.to_list (Array.map v i.operands))
+  in
+  let rhs =
+    match i.op with
+    | Op.Phi ->
+        let pairs =
+          List.map
+            (fun (value, blk) ->
+              Printf.sprintf "[%s, %s]" (v value) (block_str n blk))
+            (phi_incoming i)
+        in
+        Printf.sprintf "phi %s %s" (Types.to_string i.ty)
+          (String.concat ", " pairs)
+    | Op.Br -> Printf.sprintf "br %s" (block_str n i.blocks.(0))
+    | Op.Condbr ->
+        Printf.sprintf "condbr %s, %s, %s"
+          (v i.operands.(0))
+          (block_str n i.blocks.(0))
+          (block_str n i.blocks.(1))
+    | Op.Ret -> "ret"
+    | Op.Store ->
+        Printf.sprintf "store %s, %s" (v i.operands.(0)) (v i.operands.(1))
+    | Op.Syncthreads -> "syncthreads"
+    | Op.Load ->
+        Printf.sprintf "load %s, %s" (Types.to_string i.ty) (v i.operands.(0))
+    | _ when Array.length i.operands = 0 -> Op.to_string i.op
+    | _ -> Printf.sprintf "%s %s" (Op.to_string i.op) (ops ())
+  in
+  if Types.equal i.ty Types.Void then rhs
+  else Printf.sprintf "%%%s = %s"
+         (match Hashtbl.find_opt n.val_names i.id with
+         | Some s -> s
+         | None -> Printf.sprintf "?%d" i.id)
+         rhs
+
+let func_to_string (f : func) : string =
+  let n = assign_names f in
+  let buf = Buffer.create 1024 in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun p -> Printf.sprintf "%%%s: %s" p.pname (Types.to_string p.pty))
+         f.params)
+  in
+  Buffer.add_string buf (Printf.sprintf "kernel @%s(%s) {\n" f.fname params);
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "%s:\n" (block_str n b));
+      List.iter
+        (fun i ->
+          Buffer.add_string buf (Printf.sprintf "  %s\n" (instr_str n i)))
+        b.instrs)
+    f.blocks_list;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let module_to_string (m : modul) : string =
+  String.concat "\n" (List.map func_to_string m.funcs)
+
+let pp_func fmt f = Format.pp_print_string fmt (func_to_string f)
+
+let pp_module fmt m = Format.pp_print_string fmt (module_to_string m)
+
+(** Compact structural summary of the CFG: one line per block listing its
+    successors, handy in debug logs and tests. *)
+let cfg_summary (f : func) : string =
+  let n = assign_names f in
+  String.concat "\n"
+    (List.map
+       (fun b ->
+         Printf.sprintf "%s -> [%s]" (block_str n b)
+           (String.concat ", " (List.map (block_str n) (successors b))))
+       f.blocks_list)

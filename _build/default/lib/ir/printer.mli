@@ -1,0 +1,36 @@
+(** Textual form of the IR, in an LLVM-like syntax that {!Parser} reads
+    back.
+
+    {v
+    kernel @saxpy(%x: ptr(global), %n: i32) {
+    entry:
+      %0 = thread.idx
+      %1 = icmp slt %0, %n
+      condbr %1, body, exit
+    ...
+    }
+    v} *)
+
+type names = {
+  val_names : (int, string) Hashtbl.t;  (** instr id -> printable name *)
+  blk_names : (int, string) Hashtbl.t;  (** block id -> printable name *)
+}
+
+(** Assign stable, human-readable names: blocks keep their [bname]
+    (uniquified on collision), instruction results are numbered in block
+    order. *)
+val assign_names : Ssa.func -> names
+
+val value_str : names -> Ssa.value -> string
+val block_str : names -> Ssa.block -> string
+val instr_str : names -> Ssa.instr -> string
+
+val func_to_string : Ssa.func -> string
+val module_to_string : Ssa.modul -> string
+
+val pp_func : Format.formatter -> Ssa.func -> unit
+val pp_module : Format.formatter -> Ssa.modul -> unit
+
+(** Compact structural summary of the CFG: one line per block listing
+    its successors — handy in debug logs and tests. *)
+val cfg_summary : Ssa.func -> string

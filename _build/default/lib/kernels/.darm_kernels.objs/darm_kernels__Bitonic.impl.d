@@ -1,0 +1,1 @@
+lib/kernels/bitonic.ml: Array Darm_ir Darm_sim Dsl Kernel List Ssa Types

@@ -1,0 +1,1 @@
+lib/kernels/bitonic.mli: Darm_ir Kernel

@@ -1,0 +1,1 @@
+lib/kernels/dct.ml: Array Darm_ir Darm_sim Dsl Kernel Ssa Types

@@ -1,0 +1,1 @@
+lib/kernels/dct.mli: Darm_ir Kernel

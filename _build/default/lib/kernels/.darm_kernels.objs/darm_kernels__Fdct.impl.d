@@ -1,0 +1,1 @@
+lib/kernels/fdct.ml: Array Darm_ir Darm_sim Dsl Kernel Op Ssa Types

@@ -1,0 +1,1 @@
+lib/kernels/fdct.mli: Darm_ir Kernel

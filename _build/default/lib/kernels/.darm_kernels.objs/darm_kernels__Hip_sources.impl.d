@@ -1,0 +1,1 @@
+lib/kernels/hip_sources.ml: Printf

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Array Darm_ir Darm_sim Float Printf Ssa

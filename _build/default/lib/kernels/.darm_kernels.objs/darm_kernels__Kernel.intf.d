@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Darm_ir Darm_sim Ssa

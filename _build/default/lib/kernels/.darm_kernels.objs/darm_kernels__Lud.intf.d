@@ -1,0 +1,1 @@
+lib/kernels/lud.mli: Darm_ir Kernel

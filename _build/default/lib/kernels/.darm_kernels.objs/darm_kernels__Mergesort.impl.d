@@ -1,0 +1,1 @@
+lib/kernels/mergesort.ml: Array Darm_ir Darm_sim Dsl Kernel List Ssa Types

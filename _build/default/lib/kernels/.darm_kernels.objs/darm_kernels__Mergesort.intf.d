@@ -1,0 +1,1 @@
+lib/kernels/mergesort.mli: Darm_ir Kernel

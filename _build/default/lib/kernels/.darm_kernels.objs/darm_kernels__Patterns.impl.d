@@ -1,0 +1,1 @@
+lib/kernels/patterns.ml: Array Darm_ir Darm_sim Dsl Kernel List Types

@@ -1,0 +1,1 @@
+lib/kernels/patterns.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/pcm.ml: Array Darm_ir Darm_sim Dsl Kernel Ssa Types

@@ -1,0 +1,1 @@
+lib/kernels/pcm.mli: Darm_ir Kernel

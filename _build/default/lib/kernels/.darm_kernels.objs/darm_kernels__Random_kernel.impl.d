@@ -1,0 +1,1 @@
+lib/kernels/random_kernel.ml: Array Darm_ir Darm_sim Dsl Kernel Printexc Printf Random Ssa Types Verify

@@ -1,0 +1,1 @@
+lib/kernels/random_kernel.mli: Darm_ir Kernel Ssa

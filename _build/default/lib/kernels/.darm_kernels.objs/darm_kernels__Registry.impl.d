@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Bitonic Dct Fdct Kernel List Lud Mergesort Patterns Pcm Sb String

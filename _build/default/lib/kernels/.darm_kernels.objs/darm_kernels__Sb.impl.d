@@ -1,0 +1,1 @@
+lib/kernels/sb.ml: Array Darm_ir Darm_sim Dsl Kernel String Types

@@ -1,0 +1,102 @@
+(** Bitonic sort — the paper's running example (Fig. 1).
+
+    Each thread block sorts one bucket of [block_size] elements in shared
+    memory.  The inner comparison direction depends on [(tid & k)], a
+    thread-dependent value, so the if/else around the two compare-swap
+    variants is the meldable divergent region: both sides are if-then
+    subgraphs over shared-memory loads and stores. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let build ~(block_size : int) : Ssa.func =
+  if block_size land (block_size - 1) <> 0 then
+    invalid_arg "Bitonic.build: block size must be a power of two";
+  D.build_kernel ~name:"bitonic_sort"
+    ~params:[ ("values", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let values = List.hd params in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let shared = D.shared_array ctx block_size in
+      D.store ctx (D.load ctx (D.gep ctx values gid)) (D.gep ctx shared tid);
+      D.sync ctx;
+      let k = D.local ctx ~name:"k" Types.I32 in
+      D.set ctx k (D.i32 2);
+      D.while_ ctx
+        (fun () -> D.sle ctx (D.get ctx k) (D.i32 block_size))
+        (fun () ->
+          let j = D.local ctx ~name:"j" Types.I32 in
+          D.set ctx j (D.sdiv ctx (D.get ctx k) (D.i32 2));
+          D.while_ ctx
+            (fun () -> D.sgt ctx (D.get ctx j) (D.i32 0))
+            (fun () ->
+              let jv = D.get ctx j in
+              let kv = D.get ctx k in
+              let ixj = D.xor ctx tid jv in
+              D.if_then ctx (D.sgt ctx ixj tid) (fun () ->
+                  let p_tid = D.gep ctx shared tid in
+                  let p_ixj = D.gep ctx shared ixj in
+                  let swap () =
+                    let a = D.load ctx p_tid in
+                    let b = D.load ctx p_ixj in
+                    D.store ctx b p_tid;
+                    D.store ctx a p_ixj
+                  in
+                  D.if_ ctx
+                    (D.eq ctx (D.and_ ctx tid kv) (D.i32 0))
+                    (fun () ->
+                      (* ascending: swap if shared[ixj] < shared[tid] *)
+                      let c =
+                        D.slt ctx (D.load ctx p_ixj) (D.load ctx p_tid)
+                      in
+                      D.if_then ctx c swap)
+                    (fun () ->
+                      (* descending: swap if shared[ixj] > shared[tid] *)
+                      let c =
+                        D.sgt ctx (D.load ctx p_ixj) (D.load ctx p_tid)
+                      in
+                      D.if_then ctx c swap));
+              D.sync ctx;
+              D.set ctx j (D.sdiv ctx (D.get ctx j) (D.i32 2)));
+          D.set ctx k (D.mul ctx (D.get ctx k) (D.i32 2)));
+      D.store ctx (D.load ctx (D.gep ctx shared tid)) (D.gep ctx values gid))
+
+let kernel : Kernel.t =
+  let make ~seed ~block_size ~n =
+    let n = max block_size (n - (n mod block_size)) in
+    let input = Kernel.random_int_array ~seed ~n ~bound:100000 in
+    let global = Memory.create ~space:Memory.Sp_global n in
+    let pv = Memory.alloc_of_int_array global input in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| pv |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result =
+        (fun () -> Memory.read_int_array global pv n |> Kernel.ints);
+      reference =
+        (fun () ->
+          (* each block's bucket sorted ascending *)
+          let out = Array.copy input in
+          let nblocks = n / block_size in
+          for b = 0 to nblocks - 1 do
+            let bucket = Array.sub out (b * block_size) block_size in
+            Array.sort compare bucket;
+            Array.blit bucket 0 out (b * block_size) block_size
+          done;
+          Kernel.ints out);
+    }
+  in
+  {
+    Kernel.name = "Bitonic sort";
+    tag = "BIT";
+    description =
+      "parallel bitonic sort per thread block; odd-even divergence with \
+       complex meldable control flow (paper Fig. 1)";
+    default_n = 2048;
+    block_sizes = [ 64; 128; 256; 512; 1024 ];
+    make;
+  }

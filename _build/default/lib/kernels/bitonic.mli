@@ -1,0 +1,6 @@
+(** Bitonic sort — the paper's running example (Fig. 1): per-block
+    sorting in shared memory; the (tid & k)-dependent comparison
+    direction is the meldable divergent region. *)
+
+val build : block_size:int -> Darm_ir.Ssa.func
+val kernel : Kernel.t

@@ -1,0 +1,92 @@
+(** DCT quantization (CUDA samples) — in-place quantization of a DCT
+    plane with different rounding for positive and negative
+    coefficients, i.e. data-dependent diamond divergence.
+
+    The two sides contain signed division (unsafe to speculate), so this
+    kernel exercises the mandatory unpredication path.  The paper sees
+    essentially neutral performance here (Fig. 8, "statistically
+    insignificant slow down"): there is little to save because the
+    region is short and ALU-only. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let quant_entries = 64
+
+let build ~block_size:_ : Ssa.func =
+  D.build_kernel ~name:"dct_quantize"
+    ~params:
+      [ ("plane", Types.Ptr Types.Global); ("quant", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let plane, quant =
+        match params with [ p; q ] -> (p, q) | _ -> assert false
+      in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let v = D.load ctx (D.gep ctx plane gid) in
+      let q =
+        D.load ctx
+          (D.gep ctx quant (D.and_ ctx gid (D.i32 (quant_entries - 1))))
+      in
+      let r = D.local ctx ~name:"r" Types.I32 in
+      D.if_ ctx
+        (D.sge ctx v (D.i32 0))
+        (fun () ->
+          let rounded = D.add ctx v (D.sdiv ctx q (D.i32 2)) in
+          let quot = D.sdiv ctx rounded q in
+          D.set ctx r (D.mul ctx quot q))
+        (fun () ->
+          let av = D.sub ctx (D.i32 0) v in
+          let rounded = D.add ctx av (D.sdiv ctx q (D.i32 2)) in
+          let quot = D.sdiv ctx rounded q in
+          D.set ctx r (D.sub ctx (D.i32 0) (D.mul ctx quot q)));
+      D.store ctx (D.get ctx r) (D.gep ctx plane gid))
+
+let host (plane : int array) (quant : int array) : unit =
+  Array.iteri
+    (fun k v ->
+      let q = quant.(k land (quant_entries - 1)) in
+      plane.(k) <-
+        (if v >= 0 then (v + (q / 2)) / q * q
+         else -((-v + (q / 2)) / q * q)))
+    plane
+
+let kernel : Kernel.t =
+  let make ~seed ~block_size ~n =
+    let n = max block_size (n - (n mod block_size)) in
+    let plane =
+      Array.map (fun v -> v - 500) (Kernel.random_int_array ~seed ~n ~bound:1000)
+    in
+    let quant =
+      Array.map (fun v -> 1 + v)
+        (Kernel.random_int_array ~seed:(seed + 1) ~n:quant_entries ~bound:31)
+    in
+    let global = Memory.create ~space:Memory.Sp_global (n + quant_entries) in
+    let pplane = Memory.alloc_of_int_array global plane in
+    let pquant = Memory.alloc_of_int_array global quant in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| pplane; pquant |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result =
+        (fun () -> Memory.read_int_array global pplane n |> Kernel.ints);
+      reference =
+        (fun () ->
+          let p = Array.copy plane in
+          host p quant;
+          Kernel.ints p);
+    }
+  in
+  {
+    Kernel.name = "DCT quantization";
+    tag = "DCT";
+    description =
+      "sign-dependent quantization of a DCT plane; short ALU diamond with \
+       trapping division";
+    default_n = 4096;
+    block_sizes = [ 64; 128; 256; 512; 1024 ];
+    make;
+  }

@@ -1,0 +1,7 @@
+(** DCT quantization (CUDA samples): sign-dependent rounding, i.e.
+    data-dependent diamond divergence with trapping division (exercises
+    mandatory unpredication). *)
+
+val build : block_size:int -> Darm_ir.Ssa.func
+val host : int array -> int array -> unit
+val kernel : Kernel.t

@@ -1,0 +1,80 @@
+(** Floating-point DCT quantization (extension workload).
+
+    The same sign-dependent quantization pattern as {!Dct}, but over f32
+    coefficients: divergent paths full of [fmul]/[fdiv]/[fcmp] that the
+    melder must align and disambiguate with float selects.  Not part of
+    the paper's figure set; exercises the F32 side of the IR, alignment
+    and simulator end to end. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let build ~block_size:_ : Ssa.func =
+  D.build_kernel ~name:"fdct_quantize"
+    ~params:
+      [ ("plane", Types.Ptr Types.Global); ("quant", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let plane, quant =
+        match params with [ p; q ] -> (p, q) | _ -> assert false
+      in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let v = D.load_f ctx (D.gep ctx plane gid) in
+      let q = D.load_f ctx (D.gep ctx quant (D.and_ ctx gid (D.i32 63))) in
+      let r = D.local ctx ~name:"r" Types.F32 in
+      D.if_ ctx
+        (D.fcmp ctx Op.Foge v (D.f32 0.))
+        (fun () ->
+          let scaled = D.fdiv ctx v q in
+          let rounded = D.fadd ctx scaled (D.f32 0.5) in
+          D.set ctx r (D.fmul ctx rounded q))
+        (fun () ->
+          let scaled = D.fdiv ctx v q in
+          let rounded = D.fsub ctx scaled (D.f32 0.5) in
+          D.set ctx r (D.fmul ctx rounded q));
+      D.store ctx (D.get ctx r) (D.gep ctx plane gid))
+
+let host_one (v : float) (q : float) : float =
+  if v >= 0. then (v /. q +. 0.5) *. q else (v /. q -. 0.5) *. q
+
+let kernel : Kernel.t =
+  let make ~seed ~block_size ~n =
+    let n = max block_size (n - (n mod block_size)) in
+    let next = Kernel.rng seed in
+    let plane =
+      Array.init n (fun _ -> float_of_int (next () mod 2000 - 1000) /. 8.)
+    in
+    let quant =
+      Array.init 64 (fun _ -> float_of_int (1 + (next () mod 31)))
+    in
+    let global = Memory.create ~space:Memory.Sp_global (n + 64) in
+    let pplane = Memory.alloc_of_float_array global plane in
+    let pquant = Memory.alloc_of_float_array global quant in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| pplane; pquant |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result =
+        (fun () ->
+          Memory.read_float_array global pplane n
+          |> Array.map (fun x -> Memory.Rfloat x));
+      reference =
+        (fun () ->
+          Array.mapi
+            (fun k v -> Memory.Rfloat (host_one v quant.(k land 63)))
+            plane);
+    }
+  in
+  {
+    Kernel.name = "DCT quantization (f32)";
+    tag = "FDCT";
+    description =
+      "sign-dependent quantization over f32 coefficients; float-heavy \
+       divergent diamond";
+    default_n = 2048;
+    block_sizes = [ 64; 128; 256 ];
+    make;
+  }

@@ -1,0 +1,6 @@
+(** Floating-point DCT quantization (extension workload): the {!Dct}
+    pattern over f32 coefficients, exercising float alignment and
+    melding end to end. *)
+
+val build : block_size:int -> Darm_ir.Ssa.func
+val kernel : Kernel.t

@@ -1,0 +1,311 @@
+(** The evaluation kernels written in Mini-HIP source (block size 64).
+
+    Each source compiles through {!Darm_frontend} to the same behaviour
+    as the corresponding builder-constructed kernel in this library; the
+    test suite runs both on identical inputs and requires identical
+    outputs.  They double as documentation: this is what a user's
+    HIP-style code looks like before DARM melds it. *)
+
+(* The synthetic benchmarks share one skeleton (paper Fig. 6); the
+   differences are the pattern of the divergent body and the two
+   computations. *)
+
+let sb_skeleton ~(true_body : string) ~(false_body : string) : string =
+  Printf.sprintf
+    {|
+__global__ void sb(int* a, int* b, int* p, int* q) {
+  __shared__ int sa[64];
+  __shared__ int sb_[64];
+  __shared__ int sp[64];
+  __shared__ int sq[64];
+  int t = threadIdx();
+  int gid = blockIdx() * blockDim() + t;
+  sa[t] = a[gid];
+  sb_[t] = b[gid];
+  sp[t] = p[gid];
+  sq[t] = q[gid];
+  __syncthreads();
+  for (int i = 0; i < 4; i++) {
+    for (int j = 0; j < 4; j++) {
+      if (((t + i + j) & 1) == 0) {
+%s
+      } else {
+%s
+      }
+    }
+  }
+  __syncthreads();
+  a[gid] = sa[t];
+  p[gid] = sp[t];
+}
+|}
+    true_body false_body
+
+(* x := x*y + x + (i + j) over (arr, aux) *)
+let comp_mul_add arr aux =
+  Printf.sprintf "        %s[t] = %s[t] * %s[t] + %s[t] + (i + j);" arr arr
+    aux arr
+
+(* x := (x ^ y) + (x >> 1) + 3*j *)
+let comp_xor_shift arr aux =
+  Printf.sprintf "        %s[t] = (%s[t] ^ %s[t]) + (%s[t] >> 1) + 3 * j;"
+    arr arr aux arr
+
+(* x := x + y*2 - i *)
+let comp_addsub arr aux =
+  Printf.sprintf "        %s[t] = %s[t] + %s[t] * 2 - i;" arr arr aux
+
+(* x := max(x, y) + (y & 7) *)
+let comp_max_mask arr aux =
+  Printf.sprintf "        %s[t] = max(%s[t], %s[t]) + (%s[t] & 7);" arr arr
+    aux aux
+
+let guarded comp arr aux =
+  Printf.sprintf "        if (%s[t] < %s[t]) {\n  %s\n        }" arr aux
+    (comp arr aux)
+
+let guarded2 comp arr aux =
+  Printf.sprintf "        if (%s[t] > j * 4) {\n  %s\n        }" arr
+    (comp arr aux)
+
+let sb1 =
+  sb_skeleton
+    ~true_body:(comp_mul_add "sa" "sb_")
+    ~false_body:(comp_mul_add "sp" "sq")
+
+let sb1_r =
+  sb_skeleton
+    ~true_body:(comp_mul_add "sa" "sb_")
+    ~false_body:(comp_xor_shift "sp" "sq")
+
+let sb2 =
+  sb_skeleton
+    ~true_body:(guarded comp_mul_add "sa" "sb_")
+    ~false_body:(guarded comp_mul_add "sp" "sq")
+
+let sb2_r =
+  sb_skeleton
+    ~true_body:(guarded comp_mul_add "sa" "sb_")
+    ~false_body:(guarded comp_xor_shift "sp" "sq")
+
+let sb3 =
+  sb_skeleton
+    ~true_body:
+      (guarded comp_mul_add "sa" "sb_" ^ "\n"
+      ^ guarded2 comp_addsub "sa" "sb_")
+    ~false_body:
+      (guarded comp_mul_add "sp" "sq" ^ "\n"
+      ^ guarded2 comp_addsub "sp" "sq")
+
+let sb3_r =
+  sb_skeleton
+    ~true_body:
+      (guarded comp_mul_add "sa" "sb_" ^ "\n"
+      ^ guarded2 comp_addsub "sa" "sb_")
+    ~false_body:
+      (guarded comp_xor_shift "sp" "sq" ^ "\n"
+      ^ guarded2 comp_max_mask "sp" "sq")
+
+(* The paper's running example, Fig. 1 (block size 64). *)
+let bitonic =
+  {|
+__global__ void bitonic(int* values) {
+  __shared__ int shared[64];
+  int tid = threadIdx();
+  int gid = blockIdx() * blockDim() + tid;
+  shared[tid] = values[gid];
+  __syncthreads();
+  for (int k = 2; k <= 64; k *= 2) {
+    for (int j = k / 2; j > 0; j /= 2) {
+      int ixj = tid ^ j;
+      if (ixj > tid) {
+        if ((tid & k) == 0) {
+          if (shared[ixj] < shared[tid]) {
+            int tmp = shared[tid];
+            shared[tid] = shared[ixj];
+            shared[ixj] = tmp;
+          }
+        } else {
+          if (shared[ixj] > shared[tid]) {
+            int tmp = shared[tid];
+            shared[tid] = shared[ixj];
+            shared[ixj] = tmp;
+          }
+        }
+      }
+      __syncthreads();
+    }
+  }
+  values[gid] = shared[tid];
+}
+|}
+
+let dct =
+  {|
+__global__ void dct_quantize(int* plane, int* quant) {
+  int t = threadIdx();
+  int gid = blockIdx() * blockDim() + t;
+  int v = plane[gid];
+  int q = quant[gid & 63];
+  int r = 0;
+  if (v >= 0) {
+    r = (v + q / 2) / q * q;
+  } else {
+    int av = 0 - v;
+    r = 0 - ((av + q / 2) / q * q);
+  }
+  plane[gid] = r;
+}
+|}
+
+(* Bottom-up merge sort in shared memory; the builder version's pointer
+   double-buffering becomes base-offset arithmetic into one array. *)
+let mergesort =
+  {|
+__global__ void merge_sort(int* values) {
+  __shared__ int s[128];
+  int t = threadIdx();
+  int gid = blockIdx() * blockDim() + t;
+  s[t] = values[gid];
+  __syncthreads();
+  int srcbase = 0;
+  int dstbase = 64;
+  for (int width = 1; width < 64; width *= 2) {
+    if (t % (2 * width) == 0) {
+      int i = t;
+      int j = t + width;
+      int iend = t + width;
+      int jend = t + 2 * width;
+      for (int k = t; k < jend; k++) {
+        int av = s[srcbase + min(i, 63)];
+        int bv = s[srcbase + min(j, 63)];
+        if (j >= jend || (i < iend && av <= bv)) {
+          s[dstbase + k] = av;
+          i++;
+        } else {
+          s[dstbase + k] = bv;
+          j++;
+        }
+      }
+    }
+    __syncthreads();
+    int tmp = srcbase;
+    srcbase = dstbase;
+    dstbase = tmp;
+  }
+  values[gid] = s[srcbase + t];
+}
+|}
+
+(* LUD perimeter: the 16 unrolled update steps of the builder version as
+   a counted loop (same value semantics). *)
+let lud =
+  {|
+__global__ void lud_perimeter(int* row, int* col, int* diag, int dn) {
+  int t = threadIdx();
+  if (t < 32) {
+    int i = blockIdx() * 32 + t;
+    int acc = row[i];
+    for (int c = 0; c < 16; c++) {
+      acc = (acc ^ (diag[(i + c) % dn] * (c * 7 + 3))) + c;
+    }
+    row[i] = acc;
+  } else {
+    int t2 = t - 32;
+    int i = blockIdx() * 32 + t2;
+    int acc = col[i];
+    for (int c = 0; c < 16; c++) {
+      acc = (acc ^ (diag[(i + c) % dn] * (c * 7 + 3))) + c;
+    }
+    col[i] = acc;
+  }
+}
+|}
+
+(* PCM bucket merge (bucket length 8, block size 64): even threads build
+   the lower half of the pair's merge forwards, odd threads the upper
+   half backwards. *)
+let pcm =
+  {|
+__global__ void pcm_merge(int* src, int* dst) {
+  __shared__ int s_in[512];
+  __shared__ int s_out[512];
+  int t = threadIdx();
+  int gid = blockIdx() * blockDim() + t;
+  for (int e = 0; e < 8; e++) {
+    s_in[t * 8 + e] = src[gid * 8 + e];
+  }
+  __syncthreads();
+  int pair_base = (t & 65534) * 8;
+  int a_base = pair_base;
+  int b_base = pair_base + 8;
+  if ((t & 1) == 0) {
+    int i = 0;
+    int j = 0;
+    for (int k = 0; k < 8; k++) {
+      int av = s_in[a_base + min(i, 7)];
+      int bv = s_in[b_base + min(j, 7)];
+      if (j >= 8 || (i < 8 && av <= bv)) {
+        s_out[a_base + k] = av;
+        i++;
+      } else {
+        s_out[a_base + k] = bv;
+        j++;
+      }
+    }
+  } else {
+    int i = 7;
+    int j = 7;
+    for (int k = 0; k < 8; k++) {
+      int av = s_in[a_base + max(i, 0)];
+      int bv = s_in[b_base + max(j, 0)];
+      if (j < 0 || (i >= 0 && av > bv)) {
+        s_out[b_base + 7 - k] = av;
+        i--;
+      } else {
+        s_out[b_base + 7 - k] = bv;
+        j--;
+      }
+    }
+  }
+  __syncthreads();
+  for (int e = 0; e < 8; e++) {
+    dst[gid * 8 + e] = s_out[t * 8 + e];
+  }
+}
+|}
+
+let fdct =
+  {|
+__global__ void fdct_quantize(float* plane, float* quant) {
+  int t = threadIdx();
+  int gid = blockIdx() * blockDim() + t;
+  float v = plane[gid];
+  float q = quant[gid & 63];
+  float r = 0.0;
+  if (v >= 0.0) {
+    r = (v / q + 0.5) * q;
+  } else {
+    r = (v / q - 0.5) * q;
+  }
+  plane[gid] = r;
+}
+|}
+
+(** (tag, source) pairs matched against the builder kernels at block
+    size 64 by the test suite. *)
+let all : (string * string) list =
+  [
+    ("SB1", sb1);
+    ("SB1-R", sb1_r);
+    ("SB2", sb2);
+    ("SB2-R", sb2_r);
+    ("SB3", sb3);
+    ("SB3-R", sb3_r);
+    ("BIT", bitonic);
+    ("DCT", dct);
+    ("MS", mergesort);
+    ("LUD", lud);
+    ("PCM", pcm);
+    ("FDCT", fdct);
+  ]

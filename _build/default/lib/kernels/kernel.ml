@@ -1,0 +1,86 @@
+(** Common benchmark-kernel interface.
+
+    A kernel bundles the IR builder with a deterministic workload: given
+    a block size, an element count and a seed it produces a fresh
+    {!instance} — IR function, populated global memory, launch geometry,
+    and accessors for the observable output plus a host-side reference.
+    Fresh instances are required because transformations mutate the IR
+    in place; the baseline and the melded run each get their own. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module Simulator = Darm_sim.Simulator
+
+type instance = {
+  func : Ssa.func;
+  global : Memory.t;
+  args : Memory.rv array;
+  launch : Simulator.launch;
+  read_result : unit -> Memory.rv array;
+      (** observable output after execution *)
+  reference : unit -> Memory.rv array;
+      (** host-side expected output for the same input *)
+}
+
+type t = {
+  name : string;
+  tag : string;  (** short label used in figures: SB1, BIT, LUD, ... *)
+  description : string;
+  default_n : int;
+  block_sizes : int list;  (** the block-size sweep of the evaluation *)
+  make : seed:int -> block_size:int -> n:int -> instance;
+}
+
+(** Deterministic pseudo-random generator so baseline/melded instances
+    see identical inputs for a given seed. *)
+let rng (seed : int) : unit -> int =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun () ->
+    (* xorshift-ish; positive 30-bit results *)
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) in
+    state := x land 0x3FFFFFFF;
+    !state
+
+let random_int_array ~(seed : int) ~(n : int) ~(bound : int) : int array =
+  let next = rng seed in
+  Array.init n (fun _ -> next () mod bound)
+
+let rv_equal (a : Memory.rv) (b : Memory.rv) : bool =
+  match a, b with
+  | Memory.Rint x, Memory.Rint y -> x = y
+  | Memory.Rbool x, Memory.Rbool y -> x = y
+  | Memory.Rfloat x, Memory.Rfloat y -> Float.abs (x -. y) < 1e-5
+  | Memory.Rundef, Memory.Rundef -> true
+  | Memory.Rptr (s, o), Memory.Rptr (s', o') -> s = s' && o = o'
+  | _ -> false
+
+let rv_array_equal (a : Memory.rv array) (b : Memory.rv array) : bool =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun k v -> if not (rv_equal v b.(k)) then ok := false) a;
+  !ok
+
+let rv_to_string = function
+  | Memory.Rint n -> string_of_int n
+  | Memory.Rbool b -> string_of_bool b
+  | Memory.Rfloat x -> string_of_float x
+  | Memory.Rptr (_, o) -> Printf.sprintf "ptr:%d" o
+  | Memory.Rundef -> "undef"
+
+(** First index (if any) where the two outputs disagree — for error
+    reporting in the test suites. *)
+let first_mismatch (a : Memory.rv array) (b : Memory.rv array) : int option =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go k =
+    if k >= n then if Array.length a <> Array.length b then Some n else None
+    else if rv_equal a.(k) b.(k) then go (k + 1)
+    else Some k
+  in
+  go 0
+
+let ints (a : int array) : Memory.rv array =
+  Array.map (fun v -> Memory.Rint v) a

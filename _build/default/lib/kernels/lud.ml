@@ -1,0 +1,117 @@
+(** LUD perimeter (Rodinia) — simplified to the structure that matters
+    for the evaluation.
+
+    The real [lud_perimeter] kernel splits each thread block in half:
+    the first half updates the row strip of the tile perimeter, the
+    second half the column strip, with long unrolled update sequences on
+    both sides.  Reproduced here:
+
+    - the branch [tid < block_dim/2] is thread-dependent, so it is
+      statically divergent, but it is {e dynamically} divergent only
+      when [block_dim/2] is smaller than the warp width (paper: LUD is
+      divergent only at block sizes 16/32/64 on a 64-wide machine);
+    - both sides are long straight-line blocks (manually unrolled
+      [steps] update steps), which is why LUD dominates the
+      instruction-alignment compile time in Table II;
+    - the diamond shape is exactly what branch fusion can also handle
+      (Table I / §VI-A). *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let steps = 16
+
+(* per-step multiplier constants, same for kernel and reference *)
+let step_const (c : int) = (c * 7) + 3
+
+let build ~(block_size : int) : Ssa.func =
+  let half = block_size / 2 in
+  D.build_kernel ~name:"lud_perimeter"
+    ~params:
+      [
+        ("row", Types.Ptr Types.Global);
+        ("col", Types.Ptr Types.Global);
+        ("diag", Types.Ptr Types.Global);
+        ("dn", Types.I32);
+      ]
+    (fun ctx params ->
+      let row, col, diag, dn =
+        match params with
+        | [ r; c; d; n ] -> (r, c, d, n)
+        | _ -> assert false
+      in
+      let tid = D.tid ctx in
+      let emit_side (arr : Ssa.value) (local_tid : Ssa.value) =
+        let i =
+          D.add ctx (D.mul ctx (D.bid ctx) (D.i32 half)) local_tid
+        in
+        let acc = D.local ctx ~name:"acc" Types.I32 in
+        D.set ctx acc (D.load ctx (D.gep ctx arr i));
+        for c = 0 to steps - 1 do
+          let idx = D.srem ctx (D.add ctx i (D.i32 c)) dn in
+          let d = D.load ctx (D.gep ctx diag idx) in
+          let t = D.mul ctx d (D.i32 (step_const c)) in
+          D.set ctx acc (D.add ctx (D.xor ctx (D.get ctx acc) t) (D.i32 c))
+        done;
+        D.store ctx (D.get ctx acc) (D.gep ctx arr i)
+      in
+      D.if_ ctx
+        (D.slt ctx tid (D.i32 half))
+        (fun () -> emit_side row tid)
+        (fun () -> emit_side col (D.sub ctx tid (D.i32 half))))
+
+(* host mirror of one side *)
+let host_side (arr : int array) (diag : int array) (i : int) : unit =
+  let dn = Array.length diag in
+  let acc = ref arr.(i) in
+  for c = 0 to steps - 1 do
+    let d = diag.((i + c) mod dn) in
+    acc := (!acc lxor (d * step_const c)) + c
+  done;
+  arr.(i) <- !acc
+
+let kernel : Kernel.t =
+  let make ~seed ~block_size ~n =
+    let half = max 1 (block_size / 2) in
+    let n = max half (n - (n mod half)) in
+    let row = Kernel.random_int_array ~seed ~n ~bound:1000 in
+    let col = Kernel.random_int_array ~seed:(seed + 1) ~n ~bound:1000 in
+    let dn = 64 in
+    let diag = Kernel.random_int_array ~seed:(seed + 2) ~n:dn ~bound:100 in
+    let global = Memory.create ~space:Memory.Sp_global ((2 * n) + dn) in
+    let prow = Memory.alloc_of_int_array global row in
+    let pcol = Memory.alloc_of_int_array global col in
+    let pdiag = Memory.alloc_of_int_array global diag in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| prow; pcol; pdiag; Memory.Rint dn |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / half; block_dim = block_size };
+      read_result =
+        (fun () ->
+          Array.append
+            (Memory.read_int_array global prow n)
+            (Memory.read_int_array global pcol n)
+          |> Kernel.ints);
+      reference =
+        (fun () ->
+          let r = Array.copy row and c = Array.copy col in
+          for i = 0 to n - 1 do
+            host_side r diag i;
+            host_side c diag i
+          done;
+          Array.append r c |> Kernel.ints);
+    }
+  in
+  {
+    Kernel.name = "LU decomposition (perimeter)";
+    tag = "LUD";
+    description =
+      "row/column strip updates split across the thread block; large \
+       diamond whose divergence depends on the block size";
+    default_n = 1024;
+    block_sizes = [ 16; 32; 64; 128; 256 ];
+    make;
+  }

@@ -1,0 +1,7 @@
+(** LUD perimeter (Rodinia), simplified to the structure that matters:
+    a large diamond splitting the block into row/column halves with long
+    unrolled update sequences; dynamically divergent only when half the
+    block is narrower than the warp. *)
+
+val build : block_size:int -> Darm_ir.Ssa.func
+val kernel : Kernel.t

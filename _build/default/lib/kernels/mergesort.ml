@@ -1,0 +1,124 @@
+(** Parallel bottom-up merge sort (paper §VI-A "Merge sort").
+
+    Each thread block sorts its bucket in shared memory with a
+    double-buffered bottom-up merge.  The merge step's inner loop has
+    the classic data-dependent diamond
+
+    {v if (src[i] <= src[j]) dst[k] = src[i++]; else dst[k] = src[j++] v}
+
+    which is meldable by both branch fusion and DARM (simple diamond,
+    near-identical instruction sequences). *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+(* non-short-circuit boolean connectives over i1 (operands are pure) *)
+let b_and ctx a b = D.select ctx a b (D.i1 false)
+let b_or ctx a b = D.select ctx a (D.i1 true) b
+
+let build ~(block_size : int) : Ssa.func =
+  if block_size land (block_size - 1) <> 0 then
+    invalid_arg "Mergesort.build: block size must be a power of two";
+  let bs = block_size in
+  D.build_kernel ~name:"merge_sort"
+    ~params:[ ("values", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let values = List.hd params in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let s1 = D.shared_array ctx bs in
+      let s2 = D.shared_array ctx bs in
+      D.store ctx (D.load ctx (D.gep ctx values gid)) (D.gep ctx s1 tid);
+      D.sync ctx;
+      let src = D.local ctx ~name:"src" (Types.Ptr Types.Shared) in
+      let dst = D.local ctx ~name:"dst" (Types.Ptr Types.Shared) in
+      D.set ctx src s1;
+      D.set ctx dst s2;
+      let width = D.local ctx ~name:"width" Types.I32 in
+      D.set ctx width (D.i32 1);
+      D.while_ ctx
+        (fun () -> D.slt ctx (D.get ctx width) (D.i32 bs))
+        (fun () ->
+          let w = D.get ctx width in
+          let w2 = D.mul ctx w (D.i32 2) in
+          let is_merger =
+            D.eq ctx (D.srem ctx tid w2) (D.i32 0)
+          in
+          D.if_then ctx is_merger (fun () ->
+              let sv = D.get ctx src and dv = D.get ctx dst in
+              let i = D.local ctx ~name:"i" Types.I32 in
+              let j = D.local ctx ~name:"j" Types.I32 in
+              let iend = D.add ctx tid w in
+              let jend = D.add ctx tid w2 in
+              D.set ctx i tid;
+              D.set ctx j iend;
+              D.for_up ctx ~name:"k" ~from:tid ~until:jend (fun kv ->
+                  let iv = D.get ctx i and jv = D.get ctx j in
+                  (* clamped speculative loads; the select below only
+                     uses the in-range one *)
+                  let av =
+                    D.load ctx
+                      (D.gep ctx sv (D.smin ctx iv (D.i32 (bs - 1))))
+                  in
+                  let bv =
+                    D.load ctx
+                      (D.gep ctx sv (D.smin ctx jv (D.i32 (bs - 1))))
+                  in
+                  let take_left =
+                    b_or ctx
+                      (D.sge ctx jv jend)
+                      (b_and ctx (D.slt ctx iv iend) (D.sle ctx av bv))
+                  in
+                  let p_out = D.gep ctx dv kv in
+                  D.if_ ctx take_left
+                    (fun () ->
+                      D.store ctx av p_out;
+                      D.set ctx i (D.add ctx (D.get ctx i) (D.i32 1)))
+                    (fun () ->
+                      D.store ctx bv p_out;
+                      D.set ctx j (D.add ctx (D.get ctx j) (D.i32 1)))));
+          D.sync ctx;
+          let tmp = D.get ctx src in
+          D.set ctx src (D.get ctx dst);
+          D.set ctx dst tmp;
+          D.set ctx width w2);
+      D.store ctx (D.load ctx (D.gep ctx (D.get ctx src) tid))
+        (D.gep ctx values gid))
+
+let kernel : Kernel.t =
+  let make ~seed ~block_size ~n =
+    let n = max block_size (n - (n mod block_size)) in
+    let input = Kernel.random_int_array ~seed ~n ~bound:100000 in
+    let global = Memory.create ~space:Memory.Sp_global n in
+    let pv = Memory.alloc_of_int_array global input in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| pv |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result =
+        (fun () -> Memory.read_int_array global pv n |> Kernel.ints);
+      reference =
+        (fun () ->
+          let out = Array.copy input in
+          let nblocks = n / block_size in
+          for b = 0 to nblocks - 1 do
+            let bucket = Array.sub out (b * block_size) block_size in
+            Array.sort compare bucket;
+            Array.blit bucket 0 out (b * block_size) block_size
+          done;
+          Kernel.ints out);
+    }
+  in
+  {
+    Kernel.name = "Merge sort";
+    tag = "MS";
+    description =
+      "bottom-up merge sort per thread block; data-dependent diamond in \
+       the merge loop";
+    default_n = 1024;
+    block_sizes = [ 64; 128; 256; 512 ];
+    make;
+  }

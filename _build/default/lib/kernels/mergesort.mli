@@ -1,0 +1,6 @@
+(** Parallel bottom-up merge sort per thread block, double-buffered in
+    shared memory; the merge loop's data-dependent diamond is the
+    meldable region. *)
+
+val build : block_size:int -> Darm_ir.Ssa.func
+val kernel : Kernel.t

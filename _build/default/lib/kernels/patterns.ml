@@ -1,0 +1,116 @@
+(** Dedicated control-flow-pattern kernels for the Table I capability
+    matrix.  Unlike the SB benchmarks (whose two paths touch different
+    arrays), [identical_diamond] duplicates {e literally identical}
+    instruction sequences on both sides of a divergent branch — the one
+    pattern classic tail merging can fully eliminate. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let identical_diamond : Kernel.t =
+  let build ~block_size:_ =
+    D.build_kernel ~name:"identical_diamond"
+      ~params:[ ("a", Types.Ptr Types.Global) ]
+      (fun ctx params ->
+        let a = List.hd params in
+        let tid = D.tid ctx in
+        let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+        let g = D.gep ctx a gid in
+        let body () =
+          let v = D.load ctx g in
+          let v = D.add ctx (D.mul ctx v (D.i32 3)) (D.i32 1) in
+          D.store ctx v g
+        in
+        (* the branch is divergent, but both sides are the same code:
+           compilers emit this shape from macro expansion and inlining *)
+        D.if_ ctx
+          (D.eq ctx (D.and_ ctx tid (D.i32 1)) (D.i32 0))
+          body body)
+  in
+  let make ~seed ~block_size ~n =
+    let n = max block_size (n - (n mod block_size)) in
+    let input = Kernel.random_int_array ~seed ~n ~bound:1000 in
+    let global = Memory.create ~space:Memory.Sp_global n in
+    let pa = Memory.alloc_of_int_array global input in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| pa |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result = (fun () -> Memory.read_int_array global pa n |> Kernel.ints);
+      reference =
+        (fun () -> Kernel.ints (Array.map (fun v -> (v * 3) + 1) input));
+    }
+  in
+  {
+    Kernel.name = "identical diamond";
+    tag = "IDENT";
+    description = "divergent diamond whose two paths are identical code";
+    default_n = 1024;
+    block_sizes = [ 64; 128; 256 ];
+    make;
+  }
+
+(** A kernel whose divergent paths access {e different address spaces}
+    with the same instruction sequence: the true path updates a shared
+    scratch slot, the false path a global cell.  Melding the two loads
+    (and stores) forces the access through a [select] of mixed-space
+    pointers, which degrades to the {e flat} address space — the
+    mechanism behind the flat-instruction counter changes in the paper's
+    Fig. 10. *)
+let flat_meld : Kernel.t =
+  let build ~block_size =
+    D.build_kernel ~name:"flat_meld"
+      ~params:[ ("a", Types.Ptr Types.Global) ]
+      (fun ctx params ->
+        let a = List.hd params in
+        let tid = D.tid ctx in
+        let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+        let s = D.shared_array ctx block_size in
+        (* stage the first half of the block's data in shared memory *)
+        let p_shared = D.gep ctx s tid in
+        D.store ctx (D.load ctx (D.gep ctx a gid)) p_shared;
+        D.sync ctx;
+        let p_global = D.gep ctx a gid in
+        D.if_ ctx
+          (D.eq ctx (D.and_ ctx tid (D.i32 1)) (D.i32 0))
+          (fun () ->
+            let v = D.load ctx p_shared in
+            D.store ctx (D.add ctx (D.mul ctx v (D.i32 3)) (D.i32 1)) p_shared)
+          (fun () ->
+            let v = D.load ctx p_global in
+            D.store ctx (D.add ctx (D.mul ctx v (D.i32 3)) (D.i32 1)) p_global);
+        D.sync ctx;
+        (* write the shared half back *)
+        D.if_then ctx
+          (D.eq ctx (D.and_ ctx tid (D.i32 1)) (D.i32 0))
+          (fun () -> D.store ctx (D.load ctx p_shared) p_global))
+  in
+  let make ~seed ~block_size ~n =
+    let n = max block_size (n - (n mod block_size)) in
+    let input = Kernel.random_int_array ~seed ~n ~bound:1000 in
+    let global = Memory.create ~space:Memory.Sp_global n in
+    let pa = Memory.alloc_of_int_array global input in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| pa |];
+      launch =
+        { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result = (fun () -> Memory.read_int_array global pa n |> Kernel.ints);
+      reference =
+        (fun () -> Kernel.ints (Array.map (fun v -> (v * 3) + 1) input));
+    }
+  in
+  {
+    Kernel.name = "mixed address-space diamond";
+    tag = "FLAT";
+    description =
+      "identical code over shared (true path) and global (false path) \
+       memory; melding produces flat accesses";
+    default_n = 1024;
+    block_sizes = [ 64; 128; 256 ];
+    make;
+  }

@@ -1,0 +1,7 @@
+(** Dedicated control-flow-pattern kernels: the literally-identical
+    diamond for Table I's tail-merging row, and the mixed
+    address-space diamond whose melding produces flat accesses
+    (paper Fig. 10's flat counters). *)
+
+val identical_diamond : Kernel.t
+val flat_meld : Kernel.t

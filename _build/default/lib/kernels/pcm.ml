@@ -1,0 +1,171 @@
+(** Partition and Concurrent Merge (PCM) — parallel sorting based on
+    Batcher's odd-even merge (paper §VI-A).
+
+    Sorted buckets of [bucket_len] elements live in shared memory; each
+    even/odd thread pair merges two adjacent buckets, the even thread
+    producing the lower half with a forward merge and the odd thread the
+    upper half with a backward merge.  The parity branch is the
+    divergent region and each side is a {e loop} containing nested
+    data-dependent branches — the most complex control flow in the
+    evaluation, far beyond what branch fusion handles, and rich in
+    shared-memory instructions (the paper's best case together with
+    bitonic sort). *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let bucket_len = 8
+
+let b_and ctx a b = D.select ctx a b (D.i1 false)
+let b_or ctx a b = D.select ctx a (D.i1 true) b
+
+let build ~(block_size : int) : Ssa.func =
+  let bs = block_size in
+  let l = bucket_len in
+  D.build_kernel ~name:"pcm_merge"
+    ~params:[ ("src", Types.Ptr Types.Global); ("dst", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let src, dst =
+        match params with [ s; d ] -> (s, d) | _ -> assert false
+      in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let s_in = D.shared_array ctx (bs * l) in
+      let s_out = D.shared_array ctx (bs * l) in
+      (* stage the thread's bucket into shared memory *)
+      D.for_up ctx ~name:"e" ~from:(D.i32 0) ~until:(D.i32 l) (fun e ->
+          let v = D.load ctx (D.gep ctx src (D.add ctx (D.mul ctx gid (D.i32 l)) e)) in
+          D.store ctx v (D.gep ctx s_in (D.add ctx (D.mul ctx tid (D.i32 l)) e)));
+      D.sync ctx;
+      let pair_base =
+        D.mul ctx (D.and_ ctx tid (D.i32 (lnot 1 land 0xFFFF))) (D.i32 l)
+      in
+      let a_base = pair_base in
+      let b_base = D.add ctx pair_base (D.i32 l) in
+      D.if_ ctx
+        (D.eq ctx (D.and_ ctx tid (D.i32 1)) (D.i32 0))
+        (fun () ->
+          (* even thread: lower half, forward merge *)
+          let i = D.local ctx ~name:"i" Types.I32 in
+          let j = D.local ctx ~name:"j" Types.I32 in
+          D.set ctx i (D.i32 0);
+          D.set ctx j (D.i32 0);
+          D.for_up ctx ~name:"k" ~from:(D.i32 0) ~until:(D.i32 l) (fun kv ->
+              let iv = D.get ctx i and jv = D.get ctx j in
+              let av =
+                D.load ctx
+                  (D.gep ctx s_in
+                     (D.add ctx a_base (D.smin ctx iv (D.i32 (l - 1)))))
+              in
+              let bv =
+                D.load ctx
+                  (D.gep ctx s_in
+                     (D.add ctx b_base (D.smin ctx jv (D.i32 (l - 1)))))
+              in
+              let take_a =
+                b_or ctx
+                  (D.sge ctx jv (D.i32 l))
+                  (b_and ctx (D.slt ctx iv (D.i32 l)) (D.sle ctx av bv))
+              in
+              let p_out = D.gep ctx s_out (D.add ctx a_base kv) in
+              D.if_ ctx take_a
+                (fun () ->
+                  D.store ctx av p_out;
+                  D.set ctx i (D.add ctx (D.get ctx i) (D.i32 1)))
+                (fun () ->
+                  D.store ctx bv p_out;
+                  D.set ctx j (D.add ctx (D.get ctx j) (D.i32 1)))))
+        (fun () ->
+          (* odd thread: upper half, backward merge *)
+          let i = D.local ctx ~name:"i" Types.I32 in
+          let j = D.local ctx ~name:"j" Types.I32 in
+          D.set ctx i (D.i32 (l - 1));
+          D.set ctx j (D.i32 (l - 1));
+          D.for_up ctx ~name:"k" ~from:(D.i32 0) ~until:(D.i32 l) (fun kv ->
+              let iv = D.get ctx i and jv = D.get ctx j in
+              let av =
+                D.load ctx
+                  (D.gep ctx s_in
+                     (D.add ctx a_base (D.smax ctx iv (D.i32 0))))
+              in
+              let bv =
+                D.load ctx
+                  (D.gep ctx s_in
+                     (D.add ctx b_base (D.smax ctx jv (D.i32 0))))
+              in
+              let take_a =
+                b_or ctx
+                  (D.slt ctx jv (D.i32 0))
+                  (b_and ctx (D.sge ctx iv (D.i32 0)) (D.sgt ctx av bv))
+              in
+              let p_out =
+                D.gep ctx s_out
+                  (D.add ctx b_base (D.sub ctx (D.i32 (l - 1)) kv))
+              in
+              D.if_ ctx take_a
+                (fun () ->
+                  D.store ctx av p_out;
+                  D.set ctx i (D.sub ctx (D.get ctx i) (D.i32 1)))
+                (fun () ->
+                  D.store ctx bv p_out;
+                  D.set ctx j (D.sub ctx (D.get ctx j) (D.i32 1)))));
+      D.sync ctx;
+      D.for_up ctx ~name:"e" ~from:(D.i32 0) ~until:(D.i32 l) (fun e ->
+          let v = D.load ctx (D.gep ctx s_out (D.add ctx (D.mul ctx tid (D.i32 l)) e)) in
+          D.store ctx v (D.gep ctx dst (D.add ctx (D.mul ctx gid (D.i32 l)) e))))
+
+let kernel : Kernel.t =
+  let make ~seed ~block_size ~n =
+    let l = bucket_len in
+    (* n counts elements; round to a whole number of bucket pairs/blocks *)
+    let elems_per_block = block_size * l in
+    let n = max elems_per_block (n - (n mod elems_per_block)) in
+    let nbuckets = n / l in
+    let raw = Kernel.random_int_array ~seed ~n ~bound:100000 in
+    (* pre-sort each bucket: PCM merges sorted buckets *)
+    let input = Array.copy raw in
+    for b = 0 to nbuckets - 1 do
+      let bucket = Array.sub input (b * l) l in
+      Array.sort compare bucket;
+      Array.blit bucket 0 input (b * l) l
+    done;
+    let global = Memory.create ~space:Memory.Sp_global (2 * n) in
+    let psrc = Memory.alloc_of_int_array global input in
+    let pdst = Memory.alloc global n in
+    {
+      Kernel.func = build ~block_size;
+      global;
+      args = [| psrc; pdst |];
+      launch =
+        {
+          Darm_sim.Simulator.grid_dim = nbuckets / block_size;
+          block_dim = block_size;
+        };
+      read_result =
+        (fun () -> Memory.read_int_array global pdst n |> Kernel.ints);
+      reference =
+        (fun () ->
+          (* merge each adjacent bucket pair *)
+          let out = Array.copy input in
+          let npairs = nbuckets / 2 in
+          for p = 0 to npairs - 1 do
+            let merged =
+              Array.sub input (p * 2 * l) (2 * l)
+            in
+            Array.sort compare merged;
+            Array.blit merged 0 out (p * 2 * l) (2 * l)
+          done;
+          Kernel.ints out);
+    }
+  in
+  {
+    Kernel.name = "Partition and Concurrent Merge";
+    tag = "PCM";
+    description =
+      "odd-even merging of sorted buckets; parity-divergent loops with \
+       nested data-dependent branches over shared memory";
+    default_n = 2048;
+    block_sizes = [ 64; 128; 256; 512 ];
+    make;
+  }

@@ -1,0 +1,248 @@
+(** Random divergent-kernel generator for differential testing.
+
+    Generates structured kernels over two global arrays (and optionally
+    a shared scratch array) with random arithmetic, nested divergent
+    branches and small bounded loops.  Every memory index is masked to
+    the array size, and trapping operations are excluded, so any
+    generated kernel is safe to execute for any input.
+
+    The intended property (used by the test suite and `darm_opt fuzz`):
+    for every seed, the kernel's observable output is identical before
+    and after any semantics-preserving transformation — melding, branch
+    fusion, tail merging, SimplifyCFG, DCE.  No host-side reference is
+    needed; the untransformed simulation is the oracle. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+type cfg = {
+  max_depth : int;       (** nesting depth of if/loop constructs *)
+  stmts_per_block : int; (** statements per block (upper bound) *)
+  array_size : int;      (** power of two *)
+  use_shared : bool;
+}
+
+let default_cfg =
+  { max_depth = 3; stmts_per_block = 4; array_size = 256; use_shared = true }
+
+(* Race-freedom discipline: divergent-path melding reorders code from
+   the two sides of a branch, which is only semantics-preserving for
+   data-race-free kernels (the usual compiler assumption; racy GPU code
+   is undefined).  The generator therefore only emits:
+   - loads from read-only arrays ([a] and the shared scratch, which is
+     written once before a barrier) at arbitrary masked indices, and
+   - loads/stores of the thread's own cell of the output array [b]. *)
+type gen_state = {
+  rng : Random.State.t;
+  ctx : D.ctx;
+  vars : D.var array;        (** mutable integer locals *)
+  ro_arrays : Ssa.value list;  (** read-only: any masked index is safe *)
+  own_cell : Ssa.value;      (** this thread's private output cell *)
+  mask : Ssa.value;          (** array_size - 1 *)
+  gid : Ssa.value;
+  tid : Ssa.value;
+}
+
+let pick g (choices : 'a array) : 'a =
+  choices.(Random.State.int g.rng (Array.length choices))
+
+let rand g n = Random.State.int g.rng n
+
+(* a random pure i32 expression over the current variable pool *)
+let rec gen_expr g (depth : int) : Ssa.value =
+  let leaf () =
+    match rand g 5 with
+    | 0 -> D.i32 (rand g 64)
+    | 1 -> g.gid
+    | 2 -> g.tid
+    | 3 -> D.get g.ctx (pick g g.vars)
+    | _ -> (
+        match rand g 3 with
+        | 0 -> D.load g.ctx g.own_cell
+        | _ ->
+            let arr = pick g (Array.of_list g.ro_arrays) in
+            let idx = D.and_ g.ctx (D.get g.ctx (pick g g.vars)) g.mask in
+            D.load g.ctx (D.gep g.ctx arr idx))
+  in
+  if depth = 0 then leaf ()
+  else
+    match rand g 9 with
+    | 0 -> D.add g.ctx (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 1 -> D.sub g.ctx (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 2 -> D.mul g.ctx (gen_expr g (depth - 1)) (D.i32 (1 + rand g 7))
+    | 3 -> D.xor g.ctx (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 4 -> D.and_ g.ctx (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 5 -> D.smin g.ctx (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 6 -> D.smax g.ctx (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 7 ->
+        D.select g.ctx (gen_cond g)
+          (gen_expr g (depth - 1))
+          (gen_expr g (depth - 1))
+    | _ -> leaf ()
+
+and gen_cond g : Ssa.value =
+  let a = gen_expr g 1 and b = gen_expr g 1 in
+  match rand g 4 with
+  | 0 -> D.slt g.ctx a b
+  | 1 -> D.sle g.ctx a b
+  | 2 -> D.eq g.ctx (D.and_ g.ctx a (D.i32 3)) (D.i32 (rand g 4))
+  | _ -> D.sgt g.ctx a b
+
+let gen_store g = D.store g.ctx (gen_expr g 2) g.own_cell
+
+let rec gen_stmt g (depth : int) =
+  match rand g (if depth > 0 then 6 else 2) with
+  | 0 -> D.set g.ctx (pick g g.vars) (gen_expr g 2)
+  | 1 -> gen_store g
+  | 2 ->
+      (* divergent if/else: similar shapes on both sides feed the
+         melder *)
+      D.if_ g.ctx (gen_cond g)
+        (fun () -> gen_block g (depth - 1))
+        (fun () -> gen_block g (depth - 1))
+  | 3 -> D.if_then g.ctx (gen_cond g) (fun () -> gen_block g (depth - 1))
+  | 4 ->
+      let trip = 1 + rand g 3 in
+      D.for_up g.ctx ~from:(D.i32 0) ~until:(D.i32 trip) (fun iv ->
+          D.set g.ctx (pick g g.vars)
+            (D.add g.ctx (D.get g.ctx (pick g g.vars)) iv);
+          gen_block g (depth - 1))
+  | _ -> D.set g.ctx (pick g g.vars) (gen_expr g 2)
+
+and gen_block g (depth : int) =
+  let n = 1 + rand g (max 1 default_cfg.stmts_per_block) in
+  for _ = 1 to n do
+    gen_stmt g depth
+  done
+
+(** Generate a kernel; deterministic in [seed]. *)
+let generate ?(cfg = default_cfg) ~(seed : int) () : Ssa.func =
+  D.build_kernel
+    ~name:(Printf.sprintf "fuzz_%d" seed)
+    ~params:[ ("a", Types.Ptr Types.Global); ("b", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let a, b = match params with [ a; b ] -> (a, b) | _ -> assert false in
+      let rng = Random.State.make [| seed; 0x9E3779B9 |] in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let mask_c = D.i32 (cfg.array_size - 1) in
+      let own_cell = D.gep ctx b (D.and_ ctx gid mask_c) in
+      let ro_arrays =
+        if cfg.use_shared then begin
+          let s = D.shared_array ctx cfg.array_size in
+          (* the threads cooperatively seed the whole scratchpad (the
+             block may be smaller than the array), then a uniform barrier
+             makes it effectively read-only for the divergent code *)
+          let bd = D.bdim ctx in
+          let rounds = D.sdiv ctx (D.i32 cfg.array_size) bd in
+          let rounds = D.smax ctx rounds (D.i32 1) in
+          D.for_up ctx ~name:"seedr" ~from:(D.i32 0) ~until:rounds (fun e ->
+              let idx =
+                D.and_ ctx (D.add ctx tid (D.mul ctx e bd)) mask_c
+              in
+              D.store ctx
+                (D.add ctx (D.mul ctx idx (D.i32 3))
+                   (D.load ctx (D.gep ctx a idx)))
+                (D.gep ctx s idx));
+          D.sync ctx;
+          [ a; s ]
+        end
+        else [ a ]
+      in
+      let g =
+        {
+          rng;
+          ctx;
+          vars =
+            Array.init 4 (fun k ->
+                let v = D.local ctx ~name:(Printf.sprintf "v%d" k) Types.I32 in
+                D.set ctx v
+                  (match k with
+                  | 0 -> gid
+                  | 1 -> tid
+                  | 2 -> D.i32 (Random.State.int rng 100)
+                  | _ -> D.load ctx (D.gep ctx a (D.and_ ctx gid (D.i32 (cfg.array_size - 1)))));
+                v);
+          ro_arrays;
+          own_cell;
+          mask = mask_c;
+          gid;
+          tid;
+        }
+      in
+      gen_block g cfg.max_depth;
+      (* make the variable state observable *)
+      let out = D.add ctx (D.get ctx g.vars.(0)) (D.get ctx g.vars.(1)) in
+      let out = D.xor ctx out (D.get ctx g.vars.(2)) in
+      let out = D.add ctx out (D.get ctx g.vars.(3)) in
+      D.store ctx out (D.gep ctx b (D.and_ ctx gid g.mask)))
+
+(** Build a runnable instance around a generated kernel. *)
+let instance ?(cfg = default_cfg) ~(seed : int) ~(block_size : int) () :
+    Kernel.instance =
+  let n = cfg.array_size in
+  let a_init = Kernel.random_int_array ~seed:(seed + 1) ~n ~bound:1000 in
+  let b_init = Kernel.random_int_array ~seed:(seed + 2) ~n ~bound:1000 in
+  let global = Memory.create ~space:Memory.Sp_global (2 * n) in
+  let pa = Memory.alloc_of_int_array global a_init in
+  let pb = Memory.alloc_of_int_array global b_init in
+  {
+    Kernel.func = generate ~cfg ~seed ();
+    global;
+    args = [| pa; pb |];
+    launch =
+      {
+        Darm_sim.Simulator.grid_dim = max 1 (n / block_size);
+        block_dim = block_size;
+      };
+    read_result =
+      (fun () ->
+        Array.append
+          (Memory.read_int_array global pa n)
+          (Memory.read_int_array global pb n)
+        |> Kernel.ints);
+    reference = (fun () -> [||]);
+    (* differential testing: the untransformed run is the oracle *)
+  }
+
+(** Differential check: run the kernel untransformed and transformed on
+    the same input; returns [Ok ()] or a failure description. *)
+let check_transform ?(cfg = default_cfg) ~(seed : int) ~(block_size : int)
+    ~(transform : Ssa.func -> unit) () : (unit, string) result =
+  let sim_cfg =
+    {
+      Darm_sim.Simulator.default_config with
+      max_cycles_per_warp = 10_000_000;
+    }
+  in
+  let run inst =
+    ignore
+      (Darm_sim.Simulator.run ~config:sim_cfg inst.Kernel.func
+         ~args:inst.Kernel.args ~global:inst.Kernel.global inst.Kernel.launch);
+    inst.Kernel.read_result ()
+  in
+  let base_inst = instance ~cfg ~seed ~block_size () in
+  let opt_inst = instance ~cfg ~seed ~block_size () in
+  match
+    transform opt_inst.Kernel.func;
+    Verify.run_exn opt_inst.Kernel.func;
+    (run base_inst, run opt_inst)
+  with
+  | base_out, opt_out ->
+      if Kernel.rv_array_equal base_out opt_out then Ok ()
+      else
+        let k =
+          match Kernel.first_mismatch base_out opt_out with
+          | Some k -> k
+          | None -> -1
+        in
+        Error
+          (Printf.sprintf
+             "seed %d bs %d: outputs differ at index %d (%s vs %s)" seed
+             block_size k
+             (Kernel.rv_to_string base_out.(k))
+             (Kernel.rv_to_string opt_out.(k)))
+  | exception e ->
+      Error (Printf.sprintf "seed %d bs %d: %s" seed block_size
+               (Printexc.to_string e))

@@ -1,0 +1,42 @@
+(** Random divergent-kernel generator for differential testing.
+
+    Generates structured, race-free kernels over two global arrays and a
+    shared scratchpad, with random arithmetic, nested divergent branches
+    and small bounded loops.  Every memory index is masked to the array
+    size and trapping operations are excluded, so any generated kernel
+    is safe to execute for any input.
+
+    The intended property (test suites and [darm_opt fuzz]): for every
+    seed, the kernel's observable output is identical before and after
+    any semantics-preserving transformation — the untransformed
+    simulation is the oracle. *)
+
+open Darm_ir
+
+type cfg = {
+  max_depth : int;       (** nesting depth of if/loop constructs *)
+  stmts_per_block : int; (** statements per block (upper bound) *)
+  array_size : int;      (** power of two *)
+  use_shared : bool;
+}
+
+val default_cfg : cfg
+
+(** Generate a kernel; deterministic in [seed]. *)
+val generate : ?cfg:cfg -> seed:int -> unit -> Ssa.func
+
+(** Build a runnable instance around a generated kernel (the [reference]
+    accessor is empty: differential testing uses the untransformed run
+    as the oracle). *)
+val instance : ?cfg:cfg -> seed:int -> block_size:int -> unit -> Kernel.instance
+
+(** Run the kernel untransformed and transformed on the same input;
+    [Error] carries a description of the first output mismatch or the
+    exception raised. *)
+val check_transform :
+  ?cfg:cfg ->
+  seed:int ->
+  block_size:int ->
+  transform:(Ssa.func -> unit) ->
+  unit ->
+  (unit, string) result

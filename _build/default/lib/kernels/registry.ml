@@ -1,0 +1,18 @@
+(** All evaluation kernels, keyed by their figure tags. *)
+
+let synthetic : Kernel.t list = Sb.all
+
+let real_world : Kernel.t list =
+  [ Lud.kernel; Bitonic.kernel; Dct.kernel; Mergesort.kernel; Pcm.kernel ]
+
+(** Extension workloads beyond the paper's figure set. *)
+let extras : Kernel.t list =
+  [ Patterns.identical_diamond; Patterns.flat_meld; Fdct.kernel ]
+
+let all : Kernel.t list = synthetic @ real_world @ extras
+
+let find (tag : string) : Kernel.t option =
+  let norm = String.uppercase_ascii tag in
+  List.find_opt (fun k -> String.uppercase_ascii k.Kernel.tag = norm) all
+
+let tags () = List.map (fun k -> k.Kernel.tag) all

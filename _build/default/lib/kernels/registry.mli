@@ -1,0 +1,15 @@
+(** All evaluation kernels, keyed by their figure tags. *)
+
+val synthetic : Kernel.t list
+
+val real_world : Kernel.t list
+
+(** Extension workloads beyond the paper's figure set. *)
+val extras : Kernel.t list
+
+val all : Kernel.t list
+
+(** Case-insensitive lookup by tag. *)
+val find : string -> Kernel.t option
+
+val tags : unit -> string list

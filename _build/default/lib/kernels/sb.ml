@@ -1,0 +1,277 @@
+(** Synthetic benchmarks SB1–SB3 and their -R variants (paper §VI-A,
+    Fig. 6).
+
+    Every kernel has two nested loops whose inner body contains a
+    divergent if-then-else on the thread index; the kernel reads four
+    arrays [a, b, p, q] into shared memory, computes, and writes back.
+    The {e true} path only touches [a, b], the {e false} path only
+    [p, q]:
+
+    - SB1: both paths are single basic blocks (diamond);
+    - SB2: both paths are if-then regions (complex control flow that
+      branch fusion cannot handle);
+    - SB3: both paths are {e two} consecutive if-then regions, giving
+      the melder multiple subgraph pairs;
+    - the -R variants keep the control-flow shape but use different
+      instruction sequences on the two paths, so alignment is imperfect
+      and selects/unpredication costs show up. *)
+
+open Darm_ir
+open Darm_ir.Ssa
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+let outer_iters = 4
+let inner_iters = 4
+
+(** One "computation" on a pair of shared-memory locations, with its
+    host-side mirror. *)
+type comp = {
+  emit : D.ctx -> x:value -> y:value -> i:value -> j:value -> unit;
+  host : int array -> int array -> int -> int -> int -> unit;
+}
+
+(* x := x*y + x + (i + j) *)
+let comp_mul_add : comp =
+  {
+    emit =
+      (fun ctx ~x ~y ~i ~j ->
+        let xv = D.load ctx x in
+        let yv = D.load ctx y in
+        let t = D.mul ctx xv yv in
+        let t = D.add ctx t xv in
+        let t = D.add ctx t (D.add ctx i j) in
+        D.store ctx t x);
+    host =
+      (fun xa ya i j k ->
+        xa.(k) <- (xa.(k) * ya.(k)) + xa.(k) + i + j);
+  }
+
+(* x := (x lxor y) + (x lsr 1) + 3*j  — a different opcode mix *)
+let comp_xor_shift : comp =
+  {
+    emit =
+      (fun ctx ~x ~y ~i:_ ~j ->
+        let xv = D.load ctx x in
+        let yv = D.load ctx y in
+        let t = D.xor ctx xv yv in
+        let s = D.lshr ctx xv (D.i32 1) in
+        let t = D.add ctx t s in
+        let t = D.add ctx t (D.mul ctx j (D.i32 3)) in
+        D.store ctx t x);
+    host =
+      (fun xa ya _i j k ->
+        xa.(k) <-
+          (xa.(k) lxor ya.(k))
+          + ((xa.(k) land 0xFFFFFFFF) lsr 1)
+          + (3 * j));
+  }
+
+(* x := x + y*2 - i *)
+let comp_addsub : comp =
+  {
+    emit =
+      (fun ctx ~x ~y ~i ~j:_ ->
+        let xv = D.load ctx x in
+        let yv = D.load ctx y in
+        let t = D.add ctx xv (D.mul ctx yv (D.i32 2)) in
+        let t = D.sub ctx t i in
+        D.store ctx t x);
+    host = (fun xa ya i _j k -> xa.(k) <- xa.(k) + (ya.(k) * 2) - i);
+  }
+
+(* x := smax(x, y) + (y land 7) *)
+let comp_max_mask : comp =
+  {
+    emit =
+      (fun ctx ~x ~y ~i:_ ~j:_ ->
+        let xv = D.load ctx x in
+        let yv = D.load ctx y in
+        let t = D.smax ctx xv yv in
+        let t = D.add ctx t (D.and_ ctx yv (D.i32 7)) in
+        D.store ctx t x);
+    host = (fun xa ya _i _j k -> xa.(k) <- max xa.(k) ya.(k) + (ya.(k) land 7));
+  }
+
+(** Pattern shape: what the divergent paths contain. *)
+type pattern =
+  | Diamond  (** SB1: one straight-line block per side *)
+  | If_then  (** SB2: an if-then region per side *)
+  | Two_if_then  (** SB3: two consecutive if-then regions per side *)
+
+(* guard for the inner data-dependent branch: *x < *y *)
+let emit_guarded (ctx : D.ctx) ~(x : value) ~(y : value) ~(i : value)
+    ~(j : value) (c : comp) : unit =
+  let xv = D.load ctx x in
+  let yv = D.load ctx y in
+  let cond = D.slt ctx xv yv in
+  D.if_then ctx cond (fun () -> c.emit ctx ~x ~y ~i ~j)
+
+let host_guarded (c : comp) (xa : int array) (ya : int array) (i : int)
+    (j : int) (k : int) : unit =
+  if xa.(k) < ya.(k) then c.host xa ya i j k
+
+(* second guard for SB3's second region: *x > j*4 *)
+let emit_guarded2 (ctx : D.ctx) ~(x : value) ~(y : value) ~(i : value)
+    ~(j : value) (c : comp) : unit =
+  let xv = D.load ctx x in
+  let cond = D.sgt ctx xv (D.mul ctx j (D.i32 4)) in
+  D.if_then ctx cond (fun () -> c.emit ctx ~x ~y ~i ~j)
+
+let host_guarded2 (c : comp) (xa : int array) (ya : int array) (i : int)
+    (j : int) (k : int) : unit =
+  if xa.(k) > j * 4 then c.host xa ya i j k
+
+(** Build one synthetic kernel. [t1]/[t2] are the true-path computations,
+    [f1]/[f2] the false-path ones (identical for the non-R variants). *)
+let build_kernel ~(name : string) ~(pattern : pattern) ~(t1 : comp)
+    ~(t2 : comp) ~(f1 : comp) ~(f2 : comp) ~(block_size : int) : func =
+  D.build_kernel ~name
+    ~params:
+      [
+        ("a", Types.Ptr Types.Global);
+        ("b", Types.Ptr Types.Global);
+        ("p", Types.Ptr Types.Global);
+        ("q", Types.Ptr Types.Global);
+      ]
+    (fun ctx params ->
+      let a, b, p, q =
+        match params with
+        | [ a; b; p; q ] -> (a, b, p, q)
+        | _ -> assert false
+      in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let sa = D.shared_array ctx block_size in
+      let sb = D.shared_array ctx block_size in
+      let sp = D.shared_array ctx block_size in
+      let sq = D.shared_array ctx block_size in
+      let my sarr = D.gep ctx sarr tid in
+      let sa_p = my sa and sb_p = my sb and sp_p = my sp and sq_p = my sq in
+      D.store ctx (D.load ctx (D.gep ctx a gid)) sa_p;
+      D.store ctx (D.load ctx (D.gep ctx b gid)) sb_p;
+      D.store ctx (D.load ctx (D.gep ctx p gid)) sp_p;
+      D.store ctx (D.load ctx (D.gep ctx q gid)) sq_p;
+      D.sync ctx;
+      D.for_up ctx ~name:"i" ~from:(D.i32 0) ~until:(D.i32 outer_iters)
+        (fun iv ->
+          D.for_up ctx ~name:"j" ~from:(D.i32 0) ~until:(D.i32 inner_iters)
+            (fun jv ->
+              let parity =
+                D.and_ ctx (D.add ctx tid (D.add ctx iv jv)) (D.i32 1)
+              in
+              let cond = D.eq ctx parity (D.i32 0) in
+              let true_path () =
+                match pattern with
+                | Diamond -> t1.emit ctx ~x:sa_p ~y:sb_p ~i:iv ~j:jv
+                | If_then ->
+                    emit_guarded ctx ~x:sa_p ~y:sb_p ~i:iv ~j:jv t1
+                | Two_if_then ->
+                    emit_guarded ctx ~x:sa_p ~y:sb_p ~i:iv ~j:jv t1;
+                    emit_guarded2 ctx ~x:sa_p ~y:sb_p ~i:iv ~j:jv t2
+              in
+              let false_path () =
+                match pattern with
+                | Diamond -> f1.emit ctx ~x:sp_p ~y:sq_p ~i:iv ~j:jv
+                | If_then ->
+                    emit_guarded ctx ~x:sp_p ~y:sq_p ~i:iv ~j:jv f1
+                | Two_if_then ->
+                    emit_guarded ctx ~x:sp_p ~y:sq_p ~i:iv ~j:jv f1;
+                    emit_guarded2 ctx ~x:sp_p ~y:sq_p ~i:iv ~j:jv f2
+              in
+              D.if_ ctx cond true_path false_path));
+      D.sync ctx;
+      D.store ctx (D.load ctx sa_p) (D.gep ctx a gid);
+      D.store ctx (D.load ctx sp_p) (D.gep ctx p gid))
+
+(** Host-side mirror of the kernel over the whole grid. *)
+let host_run ~(pattern : pattern) ~(t1 : comp) ~(t2 : comp) ~(f1 : comp)
+    ~(f2 : comp) (a : int array) (b : int array) (p : int array)
+    (q : int array) : unit =
+  let n = Array.length a in
+  for gid = 0 to n - 1 do
+    for i = 0 to outer_iters - 1 do
+      for j = 0 to inner_iters - 1 do
+        if (gid + i + j) land 1 = 0 then
+          match pattern with
+          | Diamond -> t1.host a b i j gid
+          | If_then -> host_guarded t1 a b i j gid
+          | Two_if_then ->
+              host_guarded t1 a b i j gid;
+              host_guarded2 t2 a b i j gid
+        else
+          match pattern with
+          | Diamond -> f1.host p q i j gid
+          | If_then -> host_guarded f1 p q i j gid
+          | Two_if_then ->
+              host_guarded f1 p q i j gid;
+              host_guarded2 f2 p q i j gid
+      done
+    done
+  done
+
+let make_sb ~(tag : string) ~(pattern : pattern) ~(randomized : bool) :
+    Kernel.t =
+  let t1 = comp_mul_add and t2 = comp_addsub in
+  let f1 = if randomized then comp_xor_shift else comp_mul_add in
+  let f2 = if randomized then comp_max_mask else comp_addsub in
+  let make ~seed ~block_size ~n =
+    let n = n - (n mod block_size) in
+    let n = max n block_size in
+    let a = Kernel.random_int_array ~seed ~n ~bound:1024 in
+    let b = Kernel.random_int_array ~seed:(seed + 1) ~n ~bound:1024 in
+    let p = Kernel.random_int_array ~seed:(seed + 2) ~n ~bound:1024 in
+    let q = Kernel.random_int_array ~seed:(seed + 3) ~n ~bound:1024 in
+    let global = Memory.create ~space:Memory.Sp_global (4 * n) in
+    let pa = Memory.alloc_of_int_array global a in
+    let pb = Memory.alloc_of_int_array global b in
+    let pp = Memory.alloc_of_int_array global p in
+    let pq = Memory.alloc_of_int_array global q in
+    let func =
+      build_kernel ~name:(String.lowercase_ascii tag) ~pattern ~t1 ~t2 ~f1
+        ~f2 ~block_size
+    in
+    {
+      Kernel.func;
+      global;
+      args = [| pa; pb; pp; pq |];
+      launch = { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+      read_result =
+        (fun () ->
+          Array.append
+            (Memory.read_int_array global pa n |> Kernel.ints)
+            (Memory.read_int_array global pp n |> Kernel.ints));
+      reference =
+        (fun () ->
+          let a' = Array.copy a
+          and b' = Array.copy b
+          and p' = Array.copy p
+          and q' = Array.copy q in
+          host_run ~pattern ~t1 ~t2 ~f1 ~f2 a' b' p' q';
+          Array.append (Kernel.ints a') (Kernel.ints p'));
+    }
+  in
+  {
+    Kernel.name = tag;
+    tag;
+    description =
+      (match pattern, randomized with
+      | Diamond, false -> "diamond divergence, identical paths"
+      | Diamond, true -> "diamond divergence, distinct paths"
+      | If_then, false -> "if-then regions on both paths, identical"
+      | If_then, true -> "if-then regions on both paths, distinct"
+      | Two_if_then, false -> "two if-then regions per path, identical"
+      | Two_if_then, true -> "two if-then regions per path, distinct");
+    default_n = 2048;
+    block_sizes = [ 64; 128; 256; 512; 1024 ];
+    make;
+  }
+
+let sb1 = make_sb ~tag:"SB1" ~pattern:Diamond ~randomized:false
+let sb1_r = make_sb ~tag:"SB1-R" ~pattern:Diamond ~randomized:true
+let sb2 = make_sb ~tag:"SB2" ~pattern:If_then ~randomized:false
+let sb2_r = make_sb ~tag:"SB2-R" ~pattern:If_then ~randomized:true
+let sb3 = make_sb ~tag:"SB3" ~pattern:Two_if_then ~randomized:false
+let sb3_r = make_sb ~tag:"SB3-R" ~pattern:Two_if_then ~randomized:true
+
+let all = [ sb1; sb2; sb3; sb1_r; sb2_r; sb3_r ]

@@ -1,0 +1,14 @@
+(** Synthetic benchmarks SB1–SB3 and their -R variants (paper §VI-A,
+    Fig. 6): two nested loops whose inner body holds a divergent
+    if-then-else whose true path touches arrays [a, b] and false path
+    [p, q].  SB1 = diamond, SB2 = if-then region per side, SB3 = two
+    if-then regions per side; -R variants use distinct instruction
+    sequences on the two paths. *)
+
+val sb1 : Kernel.t
+val sb1_r : Kernel.t
+val sb2 : Kernel.t
+val sb2_r : Kernel.t
+val sb3 : Kernel.t
+val sb3_r : Kernel.t
+val all : Kernel.t list

@@ -1,0 +1,1 @@
+lib/transforms/constfold.ml: Array Darm_ir Op Option

@@ -1,0 +1,1 @@
+lib/transforms/constfold.mli: Darm_ir Op Ssa

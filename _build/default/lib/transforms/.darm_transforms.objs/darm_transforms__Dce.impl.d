@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Array Darm_ir Hashtbl List Op Option

@@ -1,0 +1,1 @@
+lib/transforms/dce.mli: Darm_ir

@@ -1,0 +1,1 @@
+lib/transforms/loop_unroll.ml: Array Darm_analysis Darm_ir Hashtbl List Op Option Printf Types

@@ -1,0 +1,1 @@
+lib/transforms/loop_unroll.mli: Darm_analysis Darm_ir Ssa

@@ -1,0 +1,1 @@
+lib/transforms/simplify_cfg.ml: Array Darm_analysis Darm_ir List Op

@@ -1,0 +1,1 @@
+lib/transforms/tail_merge.ml: Array Darm_ir Hashtbl List Op Simplify_cfg Types

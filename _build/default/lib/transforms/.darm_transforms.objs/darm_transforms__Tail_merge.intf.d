@@ -1,0 +1,1 @@
+lib/transforms/tail_merge.mli: Darm_ir Ssa

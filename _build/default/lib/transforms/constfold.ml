@@ -1,0 +1,64 @@
+(** Constant folding of individual instructions. *)
+
+open Darm_ir
+open Darm_ir.Ssa
+
+let fold_ibin (op : Op.ibinop) (x : int) (y : int) : int option =
+  match op with
+  | Op.Add -> Some (x + y)
+  | Op.Sub -> Some (x - y)
+  | Op.Mul -> Some (x * y)
+  | Op.Sdiv -> if y = 0 then None else Some (x / y)
+  | Op.Srem -> if y = 0 then None else Some (x mod y)
+  | Op.And -> Some (x land y)
+  | Op.Or -> Some (x lor y)
+  | Op.Xor -> Some (x lxor y)
+  | Op.Shl -> if y < 0 || y > 31 then None else Some ((x lsl y) land 0xFFFFFFFF)
+  | Op.Lshr -> if y < 0 || y > 31 then None else Some ((x land 0xFFFFFFFF) lsr y)
+  | Op.Ashr -> if y < 0 || y > 31 then None else Some (x asr y)
+  | Op.Smin -> Some (min x y)
+  | Op.Smax -> Some (max x y)
+
+let fold_icmp (p : Op.icmp_pred) (x : int) (y : int) : bool =
+  match p with
+  | Op.Ieq -> x = y
+  | Op.Ine -> x <> y
+  | Op.Islt -> x < y
+  | Op.Isle -> x <= y
+  | Op.Isgt -> x > y
+  | Op.Isge -> x >= y
+
+(** Try to fold [i] to a constant value. *)
+let fold_instr (i : instr) : value option =
+  match i.op, Array.to_list i.operands with
+  | Op.Ibin op, [ Int x; Int y ] ->
+      Option.map (fun v -> Int v) (fold_ibin op x y)
+  (* algebraic identities *)
+  | Op.Ibin Op.Add, [ v; Int 0 ] | Op.Ibin Op.Add, [ Int 0; v ] -> Some v
+  | Op.Ibin Op.Sub, [ v; Int 0 ] -> Some v
+  | Op.Ibin Op.Mul, [ v; Int 1 ] | Op.Ibin Op.Mul, [ Int 1; v ] -> Some v
+  | Op.Ibin Op.Mul, [ _; Int 0 ] | Op.Ibin Op.Mul, [ Int 0; _ ] -> Some (Int 0)
+  | Op.Icmp p, [ Int x; Int y ] -> Some (Bool (fold_icmp p x y))
+  | Op.Not, [ Bool b ] -> Some (Bool (not b))
+  | Op.Select, [ Bool true; tv; _ ] -> Some tv
+  | Op.Select, [ Bool false; _; fv ] -> Some fv
+  | Op.Select, [ _; tv; fv ] when value_equal tv fv -> Some tv
+  | _ -> None
+
+(** Fold everything foldable in [f]; returns [true] if anything changed.
+    Folded instructions become dead and are left for {!Dce}. *)
+let run (f : func) : bool =
+  let changed = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    iter_instrs f (fun i ->
+        match fold_instr i with
+        | Some v ->
+            replace_all_uses f ~old_v:(Instr i) ~new_v:v;
+            (match i.parent with Some b -> remove_instr b i | None -> ());
+            progress := true;
+            changed := true
+        | None -> ())
+  done;
+  !changed

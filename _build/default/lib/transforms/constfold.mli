@@ -1,0 +1,15 @@
+(** Constant folding of individual instructions (arithmetic on literals,
+    algebraic identities, select simplification). *)
+
+open Darm_ir
+
+val fold_ibin : Op.ibinop -> int -> int -> int option
+val fold_icmp : Op.icmp_pred -> int -> int -> bool
+
+(** Try to fold one instruction to a constant value. *)
+val fold_instr : Ssa.instr -> Ssa.value option
+
+(** Fold everything foldable to a fixpoint; returns [true] if anything
+    changed.  Folded instructions become dead and are left for
+    {!Dce}. *)
+val run : Ssa.func -> bool

@@ -1,0 +1,4 @@
+(** Dead-code elimination: removes instructions without side effects
+    whose results are unused, iterating to a fixpoint. *)
+
+val run : Darm_ir.Ssa.func -> bool

@@ -1,0 +1,25 @@
+(** Full unrolling of simple counted loops.
+
+    The paper's pipeline relies on HIPCC's aggressive unrolling: bitonic
+    sort's meldable region appears in every unrolled instance of the
+    inner loop body, and PCM's multiple isomorphic subgraphs per path
+    come from unrolled loops (§VI-E).  This pass provides the same
+    enabling transformation for loops whose header is the only exiting
+    block and whose induction variable has constant init/step/bound. *)
+
+open Darm_ir
+module Loops = Darm_analysis.Loops
+
+type counted_loop
+
+(** Match the unrollable shape and evaluate the trip count
+    ([<= max_trip]). *)
+val analyze : Ssa.func -> Loops.loop -> max_trip:int -> counted_loop option
+
+(** Fully unroll; the original loop blocks are removed. *)
+val unroll : Ssa.func -> counted_loop -> unit
+
+(** Fully unroll every simple counted loop with trip count at most
+    [max_trip], repeating until none qualify (nested counted loops
+    unroll inside-out).  Returns the number of loops unrolled. *)
+val run : ?max_trip:int -> Ssa.func -> int

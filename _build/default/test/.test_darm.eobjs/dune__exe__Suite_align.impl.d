@@ -1,0 +1,1 @@
+test/suite_align.ml: Alcotest Darm_align Darm_analysis Darm_ir List Op Printf Ssa String Types

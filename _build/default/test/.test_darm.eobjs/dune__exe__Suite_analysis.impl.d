@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Darm_analysis Darm_ir Dsl List Op Ssa Testlib Types

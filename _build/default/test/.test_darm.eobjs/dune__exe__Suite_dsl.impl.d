@@ -1,0 +1,1 @@
+test/suite_dsl.ml: Alcotest Array Darm_ir Darm_sim Dsl Float List Op Ssa Types Verify

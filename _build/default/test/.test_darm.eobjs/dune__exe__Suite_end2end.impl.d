@@ -1,0 +1,1 @@
+test/suite_end2end.ml: Alcotest Darm_core Darm_kernels Darm_sim List Printf QCheck2 QCheck_alcotest String Testlib

@@ -1,0 +1,1 @@
+test/suite_frontend.ml: Alcotest Array Darm_core Darm_frontend Darm_ir Darm_kernels Darm_sim List Ssa String Verify

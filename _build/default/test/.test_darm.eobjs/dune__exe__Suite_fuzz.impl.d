@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Alcotest Darm_core Darm_ir Darm_kernels Darm_transforms List Printf String

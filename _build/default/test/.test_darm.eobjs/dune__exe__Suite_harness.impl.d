@@ -1,0 +1,1 @@
+test/suite_harness.ml: Alcotest Darm_harness Darm_ir Darm_kernels Darm_sim List String

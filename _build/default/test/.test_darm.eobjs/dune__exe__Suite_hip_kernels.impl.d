@@ -1,0 +1,1 @@
+test/suite_hip_kernels.ml: Alcotest Darm_core Darm_frontend Darm_ir Darm_kernels Darm_sim List Printf Ssa Testlib Verify

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array Builder Darm_ir Dsl List Op Printer Ssa String Testlib Types Verify

@@ -1,0 +1,1 @@
+test/suite_meld_ir.ml: Alcotest Array Darm_analysis Darm_core Darm_ir Darm_sim Dsl List Op Ssa String Types Verify

@@ -1,0 +1,1 @@
+test/suite_melding.ml: Alcotest Darm_analysis Darm_core Darm_ir Dsl List Op Printer Ssa Testlib Types Verify

@@ -1,0 +1,1 @@
+test/suite_memory.ml: Alcotest Darm_ir Darm_sim List Op Parser Printer Printf String Verify

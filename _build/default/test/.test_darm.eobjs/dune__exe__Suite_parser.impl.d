@@ -1,0 +1,1 @@
+test/suite_parser.ml: Alcotest Array Darm_core Darm_ir Darm_kernels Darm_sim List Parser Printer Ssa String Verify

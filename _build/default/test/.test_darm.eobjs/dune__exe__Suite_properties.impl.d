@@ -1,0 +1,1 @@
+test/suite_properties.ml: Array Darm_align Darm_analysis Darm_core Darm_ir Darm_kernels Darm_sim Float Hashtbl List Op QCheck2 QCheck_alcotest Ssa String

@@ -1,0 +1,1 @@
+test/suite_regions.ml: Alcotest Darm_analysis Darm_core Darm_ir Dsl Hashtbl List Op Ssa Types Verify

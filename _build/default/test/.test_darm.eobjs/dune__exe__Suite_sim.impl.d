@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Darm_ir Darm_sim Dsl List String Testlib Types

@@ -1,0 +1,1 @@
+test/suite_transforms.ml: Alcotest Array Darm_ir Darm_kernels Darm_transforms Dsl List Op Ssa Testlib Types Verify

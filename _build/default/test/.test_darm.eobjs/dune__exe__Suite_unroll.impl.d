@@ -1,0 +1,1 @@
+test/suite_unroll.ml: Alcotest Array Darm_analysis Darm_core Darm_ir Darm_kernels Darm_sim Darm_transforms Dsl List String Types Verify

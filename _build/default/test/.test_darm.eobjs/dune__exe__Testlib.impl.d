@@ -1,0 +1,1 @@
+test/testlib.ml: Alcotest Array Darm_core Darm_ir Darm_kernels Darm_sim Dsl Printf Ssa Types Verify

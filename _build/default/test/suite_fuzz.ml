@@ -1,0 +1,172 @@
+(* Differential fuzzing: random structured divergent kernels must
+   behave identically before and after every transformation.  The
+   untransformed simulation is the oracle, so this covers the whole
+   pipeline end to end with no hand-written expectations. *)
+
+module RK = Darm_kernels.Random_kernel
+module C = Darm_core
+module T = Darm_transforms
+
+let check = Alcotest.(check bool)
+
+let small_cfg =
+  { RK.default_cfg with array_size = 128; max_depth = 2; stmts_per_block = 3 }
+
+let run_seeds ~name ~transform ~seeds () =
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      match
+        RK.check_transform ~cfg:small_cfg ~seed ~block_size:64 ~transform ()
+      with
+      | Ok () -> ()
+      | Error e -> failures := e :: !failures)
+    seeds;
+  (match !failures with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "%s: %d failure(s):\n%s" name (List.length fs)
+        (String.concat "\n" fs));
+  check name true true
+
+let seeds lo hi =
+  let rec go k acc = if k < lo then acc else go (k - 1) (k :: acc) in
+  go hi []
+
+let darm f = ignore (C.Pass.run ~verify_each:true f)
+
+let darm_no_unpred f =
+  ignore
+    (C.Pass.run
+       ~config:{ C.Pass.default_config with unpredicate = false }
+       ~verify_each:true f)
+
+let fusion f = ignore (C.Pass.run_branch_fusion ~verify_each:true f)
+
+let tail_merge f =
+  ignore (T.Tail_merge.run f);
+  Darm_ir.Verify.run_exn f
+
+let cleanups f =
+  ignore (T.Simplify_cfg.run f);
+  ignore (T.Constfold.run f);
+  ignore (T.Dce.run f);
+  Darm_ir.Verify.run_exn f
+
+let everything f =
+  cleanups f;
+  darm f;
+  tail_merge f;
+  ignore (T.Simplify_cfg.if_convert f);
+  cleanups f
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "darm on random kernels" `Quick
+          (run_seeds ~name:"darm" ~transform:darm ~seeds:(seeds 0 39));
+        Alcotest.test_case "darm without unpredication" `Quick
+          (run_seeds ~name:"darm-no-unpred" ~transform:darm_no_unpred
+             ~seeds:(seeds 40 59));
+        Alcotest.test_case "branch fusion on random kernels" `Quick
+          (run_seeds ~name:"fusion" ~transform:fusion ~seeds:(seeds 60 79));
+        Alcotest.test_case "tail merging on random kernels" `Quick
+          (run_seeds ~name:"tail-merge" ~transform:tail_merge
+             ~seeds:(seeds 80 99));
+        Alcotest.test_case "cleanup pipeline on random kernels" `Quick
+          (run_seeds ~name:"cleanups" ~transform:cleanups
+             ~seeds:(seeds 100 119));
+        Alcotest.test_case "full pipeline on random kernels" `Quick
+          (run_seeds ~name:"everything" ~transform:everything
+             ~seeds:(seeds 120 149));
+        Alcotest.test_case "darm, deep nesting" `Quick
+          (fun () ->
+            let deep =
+              { RK.default_cfg with array_size = 128; max_depth = 4;
+                stmts_per_block = 2 }
+            in
+            let failures = ref [] in
+            List.iter
+              (fun seed ->
+                match
+                  RK.check_transform ~cfg:deep ~seed ~block_size:64
+                    ~transform:darm ()
+                with
+                | Ok () -> ()
+                | Error e -> failures := e :: !failures)
+              (seeds 300 314);
+            if !failures <> [] then
+              Alcotest.failf "deep: %s" (String.concat "\n" !failures));
+        Alcotest.test_case "darm, no shared memory" `Quick
+          (fun () ->
+            let cfg =
+              { RK.default_cfg with array_size = 128; max_depth = 2;
+                use_shared = false }
+            in
+            let failures = ref [] in
+            List.iter
+              (fun seed ->
+                match
+                  RK.check_transform ~cfg ~seed ~block_size:64
+                    ~transform:darm ()
+                with
+                | Ok () -> ()
+                | Error e -> failures := e :: !failures)
+              (seeds 320 334);
+            if !failures <> [] then
+              Alcotest.failf "no-shared: %s" (String.concat "\n" !failures));
+        Alcotest.test_case "darm, partial warp (block 32 on warp 64)"
+          `Quick
+          (fun () ->
+            let failures = ref [] in
+            List.iter
+              (fun seed ->
+                match
+                  RK.check_transform ~cfg:small_cfg ~seed ~block_size:32
+                    ~transform:darm ()
+                with
+                | Ok () -> ()
+                | Error e -> failures := e :: !failures)
+              (seeds 340 354);
+            if !failures <> [] then
+              Alcotest.failf "partial-warp: %s" (String.concat "\n" !failures));
+        Alcotest.test_case "alignment pairing on random kernels" `Quick
+          (fun () ->
+            let transform f =
+              ignore
+                (C.Pass.run
+                   ~config:{ C.Pass.default_config with pairing = C.Pass.Alignment }
+                   ~verify_each:true f)
+            in
+            let failures = ref [] in
+            List.iter
+              (fun seed ->
+                match
+                  RK.check_transform ~cfg:small_cfg ~seed ~block_size:64
+                    ~transform ()
+                with
+                | Ok () -> ()
+                | Error e -> failures := e :: !failures)
+              (seeds 360 374);
+            if !failures <> [] then
+              Alcotest.failf "alignment: %s" (String.concat "\n" !failures));
+        Alcotest.test_case "printer-parser roundtrip on random kernels"
+          `Quick
+          (fun () ->
+            List.iter
+              (fun seed ->
+                let f = RK.generate ~cfg:small_cfg ~seed () in
+                let text = Darm_ir.Printer.func_to_string f in
+                match Darm_ir.Parser.parse_func text with
+                | Ok f2 ->
+                    Darm_ir.Verify.run_exn f2;
+                    let text2 = Darm_ir.Printer.func_to_string f2 in
+                    Alcotest.(check string)
+                      (Printf.sprintf "roundtrip seed %d" seed)
+                      text text2
+                | Error e ->
+                    Alcotest.failf "seed %d: parse error: %s" seed e)
+              (seeds 0 19));
+      ] );
+  ]

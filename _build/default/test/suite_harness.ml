@@ -1,0 +1,129 @@
+(* The experiment harness itself: geomean, sweeps, correctness gating,
+   CSV export. *)
+
+module E = Darm_harness.Experiment
+module K = Darm_kernels
+
+let check = Alcotest.(check bool)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "empty" 1. (E.geomean []);
+  Alcotest.(check (float 1e-9)) "singleton" 2. (E.geomean [ 2. ]);
+  Alcotest.(check (float 1e-9)) "2 and 8" 4. (E.geomean [ 2.; 8. ]);
+  Alcotest.(check (float 1e-6)) "identity" 1. (E.geomean [ 0.5; 2. ])
+
+let test_sweep_covers_block_sizes () =
+  let kernel = K.Sb.sb1 in
+  let results = E.sweep ~n:128 kernel in
+  Alcotest.(check int)
+    "one result per block size"
+    (List.length kernel.K.Kernel.block_sizes)
+    (List.length results);
+  List.iter
+    (fun (r : E.result) ->
+      check "correct" true r.E.correct;
+      check "positive cycles" true (r.E.base.Darm_sim.Metrics.cycles > 0))
+    results
+
+let test_identity_transform_is_neutral () =
+  let r =
+    E.run ~transform:E.identity_transform K.Sb.sb1 ~block_size:64 ~n:128
+  in
+  check "no rewrites" true (r.E.rewrites = 0);
+  Alcotest.(check (float 1e-9)) "speedup 1.0" 1.0 (E.speedup r);
+  check "correct" true r.E.correct
+
+let test_broken_transform_is_detected () =
+  (* a transform that corrupts the kernel (changes a constant) must trip
+     the built-in equivalence check, never pass silently *)
+  let sabotage =
+    {
+      E.t_name = "sabotage";
+      t_apply =
+        (fun f ->
+          let changed = ref 0 in
+          Darm_ir.Ssa.iter_instrs f (fun i ->
+              if !changed = 0 then
+                match i.Darm_ir.Ssa.op, i.Darm_ir.Ssa.operands with
+                | Darm_ir.Op.Ibin Darm_ir.Op.Add, [| a; Darm_ir.Ssa.Int k |] ->
+                    i.Darm_ir.Ssa.operands <- [| a; Darm_ir.Ssa.Int (k + 1) |];
+                    incr changed
+                | _ -> ());
+          !changed);
+    }
+  in
+  let r = E.run ~transform:sabotage K.Sb.sb1 ~block_size:64 ~n:128 in
+  check "sabotage applied" true (r.E.rewrites = 1);
+  check "corruption detected" false r.E.correct
+
+let test_csv_export_shape () =
+  let r = E.run K.Sb.sb1 ~block_size:64 ~n:128 in
+  let row = Darm_harness.Csv_export.result_row r in
+  let fields = String.split_on_char ',' row in
+  let header_fields =
+    String.split_on_char ',' Darm_harness.Csv_export.header
+  in
+  Alcotest.(check int)
+    "row arity matches header" (List.length header_fields)
+    (List.length fields);
+  check "row names the kernel" true (List.hd fields = "SB1")
+
+let test_registry_tags_unique () =
+  let tags = K.Registry.tags () in
+  let sorted = List.sort_uniq compare tags in
+  Alcotest.(check int) "no duplicate tags" (List.length tags)
+    (List.length sorted);
+  check "find is case-insensitive" true
+    (match K.Registry.find "bit" with
+    | Some k -> k.K.Kernel.tag = "BIT"
+    | None -> false);
+  check "unknown tag" true (K.Registry.find "NOPE" = None)
+
+let test_makespan () =
+  let module M = Darm_sim.Metrics in
+  let m = M.create () in
+  m.M.block_cycles <- [ 10; 20; 30; 40 ];
+  m.M.cycles <- 100;
+  Alcotest.(check int) "1 cu = total" 100 (M.makespan m ~num_cus:1);
+  (* LPT over [40;30;20;10] on 2 CUs: {40,10} {30,20} -> 50 *)
+  Alcotest.(check int) "2 cus" 50 (M.makespan m ~num_cus:2);
+  (* more CUs than blocks: bounded by the largest block *)
+  Alcotest.(check int) "8 cus" 40 (M.makespan m ~num_cus:8)
+
+let test_block_cycles_recorded () =
+  let r = E.run ~transform:E.identity_transform K.Sb.sb1 ~block_size:64 ~n:256 in
+  let bc = r.E.base.Darm_sim.Metrics.block_cycles in
+  Alcotest.(check int) "one entry per block" 4 (List.length bc);
+  Alcotest.(check int) "entries sum to total" r.E.base.Darm_sim.Metrics.cycles
+    (List.fold_left ( + ) 0 bc)
+
+let test_metrics_add () =
+  let module M = Darm_sim.Metrics in
+  let a = M.create () and b = M.create () in
+  a.M.cycles <- 10;
+  b.M.cycles <- 5;
+  a.M.mem_shared <- 3;
+  b.M.mem_shared <- 4;
+  M.add a b;
+  Alcotest.(check int) "cycles" 15 a.M.cycles;
+  Alcotest.(check int) "shared" 7 a.M.mem_shared
+
+let suites =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        Alcotest.test_case "sweep coverage" `Quick
+          test_sweep_covers_block_sizes;
+        Alcotest.test_case "identity transform" `Quick
+          test_identity_transform_is_neutral;
+        Alcotest.test_case "broken transform detected" `Quick
+          test_broken_transform_is_detected;
+        Alcotest.test_case "csv row shape" `Quick test_csv_export_shape;
+        Alcotest.test_case "registry tags" `Quick test_registry_tags_unique;
+        Alcotest.test_case "metrics add" `Quick test_metrics_add;
+        Alcotest.test_case "makespan" `Quick test_makespan;
+        Alcotest.test_case "block cycles recorded" `Quick
+          test_block_cycles_recorded;
+      ] );
+  ]

@@ -1,0 +1,160 @@
+(* The simulator's memory model and the printer's opcode coverage. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+
+let check = Alcotest.(check bool)
+
+let test_alloc_and_rw () =
+  let m = Memory.create ~space:Memory.Sp_global 16 in
+  let p1 = Memory.alloc m 4 in
+  let p2 = Memory.alloc m 4 in
+  (match p1, p2 with
+  | Memory.Rptr (Memory.Sp_global, 0), Memory.Rptr (Memory.Sp_global, 4) -> ()
+  | _ -> Alcotest.fail "bump allocation offsets");
+  Memory.write m 2 (Memory.Rint 42);
+  check "read back" true (Memory.read m 2 = Memory.Rint 42);
+  check "fresh cells are undef" true (Memory.read m 3 = Memory.Rundef)
+
+let test_alloc_exhaustion () =
+  let m = Memory.create ~space:Memory.Sp_shared 8 in
+  ignore (Memory.alloc m 8);
+  try
+    ignore (Memory.alloc m 1);
+    Alcotest.fail "expected out-of-memory"
+  with Memory.Fault _ -> ()
+
+let test_bounds () =
+  let m = Memory.create ~space:Memory.Sp_global 4 in
+  (try
+     ignore (Memory.read m 4);
+     Alcotest.fail "expected oob read"
+   with Memory.Fault _ -> ());
+  (try
+     Memory.write m (-1) (Memory.Rint 0);
+     Alcotest.fail "expected oob write"
+   with Memory.Fault _ -> ())
+
+let test_conversions () =
+  check "int" true (Memory.to_int (Memory.Rint 7) = 7);
+  check "bool true" true (Memory.to_int (Memory.Rbool true) = 1);
+  check "float widen" true (Memory.to_float (Memory.Rint 3) = 3.);
+  (try
+     ignore (Memory.to_int Memory.Rundef);
+     Alcotest.fail "expected a fault"
+   with Memory.Fault _ -> ())
+
+let test_array_helpers () =
+  let m = Memory.create ~space:Memory.Sp_global 16 in
+  let p = Memory.alloc_of_int_array m [| 5; 6; 7 |] in
+  Alcotest.(check (array int)) "roundtrip" [| 5; 6; 7 |]
+    (Memory.read_int_array m p 3);
+  let pf = Memory.alloc_of_float_array m [| 1.5; 2.5 |] in
+  check "float roundtrip" true
+    (Memory.read_float_array m pf 2 = [| 1.5; 2.5 |])
+
+(* Every opcode must print, and (for the value-producing, parseable ones)
+   survive a print/parse round-trip inside a block. *)
+let test_printer_opcode_coverage () =
+  let ops : Op.t list =
+    [
+      Op.Ibin Op.Add; Op.Ibin Op.Sub; Op.Ibin Op.Mul; Op.Ibin Op.Sdiv;
+      Op.Ibin Op.Srem; Op.Ibin Op.And; Op.Ibin Op.Or; Op.Ibin Op.Xor;
+      Op.Ibin Op.Shl; Op.Ibin Op.Lshr; Op.Ibin Op.Ashr; Op.Ibin Op.Smin;
+      Op.Ibin Op.Smax; Op.Fbin Op.Fadd; Op.Fbin Op.Fsub; Op.Fbin Op.Fmul;
+      Op.Fbin Op.Fdiv; Op.Fbin Op.Fmin; Op.Fbin Op.Fmax; Op.Icmp Op.Ieq;
+      Op.Icmp Op.Ine; Op.Icmp Op.Islt; Op.Icmp Op.Isle; Op.Icmp Op.Isgt;
+      Op.Icmp Op.Isge; Op.Fcmp Op.Foeq; Op.Fcmp Op.Fone; Op.Fcmp Op.Folt;
+      Op.Fcmp Op.Fole; Op.Fcmp Op.Fogt; Op.Fcmp Op.Foge; Op.Not;
+      Op.Select; Op.Load; Op.Store; Op.Gep; Op.Phi; Op.Br; Op.Condbr;
+      Op.Ret; Op.Thread_idx; Op.Block_idx; Op.Block_dim; Op.Grid_dim;
+      Op.Syncthreads; Op.Alloc_shared 4; Op.Sitofp; Op.Fptosi;
+      Op.Addrspace_cast;
+    ]
+  in
+  List.iter
+    (fun op ->
+      check
+        (Printf.sprintf "op %s has a printable name" (Op.to_string op))
+        true
+        (String.length (Op.to_string op) > 0))
+    ops;
+  (* a function exercising one instruction of each printable class must
+     round-trip through the parser *)
+  let src =
+    {|
+kernel @all_ops(%a: ptr(global), %x: f32) {
+entry:
+  %0 = thread.idx
+  %1 = block.idx
+  %2 = block.dim
+  %3 = grid.dim
+  %4 = alloc.shared 8
+  %5 = add %0, %1
+  %6 = sub %5, %2
+  %7 = mul %6, 2
+  %8 = sdiv %7, 3
+  %9 = srem %8, 5
+  %10 = and %9, 7
+  %11 = or %10, 1
+  %12 = xor %11, 2
+  %13 = shl %12, 1
+  %14 = lshr %13, 1
+  %15 = ashr %14, 1
+  %16 = smin %15, %0
+  %17 = smax %16, %1
+  %18 = icmp slt %17, 100
+  %19 = not %18
+  %20 = select %19, %17, 0
+  %21 = sitofp %20
+  %22 = fadd %21, %x
+  %23 = fsub %22, 1.0
+  %24 = fmul %23, 2.0
+  %25 = fdiv %24, 3.0
+  %26 = fmin %25, %x
+  %27 = fmax %26, %x
+  %28 = fcmp ogt %27, 0.0
+  %29 = fptosi %27
+  %30 = gep %a, %29
+  %31 = addrspace.cast %30
+  %32 = load i32, %30
+  store %32, %30
+  syncthreads
+  condbr %28, t, e
+t:
+  br join
+e:
+  br join
+join:
+  %33 = phi i32 [1, t], [2, e]
+  store %33, %30
+  ret
+}
+|}
+  in
+  match Parser.parse_func src with
+  | Ok f ->
+      Verify.run_exn f;
+      let text = Printer.func_to_string f in
+      (match Parser.parse_func text with
+      | Ok f2 ->
+          Verify.run_exn f2;
+          Alcotest.(check string)
+            "all-ops roundtrip" text
+            (Printer.func_to_string f2)
+      | Error e -> Alcotest.failf "re-parse: %s" e)
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let suites =
+  [
+    ( "memory",
+      [
+        Alcotest.test_case "alloc and rw" `Quick test_alloc_and_rw;
+        Alcotest.test_case "alloc exhaustion" `Quick test_alloc_exhaustion;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "conversions" `Quick test_conversions;
+        Alcotest.test_case "array helpers" `Quick test_array_helpers;
+        Alcotest.test_case "printer opcode coverage" `Quick
+          test_printer_opcode_coverage;
+      ] );
+  ]

@@ -1,0 +1,68 @@
+(* Shared helpers for the test suites. *)
+
+open Darm_ir
+module Kernel = Darm_kernels.Kernel
+module Simulator = Darm_sim.Simulator
+module Memory = Darm_sim.Memory
+module Metrics = Darm_sim.Metrics
+module Pass = Darm_core.Pass
+
+let small_sim_config =
+  { Simulator.default_config with max_cycles_per_warp = 50_000_000 }
+
+let run_instance (inst : Kernel.instance) : Metrics.t =
+  Simulator.run ~config:small_sim_config inst.Kernel.func
+    ~args:inst.Kernel.args ~global:inst.Kernel.global inst.Kernel.launch
+
+let show_mismatch tagline a b =
+  match Kernel.first_mismatch a b with
+  | None -> ()
+  | Some k ->
+      Alcotest.failf "%s: first mismatch at %d: %s vs %s" tagline k
+        (if k < Array.length a then Kernel.rv_to_string a.(k) else "<none>")
+        (if k < Array.length b then Kernel.rv_to_string b.(k) else "<none>")
+
+(** The central correctness oracle: simulate [kernel] untransformed and
+    after [transform]; both must match each other and the host
+    reference. Returns (baseline metrics, transformed metrics). *)
+let check_equivalence ?(transform = fun f -> ignore (Pass.run ~verify_each:true f))
+    (kernel : Kernel.t) ~(block_size : int) ~(n : int) ~(seed : int) :
+    Metrics.t * Metrics.t =
+  let base = kernel.Kernel.make ~seed ~block_size ~n in
+  let melded = kernel.Kernel.make ~seed ~block_size ~n in
+  transform melded.Kernel.func;
+  Verify.run_exn melded.Kernel.func;
+  let m_base = run_instance base in
+  let m_meld = run_instance melded in
+  let out_base = base.Kernel.read_result () in
+  let out_meld = melded.Kernel.read_result () in
+  let expected = base.Kernel.reference () in
+  show_mismatch
+    (Printf.sprintf "%s bs=%d: baseline vs reference" kernel.Kernel.tag
+       block_size)
+    out_base expected;
+  show_mismatch
+    (Printf.sprintf "%s bs=%d: transformed vs baseline" kernel.Kernel.tag
+       block_size)
+    out_meld out_base;
+  (m_base, m_meld)
+
+(* A hand-built diamond kernel used by several suites:
+   out[i] = in[i] < 0 ? (-in[i]) * 2 : in[i] * 3 *)
+let diamond_func () : Ssa.func =
+  let module D = Dsl in
+  D.build_kernel ~name:"diamond"
+    ~params:[ ("inp", Types.Ptr Types.Global); ("out", Types.Ptr Types.Global) ]
+    (fun ctx params ->
+      let inp, out =
+        match params with [ i; o ] -> (i, o) | _ -> assert false
+      in
+      let tid = D.tid ctx in
+      let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+      let v = D.load ctx (D.gep ctx inp gid) in
+      let r = D.local ctx ~name:"r" Types.I32 in
+      D.if_ ctx
+        (D.slt ctx v (D.i32 0))
+        (fun () -> D.set ctx r (D.mul ctx (D.sub ctx (D.i32 0) v) (D.i32 2)))
+        (fun () -> D.set ctx r (D.mul ctx v (D.i32 3)));
+      D.store ctx (D.get ctx r) (D.gep ctx out gid))
