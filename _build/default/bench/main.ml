@@ -3,25 +3,40 @@
    plus Bechamel wall-clock micro-benchmarks of the compile pipelines
    (one Test per Table II row).
 
+   Experiment points fan out over a domain pool sized by DARM_JOBS
+   (default: the core count); the printed figures are byte-identical
+   for any pool size.  The process exits non-zero if any experiment
+   fails its output-equivalence check.
+
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig7 table2  # a subset
+     dune exec bench/main.exe -- --smoke      # CI smoke pass
 *)
 
 module H = Darm_harness
 module Registry = Darm_kernels.Registry
 module Kernel = Darm_kernels.Kernel
 
+(* correctness gate: every figure reports whether its experiments
+   passed the built-in output-equivalence check, and one failure must
+   fail the whole run *)
+let all_ok = ref true
+
+let gate (ok : bool) = if not ok then all_ok := false
+
 let run_figures which =
   let want name = which = [] || List.mem name which in
-  if want "table1" then H.Figures.table1 ();
-  if want "fig7" then ignore (H.Figures.fig7 ());
-  if want "fig8" then ignore (H.Figures.fig8 ());
-  if want "fig9" then ignore (H.Figures.fig9 ());
-  if want "fig10" then ignore (H.Figures.fig10 ());
+  if want "table1" then gate (H.Figures.table1 ());
+  if want "fig7" then gate (H.Experiment.all_correct (H.Figures.fig7 ()));
+  if want "fig8" then gate (H.Experiment.all_correct (H.Figures.fig8 ()));
+  if want "fig9" then
+    gate (H.Experiment.all_correct (snd (H.Figures.fig9 ())));
+  if want "fig10" then
+    gate (H.Experiment.all_correct (snd (H.Figures.fig10 ())));
   if want "table2" then H.Figures.table2 ();
-  if want "ablation" then H.Ablation.run ();
-  if List.mem "csv" which then H.Csv_export.export ~dir:"bench_csv"
+  if want "ablation" then gate (H.Ablation.run ());
+  if List.mem "csv" which then H.Csv_export.export ~dir:"bench_csv" ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of compile time (Table II's measurement,
@@ -87,17 +102,27 @@ let run_bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let figure_args =
-    List.filter (fun a -> a <> "bechamel" && a <> "quick") args
-  in
   Printf.printf
     "DARM evaluation harness (simulated AMD-style GPU, warp size %d)\n"
     Darm_sim.Simulator.default_config.Darm_sim.Simulator.warp_size;
-  if args = [] then begin
-    run_figures [];
-    run_bechamel ()
-  end
+  Printf.printf "domain pool: %d job(s) (override with DARM_JOBS)\n"
+    (H.Parallel_sweep.default_jobs ());
+  if List.mem "--smoke" args || List.mem "smoke" args then
+    gate (H.Figures.smoke ())
   else begin
-    if figure_args <> [] then run_figures figure_args;
-    if List.mem "bechamel" args then run_bechamel ()
+    let figure_args =
+      List.filter (fun a -> a <> "bechamel" && a <> "quick") args
+    in
+    if args = [] then begin
+      run_figures [];
+      run_bechamel ()
+    end
+    else begin
+      if figure_args <> [] then run_figures figure_args;
+      if List.mem "bechamel" args then run_bechamel ()
+    end
+  end;
+  if not !all_ok then begin
+    prerr_endline "bench: correctness failures detected";
+    exit 1
   end

@@ -42,6 +42,13 @@ let pass_arg =
   let doc = "Transformation: darm, branch-fusion, tail-merge or none." in
   Arg.(value & opt string "darm" & info [ "p"; "pass" ] ~docv:"PASS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domain-pool size for independent simulations (default: DARM_JOBS from \
+     the environment, else the core count)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let transform_of_name = function
   | "darm" -> E.darm_transform ()
   | "branch-fusion" -> E.branch_fusion_transform
@@ -148,26 +155,32 @@ let simulate_cmd =
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg)
 
 let sweep_cmd =
-  let run tag n seed pass =
+  let run tag n seed pass jobs =
     let kernel = find_kernel tag in
     let t = transform_of_name pass in
+    let results =
+      E.run_many ?jobs
+        (List.map
+           (fun block_size () -> E.run ~transform:t ~seed ?n kernel ~block_size)
+           kernel.Kernel.block_sizes)
+    in
     Printf.printf "%-8s %8s %12s %12s %9s %9s %8s\n" "bench" "bs" "base cyc"
       "opt cyc" "speedup" "alu-util" "correct";
-    List.iter
-      (fun block_size ->
-        let r = E.run ~transform:t ~seed ?n kernel ~block_size in
+    List.iter2
+      (fun block_size r ->
         Printf.printf "%-8s %8d %12d %12d %8.2fx %8.1f%% %8s\n" r.E.tag
           block_size r.E.base.Darm_sim.Metrics.cycles
           r.E.opt.Darm_sim.Metrics.cycles (E.speedup r)
           (Darm_sim.Metrics.alu_utilization r.E.opt
              ~warp_size:E.sim_config.Darm_sim.Simulator.warp_size)
           (if r.E.correct then "yes" else "NO"))
-      kernel.Kernel.block_sizes
+      kernel.Kernel.block_sizes results;
+    if not (E.all_correct results) then exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a kernel's full block-size sweep and tabulate the metrics.")
-    Term.(const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg)
+    Term.(const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg $ jobs_arg)
 
 let parse_cmd =
   let file =
@@ -304,7 +317,7 @@ let fuzz_cmd =
     Arg.(value & opt int 50 & info [ "count" ] ~docv:"N"
            ~doc:"Number of random kernels per pipeline.")
   in
-  let run count =
+  let run count jobs =
     let module RK = Darm_kernels.Random_kernel in
     let pipelines =
       [
@@ -340,18 +353,21 @@ let fuzz_cmd =
     let failures = ref 0 in
     List.iter
       (fun (name, transform) ->
-        let bad = ref 0 in
-        for seed = 0 to count - 1 do
-          match RK.check_transform ~seed ~block_size:64 ~transform () with
-          | Ok () -> ()
-          | Error e ->
-              incr bad;
-              incr failures;
-              Printf.printf "FAIL [%s] %s
-" name e
-        done;
-        Printf.printf "%-14s %d/%d ok
-" name (count - !bad) count)
+        (* seeds fan out over the domain pool; outcomes come back in
+           seed order, so the failure report is deterministic *)
+        let outcomes =
+          Darm_harness.Parallel_sweep.map ?jobs
+            (fun seed -> RK.check_transform ~seed ~block_size:64 ~transform ())
+            (List.init count Fun.id)
+        in
+        let bad =
+          List.filter_map
+            (function Error e -> Some e | Ok () -> None)
+            outcomes
+        in
+        List.iter (fun e -> Printf.printf "FAIL [%s] %s\n" name e) bad;
+        failures := !failures + List.length bad;
+        Printf.printf "%-14s %d/%d ok\n" name (count - List.length bad) count)
       pipelines;
     if !failures > 0 then exit 1
   in
@@ -359,7 +375,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: random divergent kernels must behave           identically before and after every transformation.")
-    Term.(const run $ count)
+    Term.(const run $ count $ jobs_arg)
 
 let main =
   let info =

@@ -1,1 +1,1 @@
-lib/gpu_sim/simulator.ml: Array Darm_analysis Darm_ir Float Hashtbl List Memory Metrics Op Option Printf Types Verify
+lib/gpu_sim/simulator.ml: Array Darm_analysis Darm_ir Float Hashtbl I32 List Memory Metrics Op Printf Types Verify

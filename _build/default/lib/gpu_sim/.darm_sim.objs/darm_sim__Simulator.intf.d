@@ -1,1 +1,1 @@
-lib/gpu_sim/simulator.mli: Darm_analysis Darm_ir Memory Metrics Ssa
+lib/gpu_sim/simulator.mli: Darm_analysis Darm_ir Memory Metrics Op Ssa

@@ -20,6 +20,16 @@
     - the counters of {!Metrics} correspond to the rocprof counters used
       in §VI (ALU utilization, vector/LDS/flat memory instructions).
 
+    Integer arithmetic is uniformly two's-complement i32 via
+    {!Darm_ir.I32} — the same evaluator the constant folder uses.
+
+    The interpreter runs over a {e pre-decoded} function representation
+    built once per launch by {!prepare}: per-block instruction arrays
+    (no list walks on the hot path), dense instruction ids indexing a
+    flat register file (no hash lookups per operand), memoized
+    per-instruction latencies and classifications, and reusable scratch
+    buffers for memory-transaction accounting.
+
     The interpreter is also the correctness oracle: tests run the same
     kernel before and after melding and require bit-identical memory. *)
 
@@ -49,23 +59,101 @@ exception Sim_error of string
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
 
+let eval_ibin (op : Op.ibinop) (x : int) (y : int) : int =
+  match I32.eval op x y with
+  | Some v -> v
+  | None -> (
+      match op with
+      | Op.Sdiv -> errf "sdiv by zero"
+      | _ -> errf "srem by zero")
+
+let eval_fbin (op : Op.fbinop) (x : float) (y : float) : float =
+  match op with
+  | Op.Fadd -> x +. y
+  | Op.Fsub -> x -. y
+  | Op.Fmul -> x *. y
+  | Op.Fdiv -> x /. y
+  | Op.Fmin -> Float.min x y
+  | Op.Fmax -> Float.max x y
+
+let eval_icmp (p : Op.icmp_pred) (x : int) (y : int) : bool =
+  I32.compare_i32 p x y
+
+let eval_fcmp (p : Op.fcmp_pred) (x : float) (y : float) : bool =
+  match p with
+  | Op.Foeq -> x = y
+  | Op.Fone -> x <> y
+  | Op.Folt -> x < y
+  | Op.Fole -> x <= y
+  | Op.Fogt -> x > y
+  | Op.Foge -> x >= y
+
 (* ------------------------------------------------------------------ *)
-(* Per-function static context *)
+(* Pre-decoded function representation *)
+
+(** Decoded operand: everything an operand fetch needs without touching
+    the IR or a hash table. *)
+type dop =
+  | Dconst of rv  (** literal, canonicalized to i32 at decode time *)
+  | Dslot of int  (** register slot of the defining instruction *)
+  | Dparam of int  (** kernel argument index *)
+  | Dundef
+  | Dmissing of string * string
+      (** phi hole: (block name, pred name) — trap if ever read *)
+
+type mem_class = Mc_none | Mc_global | Mc_shared | Mc_flat
+
+(** Decoded instruction: opcode plus memoized latency, classification
+    and operand/successor arrays.  [d_orig] is kept only for error
+    context. *)
+type dinstr = {
+  d_op : Op.t;
+  d_slot : int;  (** destination register slot *)
+  d_lat : int;  (** memoized issue latency *)
+  d_alu : bool;  (** memoized [Op.is_alu] *)
+  d_mem : mem_class;  (** static pointer class of a memory access *)
+  d_ptr : int;  (** pointer operand index for load/store, -1 otherwise *)
+  d_term : bool;  (** memoized [Op.is_terminator] *)
+  d_ops : dop array;
+  d_succ : int array;  (** dense successor block indices *)
+  d_imm : int;  (** [Alloc_shared]: offset into shared memory *)
+  d_orig : instr;
+}
+
+type dphi = {
+  p_slot : int;
+  p_inc : dop array;  (** incoming value, indexed by dense pred index *)
+}
+
+type dblock = {
+  db_name : string;
+  db_phis : dphi array;
+  db_code : dinstr array;  (** body + terminator, phis excluded *)
+  db_ipdom : int;  (** reconvergence point (dense index), -1 = none *)
+}
 
 type fctx = {
   fn : func;
-  ipdom : (int, block option) Hashtbl.t;  (** block id -> reconvergence pt *)
-  shared_layout : (int, int) Hashtbl.t;   (** alloc_shared id -> offset *)
+  dblocks : dblock array;  (** index 0 is the entry block *)
+  nslots : int;  (** register-file height: one slot per instruction *)
+  max_phis : int;
   shared_size : int;
 }
 
-let prepare (fn : func) : fctx =
+let prepare (cfg : config) (fn : func) : fctx =
   Verify.run_exn fn;
   let pdt = Darm_analysis.Domtree.compute_post fn in
-  let ipdom = Hashtbl.create 32 in
-  List.iter
-    (fun b -> Hashtbl.replace ipdom b.bid (Darm_analysis.Domtree.idom pdt b))
-    fn.blocks_list;
+  let blocks = Array.of_list fn.blocks_list in
+  let nblocks = Array.length blocks in
+  let bidx : (int, int) Hashtbl.t = Hashtbl.create (2 * nblocks) in
+  Array.iteri (fun k b -> Hashtbl.replace bidx b.bid k) blocks;
+  (* dense register slots: one per instruction *)
+  let slot_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let nslots = ref 0 in
+  iter_instrs fn (fun i ->
+      Hashtbl.replace slot_of i.id !nslots;
+      incr nslots);
+  (* shared-memory layout *)
   let shared_layout = Hashtbl.create 4 in
   let off = ref 0 in
   iter_instrs fn (fun i ->
@@ -74,15 +162,87 @@ let prepare (fn : func) : fctx =
           Hashtbl.replace shared_layout i.id !off;
           off := !off + n
       | _ -> ());
-  { fn; ipdom; shared_layout; shared_size = !off }
+  let dop_of (v : value) : dop =
+    match v with
+    | Int n -> Dconst (Rint (I32.to_i32 n))
+    | Bool b -> Dconst (Rbool b)
+    | Float x -> Dconst (Rfloat x)
+    | Undef _ -> Dundef
+    | Param p -> Dparam p.pindex
+    | Instr i -> Dslot (Hashtbl.find slot_of i.id)
+  in
+  let decode_instr (i : instr) : dinstr =
+    let d_mem, d_ptr =
+      if Op.is_memory i.op then begin
+        let pi = if i.op = Op.Store then 1 else 0 in
+        ( (match value_ty i.operands.(pi) with
+          | Types.Ptr Types.Global -> Mc_global
+          | Types.Ptr Types.Shared -> Mc_shared
+          | Types.Ptr Types.Flat -> Mc_flat
+          | _ -> Mc_none),
+          pi )
+      end
+      else (Mc_none, -1)
+    in
+    {
+      d_op = i.op;
+      d_slot = Hashtbl.find slot_of i.id;
+      d_lat = Darm_analysis.Latency.of_instr cfg.latency i;
+      d_alu = Op.is_alu i.op;
+      d_mem;
+      d_ptr;
+      d_term = Op.is_terminator i.op;
+      d_ops = Array.map dop_of i.operands;
+      d_succ = Array.map (fun b -> Hashtbl.find bidx b.bid) i.blocks;
+      d_imm =
+        (match i.op with
+        | Op.Alloc_shared _ -> Hashtbl.find shared_layout i.id
+        | _ -> 0);
+      d_orig = i;
+    }
+  in
+  let decode_block (b : block) : dblock =
+    let db_phis =
+      Array.of_list
+        (List.map
+           (fun p ->
+             {
+               p_slot = Hashtbl.find slot_of p.id;
+               p_inc =
+                 Array.map
+                   (fun pred ->
+                     match phi_incoming_for p pred with
+                     | Some v -> dop_of v
+                     | None -> Dmissing (b.bname, pred.bname))
+                   blocks;
+             })
+           (phis b))
+    in
+    let db_code =
+      Array.of_list (List.map decode_instr (non_phis b))
+    in
+    let db_ipdom =
+      match Darm_analysis.Domtree.idom pdt b with
+      | Some r -> Hashtbl.find bidx r.bid
+      | None -> -1
+    in
+    { db_name = b.bname; db_phis; db_code; db_ipdom }
+  in
+  let dblocks = Array.map decode_block blocks in
+  let max_phis =
+    Array.fold_left
+      (fun acc db -> max acc (Array.length db.db_phis))
+      0 dblocks
+  in
+  { fn; dblocks; nslots = !nslots; max_phis; shared_size = !off }
 
 (* ------------------------------------------------------------------ *)
 (* Warp state *)
 
 type frame = {
-  mutable pc : block;
-  mutable ip : int;  (** resume index into [pc.instrs] (for barriers) *)
-  rpc : block option;  (** pop when [pc] reaches this block *)
+  mutable pc : int;  (** dense block index *)
+  mutable ip : int;  (** resume index into [db_code] (for barriers) *)
+  rpc : int;  (** pop when [pc] reaches this block; -1 = never *)
   mask : bool array;
 }
 
@@ -90,8 +250,8 @@ type warp_status = Running | At_barrier | Finished
 
 type warp = {
   tid_base : int;  (** thread index (within block) of lane 0 *)
-  regs : (int, rv array) Hashtbl.t;
-  pred : block option array;  (** per-lane predecessor block *)
+  regs : rv array array;  (** flat register file: [slot].[lane] *)
+  pred : int array;  (** per-lane predecessor block (dense), -1 = none *)
   mutable stack : frame list;
   mutable status : warp_status;
 }
@@ -106,30 +266,23 @@ type launch_ctx = {
   block_dim : int;
   grid_dim : int;
   metrics : Metrics.t;
+  (* reusable scratch, private to this block's sequential warp loop *)
+  seg_scratch : int array;  (** distinct global segments, [warp_size] *)
+  bank_scratch : int array;  (** shared offsets of one 32-lane phase *)
+  phi_stage : rv array array;  (** two-phase phi staging buffers *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Value evaluation *)
 
-let reg_file (w : warp) (cfg : config) (i : instr) : rv array =
-  match Hashtbl.find_opt w.regs i.id with
-  | Some a -> a
-  | None ->
-      let a = Array.make cfg.warp_size Rundef in
-      Hashtbl.replace w.regs i.id a;
-      a
-
-let eval_value (ctx : launch_ctx) (w : warp) (lane : int) (v : value) : rv =
-  match v with
-  | Int n -> Rint n
-  | Bool b -> Rbool b
-  | Float x -> Rfloat x
-  | Undef _ -> Rundef
-  | Param p -> ctx.args.(p.pindex)
-  | Instr i -> (
-      match Hashtbl.find_opt w.regs i.id with
-      | Some a -> a.(lane)
-      | None -> Rundef)
+let eval_dop (ctx : launch_ctx) (w : warp) (lane : int) (d : dop) : rv =
+  match d with
+  | Dconst v -> v
+  | Dslot s -> (Array.unsafe_get w.regs s).(lane)
+  | Dparam k -> ctx.args.(k)
+  | Dundef -> Rundef
+  | Dmissing (bname, pname) ->
+      errf "phi in %s has no incoming for pred %s" bname pname
 
 let as_int (what : string) = function
   | Rint n -> n
@@ -159,152 +312,123 @@ let mem_for (ctx : launch_ctx) = function
   | Sp_global -> ctx.global
   | Sp_shared -> ctx.shared
 
-let eval_ibin (op : Op.ibinop) (x : int) (y : int) : int =
-  match op with
-  | Op.Add -> x + y
-  | Op.Sub -> x - y
-  | Op.Mul -> x * y
-  | Op.Sdiv -> if y = 0 then errf "sdiv by zero" else x / y
-  | Op.Srem -> if y = 0 then errf "srem by zero" else x mod y
-  | Op.And -> x land y
-  | Op.Or -> x lor y
-  | Op.Xor -> x lxor y
-  | Op.Shl -> (x lsl (y land 31)) land 0xFFFFFFFF
-  | Op.Lshr -> (x land 0xFFFFFFFF) lsr (y land 31)
-  | Op.Ashr -> x asr (y land 31)
-  | Op.Smin -> min x y
-  | Op.Smax -> max x y
-
-let eval_fbin (op : Op.fbinop) (x : float) (y : float) : float =
-  match op with
-  | Op.Fadd -> x +. y
-  | Op.Fsub -> x -. y
-  | Op.Fmul -> x *. y
-  | Op.Fdiv -> x /. y
-  | Op.Fmin -> Float.min x y
-  | Op.Fmax -> Float.max x y
-
-let eval_icmp (p : Op.icmp_pred) (x : int) (y : int) : bool =
-  match p with
-  | Op.Ieq -> x = y
-  | Op.Ine -> x <> y
-  | Op.Islt -> x < y
-  | Op.Isle -> x <= y
-  | Op.Isgt -> x > y
-  | Op.Isge -> x >= y
-
-let eval_fcmp (p : Op.fcmp_pred) (x : float) (y : float) : bool =
-  match p with
-  | Op.Foeq -> x = y
-  | Op.Fone -> x <> y
-  | Op.Folt -> x < y
-  | Op.Fole -> x <= y
-  | Op.Fogt -> x > y
-  | Op.Foge -> x >= y
-
 (* ------------------------------------------------------------------ *)
 (* Cost accounting *)
 
-let account (ctx : launch_ctx) (i : instr) (mask : bool array) : unit =
+let popcount (mask : bool array) =
+  let c = ref 0 in
+  for k = 0 to Array.length mask - 1 do
+    if Array.unsafe_get mask k then incr c
+  done;
+  !c
+
+let account (ctx : launch_ctx) (d : dinstr) (mask : bool array) : unit =
   let m = ctx.metrics in
-  let lat = Darm_analysis.Latency.of_instr ctx.cfg.latency i in
-  m.cycles <- m.cycles + lat;
+  m.cycles <- m.cycles + d.d_lat;
   m.instructions <- m.instructions + 1;
-  if Op.is_alu i.op then begin
-    let active = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+  if d.d_alu then begin
     m.alu_issues <- m.alu_issues + 1;
-    m.alu_active_lanes <- m.alu_active_lanes + active
+    m.alu_active_lanes <- m.alu_active_lanes + popcount mask
   end;
-  if Op.is_memory i.op then begin
-    match value_ty (if i.op = Op.Store then i.operands.(1) else i.operands.(0))
-    with
-    | Types.Ptr Types.Global -> m.mem_global <- m.mem_global + 1
-    | Types.Ptr Types.Shared -> m.mem_shared <- m.mem_shared + 1
-    | Types.Ptr Types.Flat -> m.mem_flat <- m.mem_flat + 1
-    | _ -> ()
-  end
+  match d.d_mem with
+  | Mc_none -> ()
+  | Mc_global -> m.mem_global <- m.mem_global + 1
+  | Mc_shared -> m.mem_shared <- m.mem_shared + 1
+  | Mc_flat -> m.mem_flat <- m.mem_flat + 1
 
 (* Memory coalescing: a warp-wide global access is served in 32-cell
    transactions; the counter records how many distinct segments the
    active lanes touch (rocprof's memory-transaction counters).  Shared
    accesses instead hit 32 word-interleaved banks; lanes touching
-   different addresses in the same bank serialize (bank conflicts). *)
-let account_transactions (ctx : launch_ctx) (w : warp) (i : instr)
-    (mask : bool array) ~(ptr_index : int) : unit =
-  let ptr_ty = value_ty i.operands.(ptr_index) in
-  match ptr_ty with
-  | Types.Ptr (Types.Global | Types.Flat | Types.Shared) ->
-      let segments = Hashtbl.create 8 in
-      (* the 32 LDS banks serve the wavefront in 32-lane phases *)
-      let phase = ref 0 in
-      while !phase < ctx.cfg.warp_size do
-        let banks : (int, int list) Hashtbl.t = Hashtbl.create 8 in
-        for lane = !phase to min (ctx.cfg.warp_size - 1) (!phase + 31) do
-          if mask.(lane) then
-            match eval_value ctx w lane i.operands.(ptr_index) with
-            | Rptr (Sp_global, off) -> Hashtbl.replace segments (off / 32) ()
-            | Rptr (Sp_shared, off) ->
-                let bank = off land 31 in
-                let cur =
-                  Option.value ~default:[] (Hashtbl.find_opt banks bank)
-                in
-                if not (List.mem off cur) then
-                  Hashtbl.replace banks bank (off :: cur)
-            | _ -> ()
-        done;
-        let worst_bank =
-          Hashtbl.fold (fun _ offs acc -> max acc (List.length offs)) banks 0
-        in
-        if worst_bank > 1 then
-          ctx.metrics.bank_conflicts <-
-            ctx.metrics.bank_conflicts + (worst_bank - 1);
-        phase := !phase + 32
+   different addresses in the same bank serialize (bank conflicts).
+   Both passes run over pre-allocated scratch arrays — no per-issue
+   allocation. *)
+let account_transactions (ctx : launch_ctx) (w : warp) (d : dinstr)
+    (mask : bool array) : unit =
+  if d.d_mem <> Mc_none then begin
+    let ptr = d.d_ops.(d.d_ptr) in
+    let segs = ctx.seg_scratch in
+    let nseg = ref 0 in
+    (* the 32 LDS banks serve the wavefront in 32-lane phases *)
+    let phase = ref 0 in
+    while !phase < ctx.cfg.warp_size do
+      let bo = ctx.bank_scratch in
+      let bn = ref 0 in
+      for lane = !phase to min (ctx.cfg.warp_size - 1) (!phase + 31) do
+        if mask.(lane) then
+          match eval_dop ctx w lane ptr with
+          | Rptr (Sp_global, off) ->
+              let seg = off / 32 in
+              let dup = ref false in
+              for k = 0 to !nseg - 1 do
+                if segs.(k) = seg then dup := true
+              done;
+              if not !dup then begin
+                segs.(!nseg) <- seg;
+                incr nseg
+              end
+          | Rptr (Sp_shared, off) ->
+              bo.(!bn) <- off;
+              incr bn
+          | _ -> ()
       done;
-      let n = Hashtbl.length segments in
-      if n > 0 then begin
-        ctx.metrics.global_transactions <-
-          ctx.metrics.global_transactions + n;
-        ctx.metrics.global_accesses <- ctx.metrics.global_accesses + 1
-      end
-  | _ -> ()
+      (* worst bank = max over banks of distinct offsets in that bank *)
+      let worst = ref 0 in
+      for b = 0 to 31 do
+        let cnt = ref 0 in
+        for i = 0 to !bn - 1 do
+          if bo.(i) land 31 = b then begin
+            let first = ref true in
+            for j = 0 to i - 1 do
+              if bo.(j) = bo.(i) then first := false
+            done;
+            if !first then incr cnt
+          end
+        done;
+        if !cnt > !worst then worst := !cnt
+      done;
+      if !worst > 1 then
+        ctx.metrics.bank_conflicts <-
+          ctx.metrics.bank_conflicts + (!worst - 1);
+      phase := !phase + 32
+    done;
+    if !nseg > 0 then begin
+      ctx.metrics.global_transactions <-
+        ctx.metrics.global_transactions + !nseg;
+      ctx.metrics.global_accesses <- ctx.metrics.global_accesses + 1
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Instruction execution *)
 
-let popcount (mask : bool array) =
-  Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask
-
 (** Execute all phis of the block simultaneously (two-phase read/commit)
-    for the active lanes of [frame]. *)
-let exec_phis (ctx : launch_ctx) (w : warp) (frame : frame) : unit =
-  let ph = phis frame.pc in
-  if ph <> [] then begin
-    let staged =
-      List.map
-        (fun phi ->
-          let values =
-            Array.init ctx.cfg.warp_size (fun lane ->
-                if frame.mask.(lane) then
-                  match w.pred.(lane) with
-                  | None -> Rundef
-                  | Some pb -> (
-                      match phi_incoming_for phi pb with
-                      | Some v -> eval_value ctx w lane v
-                      | None ->
-                          errf "phi in %s has no incoming for pred %s"
-                            frame.pc.bname pb.bname)
-                else Rundef)
-          in
-          (phi, values))
-        ph
-    in
-    List.iter
-      (fun (phi, values) ->
-        let file = reg_file w ctx.cfg phi in
-        Array.iteri
-          (fun lane v -> if frame.mask.(lane) then file.(lane) <- v)
-          values)
-      staged
+    for the active lanes of [frame], staging into the context's
+    pre-allocated buffers. *)
+let exec_phis (ctx : launch_ctx) (w : warp) (frame : frame) (db : dblock) :
+    unit =
+  let nphis = Array.length db.db_phis in
+  if nphis > 0 then begin
+    let ws = ctx.cfg.warp_size in
+    for pi = 0 to nphis - 1 do
+      let p = db.db_phis.(pi) in
+      let stage = ctx.phi_stage.(pi) in
+      for lane = 0 to ws - 1 do
+        if frame.mask.(lane) then
+          stage.(lane) <-
+            (let pred = w.pred.(lane) in
+             if pred < 0 then Rundef
+             else eval_dop ctx w lane p.p_inc.(pred))
+      done
+    done;
+    for pi = 0 to nphis - 1 do
+      let p = db.db_phis.(pi) in
+      let stage = ctx.phi_stage.(pi) in
+      let file = w.regs.(p.p_slot) in
+      for lane = 0 to ws - 1 do
+        if frame.mask.(lane) then file.(lane) <- stage.(lane)
+      done
+    done
   end
 
 exception Poison
@@ -317,16 +441,17 @@ exception Poison
     undef entry-phi values); dereferencing an undef pointer, dividing by
     an undef value or branching on an undef condition is a genuine
     error and traps. *)
-let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (i : instr) :
+let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (d : dinstr) :
     unit =
-  account ctx i frame.mask;
+  account ctx d frame.mask;
   let fail_context msg =
+    let i = d.d_orig in
     errf "%s (instr %d, op %s, block %s)" msg i.id (Op.to_string i.op)
       (match i.parent with Some b -> b.bname | None -> "?")
   in
   let mask = frame.mask in
   let per_lane (f : int -> rv) : unit =
-    let file = reg_file w ctx.cfg i in
+    let file = w.regs.(d.d_slot) in
     for lane = 0 to ctx.cfg.warp_size - 1 do
       if mask.(lane) then
         file.(lane) <- (try f lane with Poison -> Rundef)
@@ -334,7 +459,7 @@ let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (i : instr) :
   in
   (* strict operand fetch for operations that must not see undef *)
   let opv_strict k lane =
-    match eval_value ctx w lane i.operands.(k) with
+    match eval_dop ctx w lane d.d_ops.(k) with
     | Rundef ->
         fail_context
           (Printf.sprintf "operand %d is undef in lane %d" k lane)
@@ -342,12 +467,11 @@ let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (i : instr) :
   in
   (* poisoning operand fetch for pure ALU operations *)
   let opv k lane =
-    match eval_value ctx w lane i.operands.(k) with
+    match eval_dop ctx w lane d.d_ops.(k) with
     | Rundef -> raise Poison
     | v -> v
   in
-  ignore opv_strict;
-  match i.op with
+  match d.d_op with
   | Op.Ibin ((Op.Sdiv | Op.Srem) as op) ->
       per_lane (fun l ->
           Rint
@@ -376,19 +500,18 @@ let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (i : instr) :
   | Op.Select ->
       per_lane (fun l ->
           (* the not-taken arm may be undef without poisoning the result *)
-          if as_bool "select" (opv 0 l) then
-            eval_value ctx w l i.operands.(1)
-          else eval_value ctx w l i.operands.(2))
+          if as_bool "select" (opv 0 l) then eval_dop ctx w l d.d_ops.(1)
+          else eval_dop ctx w l d.d_ops.(2))
   | Op.Load ->
-      account_transactions ctx w i mask ~ptr_index:0;
+      account_transactions ctx w d mask;
       per_lane (fun l ->
           let sp, off = as_ptr "load" (opv_strict 0 l) in
           Memory.read (mem_for ctx sp) off)
   | Op.Store ->
-      account_transactions ctx w i mask ~ptr_index:1;
+      account_transactions ctx w d mask;
       for lane = 0 to ctx.cfg.warp_size - 1 do
         if mask.(lane) then begin
-          let v = eval_value ctx w lane i.operands.(0) in
+          let v = eval_dop ctx w lane d.d_ops.(0) in
           let sp, off = as_ptr "store" (opv_strict 1 lane) in
           Memory.write (mem_for ctx sp) off v
         end
@@ -401,76 +524,84 @@ let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (i : instr) :
   | Op.Block_idx -> per_lane (fun _ -> Rint ctx.block_idx)
   | Op.Block_dim -> per_lane (fun _ -> Rint ctx.block_dim)
   | Op.Grid_dim -> per_lane (fun _ -> Rint ctx.grid_dim)
-  | Op.Alloc_shared _ ->
-      let off = Hashtbl.find ctx.fctx.shared_layout i.id in
-      per_lane (fun _ -> Rptr (Sp_shared, off))
-  | Op.Sitofp -> per_lane (fun l -> Rfloat (float_of_int (as_int "sitofp" (opv 0 l))))
-  | Op.Fptosi -> per_lane (fun l -> Rint (int_of_float (as_float "fptosi" (opv 0 l))))
+  | Op.Alloc_shared _ -> per_lane (fun _ -> Rptr (Sp_shared, d.d_imm))
+  | Op.Sitofp ->
+      per_lane (fun l -> Rfloat (float_of_int (as_int "sitofp" (opv 0 l))))
+  | Op.Fptosi ->
+      per_lane (fun l -> Rint (int_of_float (as_float "fptosi" (opv 0 l))))
   | Op.Addrspace_cast -> per_lane (fun l -> opv 0 l)
   | Op.Syncthreads | Op.Phi | Op.Br | Op.Condbr | Op.Ret ->
-      errf "exec_instr: %s handled elsewhere" (Op.to_string i.op)
+      errf "exec_instr: %s handled elsewhere" (Op.to_string d.d_op)
 
 (* ------------------------------------------------------------------ *)
 (* Control flow *)
 
-let set_pred_for_mask (w : warp) (mask : bool array) (b : block) : unit =
-  Array.iteri (fun lane m -> if m then w.pred.(lane) <- Some b) mask
+let set_pred_for_mask (w : warp) (mask : bool array) (bi : int) : unit =
+  for lane = 0 to Array.length mask - 1 do
+    if mask.(lane) then w.pred.(lane) <- bi
+  done
 
 (** Execute the terminator of the top frame, updating the stack. *)
-let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame) (t : instr) :
-    unit =
-  account ctx t frame.mask;
-  match t.op with
+let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame)
+    (d : dinstr) (db : dblock) : unit =
+  account ctx d frame.mask;
+  match d.d_op with
   | Op.Ret -> w.stack <- List.tl w.stack
   | Op.Br ->
       set_pred_for_mask w frame.mask frame.pc;
-      frame.pc <- t.blocks.(0);
+      frame.pc <- d.d_succ.(0);
       frame.ip <- 0
   | Op.Condbr ->
-      let tmask = Array.make ctx.cfg.warp_size false in
-      let fmask = Array.make ctx.cfg.warp_size false in
-      for lane = 0 to ctx.cfg.warp_size - 1 do
+      let ws = ctx.cfg.warp_size in
+      let cond = d.d_ops.(0) in
+      (* first pass: detect the (common) uniform case without
+         allocating the split masks *)
+      let tcount = ref 0 and fcount = ref 0 in
+      for lane = 0 to ws - 1 do
         if frame.mask.(lane) then
-          if as_bool "condbr" (eval_value ctx w lane t.operands.(0)) then
-            tmask.(lane) <- true
-          else fmask.(lane) <- true
+          if as_bool "condbr" (eval_dop ctx w lane cond) then incr tcount
+          else incr fcount
       done;
       let cur = frame.pc in
-      let tcount = popcount tmask and fcount = popcount fmask in
-      if fcount = 0 then begin
+      if !fcount = 0 then begin
         set_pred_for_mask w frame.mask cur;
-        frame.pc <- t.blocks.(0);
+        frame.pc <- d.d_succ.(0);
         frame.ip <- 0
       end
-      else if tcount = 0 then begin
+      else if !tcount = 0 then begin
         set_pred_for_mask w frame.mask cur;
-        frame.pc <- t.blocks.(1);
+        frame.pc <- d.d_succ.(1);
         frame.ip <- 0
       end
       else begin
         (* the warp splits: IPDOM reconvergence *)
         ctx.metrics.divergent_branches <- ctx.metrics.divergent_branches + 1;
         set_pred_for_mask w frame.mask cur;
-        let rpc = Hashtbl.find ctx.fctx.ipdom cur.bid in
-        let t_frame =
-          { pc = t.blocks.(0); ip = 0; rpc; mask = tmask }
-        in
-        let f_frame =
-          { pc = t.blocks.(1); ip = 0; rpc; mask = fmask }
-        in
-        match rpc with
-        | Some r ->
-            frame.pc <- r;
-            frame.ip <- 0;
-            w.stack <- t_frame :: f_frame :: w.stack
-        | None ->
-            (* no reconvergence point: both arms run to completion *)
-            w.stack <- t_frame :: f_frame :: List.tl w.stack
+        let tmask = Array.make ws false in
+        let fmask = Array.make ws false in
+        for lane = 0 to ws - 1 do
+          if frame.mask.(lane) then
+            if as_bool "condbr" (eval_dop ctx w lane cond) then
+              tmask.(lane) <- true
+            else fmask.(lane) <- true
+        done;
+        let rpc = db.db_ipdom in
+        let t_frame = { pc = d.d_succ.(0); ip = 0; rpc; mask = tmask } in
+        let f_frame = { pc = d.d_succ.(1); ip = 0; rpc; mask = fmask } in
+        if rpc >= 0 then begin
+          frame.pc <- rpc;
+          frame.ip <- 0;
+          w.stack <- t_frame :: f_frame :: w.stack
+        end
+        else
+          (* no reconvergence point: both arms run to completion *)
+          w.stack <- t_frame :: f_frame :: List.tl w.stack
       end
-  | _ -> errf "exec_terminator: %s is not a terminator" (Op.to_string t.op)
+  | _ -> errf "exec_terminator: %s is not a terminator" (Op.to_string d.d_op)
 
 (** Run the warp until it finishes or reaches a barrier. *)
 let run_warp (ctx : launch_ctx) (w : warp) : unit =
+  let dbs = ctx.fctx.dblocks in
   let budget = ref ctx.cfg.max_cycles_per_warp in
   let continue_ = ref true in
   while !continue_ do
@@ -479,49 +610,52 @@ let run_warp (ctx : launch_ctx) (w : warp) : unit =
     | [] ->
         w.status <- Finished;
         continue_ := false
-    | frame :: rest -> (
-        match frame.rpc with
-        | Some r when r.bid = frame.pc.bid ->
-            (* reconverged: drop the frame, the parent resumes at r *)
-            ctx.metrics.reconvergences <- ctx.metrics.reconvergences + 1;
-            w.stack <- rest
-        | _ ->
-            (match ctx.cfg.trace with
-            | Some emit when frame.ip = 0 ->
-                emit
-                  (Printf.sprintf "block=%s warp=%d mask=%d"
-                     frame.pc.bname w.tid_base (popcount frame.mask))
-            | _ -> ());
-            if frame.ip = 0 then exec_phis ctx w frame;
-            (* execute from the resume index *)
-            let instrs = frame.pc.instrs in
-            let n = List.length instrs in
-            let rec exec_from k lst =
-              match lst with
-              | [] -> errf "block %s has no terminator" frame.pc.bname
-              | i :: tl ->
-                  if k < frame.ip || i.op = Op.Phi then exec_from (k + 1) tl
-                  else if Op.is_terminator i.op then begin
-                    exec_terminator ctx w frame i;
-                    decr budget
-                  end
-                  else if i.op = Op.Syncthreads then begin
-                    account ctx i frame.mask;
-                    ctx.metrics.barriers <- ctx.metrics.barriers + 1;
-                    if List.length w.stack > 1 then
-                      errf "syncthreads in divergent control flow";
-                    frame.ip <- k + 1;
-                    w.status <- At_barrier
-                  end
-                  else begin
-                    exec_instr ctx w frame i;
-                    decr budget;
-                    exec_from (k + 1) tl
-                  end
-            in
-            ignore n;
-            exec_from 0 instrs;
-            if w.status = At_barrier then continue_ := false)
+    | frame :: rest ->
+        if frame.rpc >= 0 && frame.rpc = frame.pc then begin
+          (* reconverged: drop the frame, the parent resumes at rpc *)
+          ctx.metrics.reconvergences <- ctx.metrics.reconvergences + 1;
+          w.stack <- rest
+        end
+        else begin
+          let db = dbs.(frame.pc) in
+          (match ctx.cfg.trace with
+          | Some emit when frame.ip = 0 ->
+              emit
+                (Printf.sprintf "block=%s warp=%d mask=%d" db.db_name
+                   w.tid_base (popcount frame.mask))
+          | _ -> ());
+          if frame.ip = 0 then exec_phis ctx w frame db;
+          (* execute from the resume index *)
+          let code = db.db_code in
+          let n = Array.length code in
+          let k = ref frame.ip in
+          let stop = ref false in
+          while not !stop do
+            if !k >= n then errf "block %s has no terminator" db.db_name;
+            let d = Array.unsafe_get code !k in
+            if d.d_term then begin
+              exec_terminator ctx w frame d db;
+              decr budget;
+              stop := true
+            end
+            else if d.d_op = Op.Syncthreads then begin
+              account ctx d frame.mask;
+              ctx.metrics.barriers <- ctx.metrics.barriers + 1;
+              (match w.stack with
+              | _ :: _ :: _ -> errf "syncthreads in divergent control flow"
+              | _ -> ());
+              frame.ip <- !k + 1;
+              w.status <- At_barrier;
+              stop := true
+            end
+            else begin
+              exec_instr ctx w frame d;
+              decr budget;
+              incr k
+            end
+          done;
+          if w.status = At_barrier then continue_ := false
+        end
   done
 
 (* ------------------------------------------------------------------ *)
@@ -537,8 +671,16 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
   if List.length fn.params <> Array.length args then
     errf "kernel @%s expects %d arguments, got %d" fn.fname
       (List.length fn.params) (Array.length args);
-  let fctx = prepare fn in
+  let fctx = prepare config fn in
   let metrics = Metrics.create () in
+  let ws = config.warp_size in
+  (* scratch buffers live across the whole grid: blocks (and the warps
+     within a block) execute sequentially on this domain *)
+  let seg_scratch = Array.make ws 0 in
+  let bank_scratch = Array.make 32 0 in
+  let phi_stage =
+    Array.init (max fctx.max_phis 1) (fun _ -> Array.make ws Rundef)
+  in
   for block_idx = 0 to launch.grid_dim - 1 do
     let cycles_before = metrics.cycles in
     let shared =
@@ -555,22 +697,22 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
         block_dim = launch.block_dim;
         grid_dim = launch.grid_dim;
         metrics;
+        seg_scratch;
+        bank_scratch;
+        phi_stage;
       }
     in
-    let nwarps =
-      (launch.block_dim + config.warp_size - 1) / config.warp_size
-    in
+    let nwarps = (launch.block_dim + ws - 1) / ws in
     let warps =
       Array.init nwarps (fun wi ->
-          let tid_base = wi * config.warp_size in
-          let live = min config.warp_size (launch.block_dim - tid_base) in
-          let mask = Array.init config.warp_size (fun l -> l < live) in
+          let tid_base = wi * ws in
+          let live = min ws (launch.block_dim - tid_base) in
+          let mask = Array.init ws (fun l -> l < live) in
           {
             tid_base;
-            regs = Hashtbl.create 64;
-            pred = Array.make config.warp_size None;
-            stack =
-              [ { pc = entry_block fn; ip = 0; rpc = None; mask } ];
+            regs = Array.init fctx.nslots (fun _ -> Array.make ws Rundef);
+            pred = Array.make ws (-1);
+            stack = [ { pc = 0; ip = 0; rpc = -1; mask } ];
             status = Running;
           })
     in

@@ -35,6 +35,13 @@ val default_config : config
 
 exception Sim_error of string
 
+(** The interpreter's integer ALU: uniform two's-complement i32
+    semantics via {!Darm_ir.I32} (the same evaluator the constant
+    folder uses, so the two can never diverge).  Raises {!Sim_error} on
+    division or remainder by zero.  Exposed for the differential
+    property tests. *)
+val eval_ibin : Op.ibinop -> int -> int -> int
+
 type launch = { grid_dim : int; block_dim : int }
 
 (** Execute the kernel over the whole grid and return the collected

@@ -1,1 +1,1 @@
-lib/harness/experiment.ml: Darm_core Darm_ir Darm_kernels Darm_sim Darm_transforms List Option
+lib/harness/experiment.ml: Darm_core Darm_ir Darm_kernels Darm_sim Darm_transforms Fun Hashtbl List Mutex Option Parallel_sweep Printf

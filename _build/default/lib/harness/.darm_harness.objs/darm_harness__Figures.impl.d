@@ -1,1 +1,1 @@
-lib/harness/figures.ml: Darm_core Darm_kernels Darm_sim Darm_transforms Experiment List Printf String Unix
+lib/harness/figures.ml: Darm_core Darm_kernels Darm_sim Darm_transforms Experiment List Parallel_sweep Printf String Unix

@@ -1,0 +1,1 @@
+lib/harness/parallel_sweep.ml: Array Atomic Domain List Printf String Sys

@@ -32,11 +32,13 @@ let header =
 
 (** Run the full evaluation and write [fig7.csv] (synthetic sweep) and
     [fig8.csv] (real-world sweep) — these two carry all the per-metric
-    columns from which Figures 7-10 derive — into [dir]. *)
-let export ~(dir : string) : unit =
+    columns from which Figures 7-10 derive — into [dir].  The sweeps
+    fan out over the {!Parallel_sweep} domain pool; the emitted bytes
+    are identical for any [jobs]. *)
+let export ?n ?jobs ~(dir : string) () : unit =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let rows kernels =
-    List.concat_map (fun k -> List.map result_row (E.sweep k)) kernels
+    List.map result_row (E.sweep_many ?jobs ?n kernels)
   in
   write_file (Filename.concat dir "fig7.csv") header
     (rows Registry.synthetic);

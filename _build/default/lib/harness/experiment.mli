@@ -1,6 +1,13 @@
 (** Experiment runner: executes a kernel baseline-vs-transformed on the
     simulator and collects the paper's metrics, with a built-in output
-    equivalence check against the host reference. *)
+    equivalence check against the host reference.
+
+    Under the default machine model the runner memoizes both the
+    baseline simulation of each (kernel, block size, seed, n) point and
+    the full results of the stock transforms, so figures, tables and
+    CSV exports that revisit the same point share one simulation.  The
+    caches are mutex-protected and safe to hit from the
+    {!Parallel_sweep} domain pool. *)
 
 module Kernel = Darm_kernels.Kernel
 module Sim = Darm_sim.Simulator
@@ -13,6 +20,13 @@ type transform = {
 }
 
 val darm_transform : ?config:Pass.config -> unit -> transform
+
+(** The shared default-config DARM transform.  Results produced through
+    this instance (and the other stock transforms below) are memoized;
+    a fresh [darm_transform ()] behaves identically but bypasses the
+    result cache. *)
+val darm_default : transform
+
 val branch_fusion_transform : transform
 val tail_merge_transform : transform
 val identity_transform : transform
@@ -25,10 +39,18 @@ type result = {
   base : Metrics.t;
   opt : Metrics.t;
   correct : bool;
-      (** transformed output == baseline output == reference *)
+      (** transformed output == baseline output == reference, and both
+          runs retired a non-zero cycle count *)
 }
 
+(** Baseline cycles over optimized cycles.  Raises [Invalid_argument]
+    if the optimized run retired zero cycles — a zero-cycle run means
+    the simulation never executed, and reporting 1.0x for it would
+    silently hide the failure. *)
 val speedup : result -> float
+
+(** [all_correct rs] — every result passed its equivalence check. *)
+val all_correct : result list -> bool
 
 val sim_config : Sim.config
 
@@ -45,7 +67,28 @@ val run :
   block_size:int ->
   result
 
-(** Sweep a kernel over its block sizes. *)
-val sweep : ?transform:transform -> ?seed:int -> ?n:int -> Kernel.t -> result list
+(** Sweep a kernel over its block sizes on the domain pool. *)
+val sweep :
+  ?jobs:int ->
+  ?transform:transform ->
+  ?seed:int ->
+  ?n:int ->
+  Kernel.t ->
+  result list
+
+(** Sweep several kernels over their block sizes on the domain pool;
+    the flattened results are in kernel-major, block-size-minor order
+    for any pool size. *)
+val sweep_many :
+  ?jobs:int ->
+  ?transform:transform ->
+  ?seed:int ->
+  ?n:int ->
+  Kernel.t list ->
+  result list
+
+(** Force independent experiment thunks on the domain pool, preserving
+    list order. *)
+val run_many : ?jobs:int -> (unit -> result) list -> result list
 
 val geomean : float list -> float

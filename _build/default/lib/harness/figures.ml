@@ -1,7 +1,12 @@
 (** Reproduction of every figure and table of the paper's evaluation
     (§VI).  Each [figN]/[tableN] function runs the experiment and prints
     the same rows/series the paper reports; {!Experiment} supplies the
-    raw data. *)
+    raw data.
+
+    All experiment points are computed first — fanned over the
+    {!Parallel_sweep} domain pool — and printed afterwards from the
+    main domain in a fixed order, so the output is byte-identical for
+    any [DARM_JOBS]. *)
 
 module Kernel = Darm_kernels.Kernel
 module Registry = Darm_kernels.Registry
@@ -14,40 +19,59 @@ let hr () = pf "%s\n" (String.make 78 '-')
 
 let warp_size = E.sim_config.Darm_sim.Simulator.warp_size
 
-let check_banner (results : E.result list) =
+let check_banner (results : E.result list) : bool =
   let bad = List.filter (fun r -> not r.E.correct) results in
   if bad <> [] then begin
     pf "!! CORRECTNESS FAILURES:\n";
     List.iter
       (fun r -> pf "!!   %s bs=%d (%s)\n" r.E.tag r.E.block_size r.E.transform_name)
       bad
-  end
+  end;
+  bad = []
+
+(* the flattened kernel-major output of {!E.sweep_many}, re-grouped per
+   kernel in registry order *)
+let group_per_kernel (kernels : Kernel.t list) (results : E.result list) :
+    (Kernel.t * E.result list) list =
+  let rec take n = function
+    | rest when n = 0 -> ([], rest)
+    | [] -> invalid_arg "Figures.group_per_kernel: short result list"
+    | r :: rest ->
+        let own, rest = take (n - 1) rest in
+        (r :: own, rest)
+  in
+  let groups, rest =
+    List.fold_left
+      (fun (acc, rest) k ->
+        let own, rest = take (List.length k.Kernel.block_sizes) rest in
+        ((k, own) :: acc, rest))
+      ([], results) kernels
+  in
+  assert (rest = []);
+  List.rev groups
 
 (* ------------------------------------------------------------------ *)
 
 (** Figure 7: synthetic benchmark speedups per block size, with the
     geometric mean. *)
-let fig7 ?n () : E.result list =
+let fig7 ?n ?jobs () : E.result list =
+  let all = E.sweep_many ?jobs ?n Registry.synthetic in
   pf "\n== Figure 7: synthetic benchmark performance (DARM vs baseline) ==\n";
   pf "%-8s" "bench";
   List.iter (fun bs -> pf "%8s" ("bs" ^ string_of_int bs))
     [ 64; 128; 256; 512; 1024 ];
   pf "\n";
   hr ();
-  let all =
-    List.concat_map
-      (fun kernel ->
-        let results = E.sweep ?n kernel in
-        pf "%-8s" kernel.Kernel.tag;
-        List.iter (fun r -> pf "%8.2f" (E.speedup r)) results;
-        pf "\n";
-        results)
-      Registry.synthetic
-  in
+  List.iter
+    (fun (kernel, results) ->
+      pf "%-8s" kernel.Kernel.tag;
+      List.iter (fun r -> pf "%8.2f" (E.speedup r)) results;
+      pf "\n")
+    (group_per_kernel Registry.synthetic all);
   let gm = E.geomean (List.map E.speedup all) in
   hr ();
   pf "%-8s%8.2f   (paper: 1.32x geomean)\n" "GM" gm;
-  check_banner all;
+  ignore (check_banner all);
   all
 
 (** Figure 8: real-world benchmark speedups per block size; '+' marks
@@ -55,30 +79,34 @@ let fig7 ?n () : E.result list =
     Each configuration runs over three input seeds; the printed value is
     the mean speedup (the spread is tiny, matching the paper's "error
     bars ... negligible"). *)
-let fig8 ?n () : E.result list =
+let fig8 ?n ?jobs () : E.result list =
+  let all = E.sweep_many ?jobs ?n Registry.real_world in
+  (* spread across seeds at the first block size *)
+  let spread_runs =
+    Parallel_sweep.map ?jobs
+      (fun (kernel, seed) ->
+        E.run ~seed ?n kernel ~block_size:(List.hd kernel.Kernel.block_sizes))
+      (List.concat_map
+         (fun k -> List.map (fun s -> (k, s)) [ 11; 22; 33 ])
+         Registry.real_world)
+  in
   pf "\n== Figure 8: real-world benchmark performance (DARM vs baseline) ==\n";
   pf "   (mean speedup over 3 input seeds; max spread printed at the end)\n";
-  let all = ref [] in
   let best_speedups = ref [] in
   let max_spread = ref 0. in
-  List.iter
-    (fun kernel ->
-      let results = E.sweep ?n kernel in
-      (* spread across seeds at the first block size *)
+  List.iteri
+    (fun ki (kernel, results) ->
       let speeds =
-        List.map
-          (fun seed ->
-            E.speedup
-              (E.run ~seed ?n kernel
-                 ~block_size:(List.hd kernel.Kernel.block_sizes)))
-          [ 11; 22; 33 ]
+        List.map E.speedup
+          (List.filteri
+             (fun i _ -> i / 3 = ki)
+             spread_runs)
       in
       let spread =
         List.fold_left max neg_infinity speeds
         -. List.fold_left min infinity speeds
       in
       if spread > !max_spread then max_spread := spread;
-      all := !all @ results;
       (* best baseline block size = fewest baseline cycles *)
       let best =
         List.fold_left
@@ -105,43 +133,52 @@ let fig8 ?n () : E.result list =
       match best with
       | Some b -> best_speedups := E.speedup b :: !best_speedups
       | None -> ())
-    Registry.real_world;
+    (group_per_kernel Registry.real_world all);
   hr ();
   pf "GM      %5.2f   (paper: 1.15x geomean)\n"
-    (E.geomean (List.map E.speedup !all));
+    (E.geomean (List.map E.speedup all));
   pf "GM-best %5.2f   (paper: slightly above GM)\n"
     (E.geomean !best_speedups);
   pf "max speedup spread across seeds: %.4f (paper: negligible)\n"
     !max_spread;
-  check_banner !all;
-  !all
+  ignore (check_banner (all @ spread_runs));
+  all
 
 (* block size with the largest DARM improvement, as §VI-C/D use *)
-let best_improvement_config (kernel : Kernel.t) ?n () : E.result =
-  let results = E.sweep ?n kernel in
+let best_improvement (results : E.result list) : E.result =
   List.fold_left
     (fun acc r -> if E.speedup r > E.speedup acc then r else acc)
     (List.hd results) (List.tl results)
 
 (** Figure 9: ALU utilization, baseline vs DARM, at each benchmark's
-    best-improvement block size. *)
-let fig9 ?n () : (string * float * float) list =
+    best-improvement block size.  Returns the printed series plus the
+    underlying experiment results (for correctness gating). *)
+let fig9 ?n ?jobs () : (string * float * float) list * E.result list =
+  let kernels = Registry.synthetic @ Registry.real_world in
+  let grouped = group_per_kernel kernels (E.sweep_many ?jobs ?n kernels) in
   pf "\n== Figure 9: ALU utilization %% (baseline vs DARM) ==\n";
   pf "%-8s %10s %10s %8s\n" "bench" "baseline" "DARM" "delta";
   hr ();
-  List.map
-    (fun kernel ->
-      let r = best_improvement_config kernel ?n () in
-      let u_base = Metrics.alu_utilization r.E.base ~warp_size in
-      let u_darm = Metrics.alu_utilization r.E.opt ~warp_size in
-      pf "%-8s %9.1f%% %9.1f%% %+7.1f%%   (bs=%d)\n" r.E.tag u_base u_darm
-        (u_darm -. u_base) r.E.block_size;
-      (r.E.tag, u_base, u_darm))
-    (Registry.synthetic @ Registry.real_world)
+  let picked = List.map (fun (_, results) -> best_improvement results) grouped in
+  let series =
+    List.map
+      (fun r ->
+        let u_base = Metrics.alu_utilization r.E.base ~warp_size in
+        let u_darm = Metrics.alu_utilization r.E.opt ~warp_size in
+        pf "%-8s %9.1f%% %9.1f%% %+7.1f%%   (bs=%d)\n" r.E.tag u_base u_darm
+          (u_darm -. u_base) r.E.block_size;
+        (r.E.tag, u_base, u_darm))
+      picked
+  in
+  (series, picked)
 
 (** Figure 10: memory instruction counters after DARM, normalized to the
-    baseline (vector/global, LDS/shared, flat). *)
-let fig10 ?n () : (string * float * float * float) list =
+    baseline (vector/global, LDS/shared, flat).  Returns the printed
+    series plus the underlying experiment results. *)
+let fig10 ?n ?jobs () :
+    (string * float * float * float) list * E.result list =
+  let kernels = Registry.synthetic @ Registry.real_world in
+  let grouped = group_per_kernel kernels (E.sweep_many ?jobs ?n kernels) in
   pf "\n== Figure 10: normalized memory instruction counters (DARM/base) ==\n";
   pf "%-8s %10s %10s %10s\n" "bench" "vector" "shared" "flat";
   hr ();
@@ -149,24 +186,27 @@ let fig10 ?n () : (string * float * float * float) list =
     if b = 0 then if a = 0 then 1. else float_of_int (a + 1)
     else float_of_int a /. float_of_int b
   in
-  List.map
-    (fun kernel ->
-      let r = best_improvement_config kernel ?n () in
-      let v = norm r.E.opt.Metrics.mem_global r.E.base.Metrics.mem_global in
-      let s = norm r.E.opt.Metrics.mem_shared r.E.base.Metrics.mem_shared in
-      let fl = norm r.E.opt.Metrics.mem_flat r.E.base.Metrics.mem_flat in
-      pf "%-8s %10.2f %10.2f %10.2f   (bs=%d)\n" r.E.tag v s fl
-        r.E.block_size;
-      (r.E.tag, v, s, fl))
-    (Registry.synthetic @ Registry.real_world)
+  let picked = List.map (fun (_, results) -> best_improvement results) grouped in
+  let series =
+    List.map
+      (fun r ->
+        let v = norm r.E.opt.Metrics.mem_global r.E.base.Metrics.mem_global in
+        let s = norm r.E.opt.Metrics.mem_shared r.E.base.Metrics.mem_shared in
+        let fl = norm r.E.opt.Metrics.mem_flat r.E.base.Metrics.mem_flat in
+        pf "%-8s %10.2f %10.2f %10.2f   (bs=%d)\n" r.E.tag v s fl
+          r.E.block_size;
+        (r.E.tag, v, s, fl))
+      picked
+  in
+  (series, picked)
 
 (* ------------------------------------------------------------------ *)
 
 (** Table I: capability matrix of tail merging / branch fusion / DARM on
     the three control-flow-pattern classes.  A technique "handles" a
-    pattern when it removes (almost) all dynamic warp splits. *)
-let table1 ?(n = 256) () : unit =
-  pf "\n== Table I: divergence-reduction capability matrix ==\n";
+    pattern when it removes (almost) all dynamic warp splits.  Returns
+    [true] when every cell's experiment passed its equivalence check. *)
+let table1 ?(n = 256) ?jobs () : bool =
   let patterns =
     [
       ("diamond, identical paths", Darm_kernels.Patterns.identical_diamond);
@@ -175,20 +215,24 @@ let table1 ?(n = 256) () : unit =
     ]
   in
   let techniques =
-    [
-      E.tail_merge_transform;
-      E.branch_fusion_transform;
-      E.darm_transform ();
-    ]
+    [ E.tail_merge_transform; E.branch_fusion_transform; E.darm_default ]
   in
+  let cells =
+    Parallel_sweep.map ?jobs
+      (fun ((_, kernel), t) -> E.run ~transform:t kernel ~block_size:64 ~n)
+      (List.concat_map
+         (fun p -> List.map (fun t -> (p, t)) techniques)
+         patterns)
+  in
+  pf "\n== Table I: divergence-reduction capability matrix ==\n";
   pf "%-28s %14s %14s %14s\n" "pattern" "tail-merging" "branch-fusion" "DARM";
   hr ();
-  List.iter
-    (fun (label, kernel) ->
+  List.iteri
+    (fun pi (label, _) ->
       pf "%-28s" label;
-      List.iter
-        (fun t ->
-          let r = E.run ~transform:t kernel ~block_size:64 ~n in
+      List.iteri
+        (fun ti _ ->
+          let r = List.nth cells ((pi * List.length techniques) + ti) in
           let residual =
             if r.E.base.Metrics.divergent_branches = 0 then 0.
             else
@@ -210,10 +254,12 @@ let table1 ?(n = 256) () : unit =
       pf "\n")
     patterns;
   pf "(paper: tail merging only partial on identical diamonds; branch \n";
-  pf " fusion up to diamonds; DARM handles all three)\n"
+  pf " fusion up to diamonds; DARM handles all three)\n";
+  E.all_correct cells
 
 (** Table II: compile time of the melding pass, normalized to the
-    baseline cleanup pipeline, averaged over [reps] runs. *)
+    baseline cleanup pipeline, averaged over [reps] runs.  Stays serial:
+    it measures wall clock, and contending domains would perturb it. *)
 let table2 ?(reps = 5) () : unit =
   pf "\n== Table II: average compile time (pass pipeline) ==\n";
   pf "%-6s %12s %12s %12s\n" "bench" "O3 (ms)" "DARM (ms)" "normalized";
@@ -260,3 +306,30 @@ let table2 ?(reps = 5) () : unit =
         (if b > 0. then d /. b else 0.))
     Registry.real_world;
   pf "(paper: LUD 1.57x and PCM 1.18x slower to compile; rest ~1.0x)\n"
+
+(* ------------------------------------------------------------------ *)
+
+(** Smoke mode: every registered kernel once — smallest workload, one
+    block size, one seed — through the full transform + equivalence
+    pipeline.  Fast enough for CI; returns [true] when everything
+    checked out. *)
+let smoke ?jobs () : bool =
+  let kernels = Registry.synthetic @ Registry.real_world in
+  let results =
+    Parallel_sweep.map ?jobs
+      (fun (kernel : Kernel.t) ->
+        let n = min 256 kernel.Kernel.default_n in
+        E.run ~n kernel ~block_size:(List.hd kernel.Kernel.block_sizes))
+      kernels
+  in
+  pf "\n== Smoke: every kernel, smallest config, DARM vs baseline ==\n";
+  pf "%-8s %10s %8s %8s %8s\n" "bench" "n" "bs" "melds" "speedup";
+  hr ();
+  List.iter2
+    (fun (kernel : Kernel.t) r ->
+      pf "%-8s %10d %8d %8d %7.2fx%s\n" r.E.tag
+        (min 256 kernel.Kernel.default_n)
+        r.E.block_size r.E.rewrites (E.speedup r)
+        (if r.E.correct then "" else "  INCORRECT"))
+    kernels results;
+  check_banner results

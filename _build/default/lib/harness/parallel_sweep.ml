@@ -1,0 +1,61 @@
+(** Deterministic domain pool for fanning experiment runs across cores.
+
+    The pool is a work-stealing index over an immutable task array: each
+    domain repeatedly claims the next unclaimed index with an atomic
+    fetch-and-add and writes its result into a slot owned by that index,
+    so the output order is the input order no matter how the domains
+    interleave.  The calling domain participates as a worker, which
+    makes [jobs = 1] run everything inline with no domain spawned at
+    all — the sequential and parallel paths produce identical results
+    by construction. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "DARM_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf
+               "DARM_JOBS must be a positive integer, got %S" s))
+  | None -> Domain.recommended_domain_count ()
+
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else
+    let jobs =
+      let j = match jobs with Some j -> j | None -> default_jobs () in
+      min (max 1 j) n
+    in
+    if jobs = 1 then List.map f xs
+    else begin
+      let results : 'b option array = Array.make n None in
+      let errors : exn option array = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (try results.(i) <- Some (f tasks.(i))
+             with e -> errors.(i) <- Some e);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      (* re-raise the error of the lowest failed index, so a failing
+         sweep reports the same task regardless of the domain count *)
+      Array.iter (function Some e -> raise e | None -> ()) errors;
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> assert false)
+           results)
+    end
+
+let run_all ?jobs (thunks : (unit -> 'a) list) : 'a list =
+  map ?jobs (fun t -> t ()) thunks

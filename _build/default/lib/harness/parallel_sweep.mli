@@ -1,0 +1,19 @@
+(** Deterministic domain pool for fanning experiment runs across cores.
+
+    All entry points preserve input order: [map f xs] returns exactly
+    [List.map f xs] for any [jobs], so figures and CSV exports are
+    byte-identical regardless of parallelism.  If any application
+    raises, the exception of the lowest-index failing task is re-raised
+    after all domains are joined. *)
+
+(** Pool size: [DARM_JOBS] from the environment if set (must be a
+    positive integer), otherwise {!Domain.recommended_domain_count}. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs f xs] applies [f] to every element of [xs] across a pool
+    of [jobs] domains (default {!default_jobs}; the calling domain
+    participates, so [jobs = 1] runs inline). *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run_all ?jobs thunks] forces every thunk, in input order. *)
+val run_all : ?jobs:int -> (unit -> 'a) list -> 'a list

@@ -1,0 +1,1 @@
+lib/ir/i32.mli: Op

@@ -1,1 +1,1 @@
-lib/ir/ssa.ml: Array Float Hashtbl List Op String Types
+lib/ir/ssa.ml: Array Atomic Float Hashtbl List Op String Types

@@ -1,0 +1,63 @@
+(** Two's-complement 32-bit integer semantics.
+
+    This is the single source of truth for the machine model's integer
+    arithmetic: the SIMT simulator ({!Darm_sim.Simulator}) and the
+    constant folder ({!Darm_transforms.Constfold}) both evaluate
+    [Op.ibinop] through {!eval}, so the compile-time folder and the
+    runtime interpreter can never diverge.
+
+    The canonical representation of an i32 value is the sign-extended
+    OCaml [int] in [-2^31, 2^31 - 1].  {!to_i32} truncates an arbitrary
+    OCaml int to that range (modulo 2^32, then sign-extended); {!of_i32}
+    is the unsigned 32-bit view of the same bits.  All operations wrap:
+    [Add]/[Sub]/[Mul] modulo 2^32, shifts mask their amount to [0, 31],
+    [Shl] sign-extends its truncated result (so [1 lsl 31] is
+    [-2^31], not [+2^31]), and [Ashr]/[Lshr] operate on the truncated
+    32-bit value.  [Sdiv]/[Srem] signal division by zero by returning
+    [None] (the simulator traps, the folder declines to fold). *)
+
+let mask = 0xFFFFFFFF
+
+(** Unsigned 32-bit view: the low 32 bits of [x] as a non-negative
+    int. *)
+let of_i32 (x : int) : int = x land mask
+
+(** Canonical i32: truncate [x] to 32 bits and sign-extend. *)
+let to_i32 (x : int) : int =
+  let m = x land mask in
+  if m land 0x80000000 <> 0 then m - 0x100000000 else m
+
+(** [eval op x y] evaluates [op] under i32 semantics on arbitrary OCaml
+    ints (operands are truncated first) and returns the canonical
+    result, or [None] for division/remainder by zero. *)
+let eval (op : Op.ibinop) (x : int) (y : int) : int option =
+  let x = to_i32 x and y = to_i32 y in
+  match op with
+  | Op.Add -> Some (to_i32 (x + y))
+  | Op.Sub -> Some (to_i32 (x - y))
+  | Op.Mul ->
+      (* native multiplication wraps modulo 2^63; since 2^32 divides
+         2^63, truncating the wrapped product still yields the exact
+         product modulo 2^32 *)
+      Some (to_i32 (x * y))
+  | Op.Sdiv -> if y = 0 then None else Some (to_i32 (x / y))
+  | Op.Srem -> if y = 0 then None else Some (to_i32 (x mod y))
+  | Op.And -> Some (x land y)
+  | Op.Or -> Some (x lor y)
+  | Op.Xor -> Some (x lxor y)
+  | Op.Shl -> Some (to_i32 (x lsl (y land 31)))
+  | Op.Lshr -> Some (to_i32 ((x land mask) lsr (y land 31)))
+  | Op.Ashr -> Some (x asr (y land 31))
+  | Op.Smin -> Some (min x y)
+  | Op.Smax -> Some (max x y)
+
+(** Signed comparison on the canonical representations. *)
+let compare_i32 (p : Op.icmp_pred) (x : int) (y : int) : bool =
+  let x = to_i32 x and y = to_i32 y in
+  match p with
+  | Op.Ieq -> x = y
+  | Op.Ine -> x <> y
+  | Op.Islt -> x < y
+  | Op.Isle -> x <= y
+  | Op.Isgt -> x > y
+  | Op.Isge -> x >= y

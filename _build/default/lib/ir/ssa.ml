@@ -52,11 +52,12 @@ and func = {
 
 type modul = { mname : string; mutable funcs : func list }
 
-let next_id = ref 0
+(* atomic: kernel instances are built concurrently by the harness's
+   domain pool, and duplicate ids within one function would corrupt
+   id-keyed lookups *)
+let next_id = Atomic.make 0
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)

@@ -24,6 +24,12 @@ module D = Dsl
 let outer_iters = 4
 let inner_iters = 4
 
+(* the host mirrors model C [int] arithmetic: every stored value wraps
+   to two's-complement i32, exactly like the device code on the
+   simulator (wrapping once per store is congruent to the simulator's
+   per-operation wrap for these add/mul/xor chains) *)
+let i32 = Darm_ir.I32.to_i32
+
 (** One "computation" on a pair of shared-memory locations, with its
     host-side mirror. *)
 type comp = {
@@ -44,7 +50,7 @@ let comp_mul_add : comp =
         D.store ctx t x);
     host =
       (fun xa ya i j k ->
-        xa.(k) <- (xa.(k) * ya.(k)) + xa.(k) + i + j);
+        xa.(k) <- i32 ((xa.(k) * ya.(k)) + xa.(k) + i + j));
   }
 
 (* x := (x lxor y) + (x lsr 1) + 3*j  — a different opcode mix *)
@@ -62,9 +68,10 @@ let comp_xor_shift : comp =
     host =
       (fun xa ya _i j k ->
         xa.(k) <-
-          (xa.(k) lxor ya.(k))
-          + ((xa.(k) land 0xFFFFFFFF) lsr 1)
-          + (3 * j));
+          i32
+            ((xa.(k) lxor ya.(k))
+            + ((xa.(k) land 0xFFFFFFFF) lsr 1)
+            + (3 * j)));
   }
 
 (* x := x + y*2 - i *)
@@ -77,7 +84,7 @@ let comp_addsub : comp =
         let t = D.add ctx xv (D.mul ctx yv (D.i32 2)) in
         let t = D.sub ctx t i in
         D.store ctx t x);
-    host = (fun xa ya i _j k -> xa.(k) <- xa.(k) + (ya.(k) * 2) - i);
+    host = (fun xa ya i _j k -> xa.(k) <- i32 (xa.(k) + (ya.(k) * 2) - i));
   }
 
 (* x := smax(x, y) + (y land 7) *)
@@ -90,7 +97,9 @@ let comp_max_mask : comp =
         let t = D.smax ctx xv yv in
         let t = D.add ctx t (D.and_ ctx yv (D.i32 7)) in
         D.store ctx t x);
-    host = (fun xa ya _i _j k -> xa.(k) <- max xa.(k) ya.(k) + (ya.(k) land 7));
+    host =
+      (fun xa ya _i _j k ->
+        xa.(k) <- i32 (max xa.(k) ya.(k) + (ya.(k) land 7)));
   }
 
 (** Pattern shape: what the divergent paths contain. *)

@@ -1,1 +1,1 @@
-lib/transforms/constfold.ml: Array Darm_ir Op Option
+lib/transforms/constfold.ml: Array Darm_ir I32 Op Option

@@ -1,0 +1,1 @@
+test/suite_i32.ml: Alcotest Darm_ir Darm_sim Darm_transforms I32 Int32 List Op Option Printf QCheck2 QCheck_alcotest

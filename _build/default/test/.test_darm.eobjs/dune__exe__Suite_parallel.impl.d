@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest Darm_harness Darm_kernels Darm_sim Filename List Printf String

@@ -1,6 +1,11 @@
 (** Ablation studies beyond the paper: unpredication on/off, the melding
     profitability threshold, the select-latency term of FP_I, greedy vs
     alignment subgraph pairing, warp width, and post-meld
-    re-predication. *)
+    re-predication.
 
-val run : unit -> unit
+    Experiment points run on the {!Parallel_sweep} domain pool; the
+    printed output is byte-identical for any [jobs]. *)
+
+(** Run every ablation; [true] = every underlying experiment passed its
+    equivalence check. *)
+val run : ?jobs:int -> unit -> bool

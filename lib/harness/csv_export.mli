@@ -6,5 +6,7 @@ val header : string
 (** One CSV row for a single experiment result. *)
 val result_row : Experiment.result -> string
 
-(** Run the full evaluation and write fig7.csv / fig8.csv into [dir]. *)
-val export : dir:string -> unit
+(** Run the full evaluation and write fig7.csv / fig8.csv into [dir].
+    [n] overrides the element count, [jobs] the domain-pool size; the
+    emitted bytes do not depend on [jobs]. *)
+val export : ?n:int -> ?jobs:int -> dir:string -> unit -> unit

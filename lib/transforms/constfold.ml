@@ -3,30 +3,14 @@
 open Darm_ir
 open Darm_ir.Ssa
 
+(* both the folder and the simulator evaluate integer arithmetic
+   through Darm_ir.I32, so folding a computation can never change what
+   the machine would have computed *)
 let fold_ibin (op : Op.ibinop) (x : int) (y : int) : int option =
-  match op with
-  | Op.Add -> Some (x + y)
-  | Op.Sub -> Some (x - y)
-  | Op.Mul -> Some (x * y)
-  | Op.Sdiv -> if y = 0 then None else Some (x / y)
-  | Op.Srem -> if y = 0 then None else Some (x mod y)
-  | Op.And -> Some (x land y)
-  | Op.Or -> Some (x lor y)
-  | Op.Xor -> Some (x lxor y)
-  | Op.Shl -> if y < 0 || y > 31 then None else Some ((x lsl y) land 0xFFFFFFFF)
-  | Op.Lshr -> if y < 0 || y > 31 then None else Some ((x land 0xFFFFFFFF) lsr y)
-  | Op.Ashr -> if y < 0 || y > 31 then None else Some (x asr y)
-  | Op.Smin -> Some (min x y)
-  | Op.Smax -> Some (max x y)
+  I32.eval op x y
 
 let fold_icmp (p : Op.icmp_pred) (x : int) (y : int) : bool =
-  match p with
-  | Op.Ieq -> x = y
-  | Op.Ine -> x <> y
-  | Op.Islt -> x < y
-  | Op.Isle -> x <= y
-  | Op.Isgt -> x > y
-  | Op.Isge -> x >= y
+  I32.compare_i32 p x y
 
 (** Try to fold [i] to a constant value. *)
 let fold_instr (i : instr) : value option =

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, then a smoke pass of the
+# evaluation harness (every kernel once, smallest config).  Any
+# correctness failure exits non-zero.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- --smoke
