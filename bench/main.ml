@@ -25,11 +25,26 @@ let all_ok = ref true
 
 let gate (ok : bool) = if not ok then all_ok := false
 
+(* per-kernel experiment points accumulated for BENCH_darm.json — the
+   machine-readable perf trajectory tracked across PRs *)
+let bench_results : H.Experiment.result list ref = ref []
+
+let collect (rs : H.Experiment.result list) =
+  bench_results := !bench_results @ rs
+
 let run_figures which =
   let want name = which = [] || List.mem name which in
   if want "table1" then gate (H.Figures.table1 ());
-  if want "fig7" then gate (H.Experiment.all_correct (H.Figures.fig7 ()));
-  if want "fig8" then gate (H.Experiment.all_correct (H.Figures.fig8 ()));
+  if want "fig7" then begin
+    let rs = H.Figures.fig7 () in
+    collect rs;
+    gate (H.Experiment.all_correct rs)
+  end;
+  if want "fig8" then begin
+    let rs = H.Figures.fig8 () in
+    collect rs;
+    gate (H.Experiment.all_correct rs)
+  end;
   if want "fig9" then
     gate (H.Experiment.all_correct (snd (H.Figures.fig9 ())));
   if want "fig10" then
@@ -101,14 +116,18 @@ let run_bechamel () =
     rows
 
 let () =
+  let t_start = Unix.gettimeofday () in
   let args = List.tl (Array.to_list Sys.argv) in
   Printf.printf
     "DARM evaluation harness (simulated AMD-style GPU, warp size %d)\n"
     Darm_sim.Simulator.default_config.Darm_sim.Simulator.warp_size;
   Printf.printf "domain pool: %d job(s) (override with DARM_JOBS)\n"
     (H.Parallel_sweep.default_jobs ());
-  if List.mem "--smoke" args || List.mem "smoke" args then
-    gate (H.Figures.smoke ())
+  if List.mem "--smoke" args || List.mem "smoke" args then begin
+    let ok, rs = H.Figures.smoke () in
+    collect rs;
+    gate ok
+  end
   else begin
     let figure_args =
       List.filter (fun a -> a <> "bechamel" && a <> "quick") args
@@ -121,6 +140,16 @@ let () =
       if figure_args <> [] then run_figures figure_args;
       if List.mem "bechamel" args then run_bechamel ()
     end
+  end;
+  (* machine-readable summary: written and validated whenever any
+     experiment points were collected (full run, fig7/fig8, --smoke) *)
+  if !bench_results <> [] then begin
+    let wall_s = Unix.gettimeofday () -. t_start in
+    H.Bench_json.write ~wall_s !bench_results;
+    Printf.printf "\nbench: wrote %s (%d points, geomean %.3fx)\n"
+      H.Bench_json.default_path
+      (List.length !bench_results)
+      (H.Experiment.geomean (List.map H.Experiment.speedup !bench_results))
   end;
   if not !all_ok then begin
     prerr_endline "bench: correctness failures detected";

@@ -7,12 +7,15 @@
      darm_opt meld --kernel SB3 --pass branch-fusion
      darm_opt divergence --kernel PCM
      darm_opt simulate --kernel BIT --block-size 128 -n 512
+     darm_opt profile --kernel BIT --format chrome --trace-out trace.json
 *)
 
 open Cmdliner
 module Kernel = Darm_kernels.Kernel
 module Registry = Darm_kernels.Registry
 module E = Darm_harness.Experiment
+module Profile = Darm_harness.Profile
+module Export = Darm_obs.Export
 
 let find_kernel tag =
   match Registry.find tag with
@@ -48,6 +51,33 @@ let jobs_arg =
      the environment, else the core count)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let format_arg =
+  let doc = "Trace output format: chrome (Perfetto / chrome://tracing) or \
+             jsonl (one event object per line)." in
+  Arg.(
+    value
+    & opt (enum [ ("chrome", Export.Chrome); ("jsonl", Export.Jsonl) ])
+        Export.Chrome
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let trace_out_arg =
+  let doc = "Write the structured execution trace to $(docv) (see \
+             doc/observability.md)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let obs_transform_of_name name =
+  match Profile.transform_named name with
+  | Ok tf -> tf
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+let write_trace ~format ~path trace =
+  Export.write_file ~format ~path trace;
+  Printf.printf ";; trace: %s (%d events, %s)\n" path
+    (Darm_obs.Trace.length trace)
+    (match format with Export.Chrome -> "chrome" | Export.Jsonl -> "jsonl")
 
 let transform_of_name = function
   | "darm" -> E.darm_transform ()
@@ -130,10 +160,21 @@ let meld_cmd =
       $ dump_before $ dump_after)
 
 let simulate_cmd =
-  let run tag block_size n seed pass =
+  let run tag block_size n seed pass trace_out format =
     let kernel = find_kernel tag in
-    let t = transform_of_name pass in
-    let r = E.run ~transform:t ~seed ?n kernel ~block_size in
+    let r, trace =
+      match trace_out with
+      | None ->
+          (E.run ~transform:(transform_of_name pass) ~seed ?n kernel
+             ~block_size,
+           None)
+      | Some path ->
+          let transform = obs_transform_of_name pass in
+          let tr, r =
+            Profile.run_point ~seed ?n ~transform kernel ~block_size
+          in
+          (r, Some (path, tr))
+    in
     let ws = E.sim_config.Darm_sim.Simulator.warp_size in
     Printf.printf "kernel %s, block size %d, pass %s (%d rewrites)\n" r.E.tag
       r.E.block_size r.E.transform_name r.E.rewrites;
@@ -144,43 +185,95 @@ let simulate_cmd =
       (Darm_sim.Metrics.to_string r.E.opt ~warp_size:ws);
     Printf.printf "  speedup: %.3fx   output %s\n" (E.speedup r)
       (if r.E.correct then "correct" else "INCORRECT");
+    (match trace with
+    | None -> ()
+    | Some (path, tr) -> write_trace ~format ~path tr);
     if not r.E.correct then exit 1
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
          "Simulate a kernel with and without a pass; report metrics and \
-          verify output equivalence.")
+          verify output equivalence.  With --trace-out, also record the \
+          structured execution trace.")
     Term.(
-      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg)
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg
+      $ trace_out_arg $ format_arg)
+
+let print_sweep_table (kernel : Kernel.t) (results : E.result list) : unit =
+  Printf.printf "%-8s %8s %12s %12s %9s %9s %8s\n" "bench" "bs" "base cyc"
+    "opt cyc" "speedup" "alu-util" "correct";
+  List.iter2
+    (fun block_size r ->
+      Printf.printf "%-8s %8d %12d %12d %8.2fx %8.1f%% %8s\n" r.E.tag
+        block_size r.E.base.Darm_sim.Metrics.cycles
+        r.E.opt.Darm_sim.Metrics.cycles (E.speedup r)
+        (Darm_sim.Metrics.alu_utilization r.E.opt
+           ~warp_size:E.sim_config.Darm_sim.Simulator.warp_size)
+        (if r.E.correct then "yes" else "NO"))
+    kernel.Kernel.block_sizes results
 
 let sweep_cmd =
-  let run tag n seed pass jobs =
+  let run tag n seed pass jobs trace_out format =
     let kernel = find_kernel tag in
-    let t = transform_of_name pass in
     let results =
-      E.run_many ?jobs
-        (List.map
-           (fun block_size () -> E.run ~transform:t ~seed ?n kernel ~block_size)
-           kernel.Kernel.block_sizes)
+      match trace_out with
+      | None ->
+          let t = transform_of_name pass in
+          E.run_many ?jobs
+            (List.map
+               (fun block_size () ->
+                 E.run ~transform:t ~seed ?n kernel ~block_size)
+               kernel.Kernel.block_sizes)
+      | Some path ->
+          let transform = obs_transform_of_name pass in
+          let trace, results =
+            Profile.sweep ?jobs ~seed ?n ~transform kernel
+          in
+          write_trace ~format ~path trace;
+          results
     in
-    Printf.printf "%-8s %8s %12s %12s %9s %9s %8s\n" "bench" "bs" "base cyc"
-      "opt cyc" "speedup" "alu-util" "correct";
-    List.iter2
-      (fun block_size r ->
-        Printf.printf "%-8s %8d %12d %12d %8.2fx %8.1f%% %8s\n" r.E.tag
-          block_size r.E.base.Darm_sim.Metrics.cycles
-          r.E.opt.Darm_sim.Metrics.cycles (E.speedup r)
-          (Darm_sim.Metrics.alu_utilization r.E.opt
-             ~warp_size:E.sim_config.Darm_sim.Simulator.warp_size)
-          (if r.E.correct then "yes" else "NO"))
-      kernel.Kernel.block_sizes results;
+    print_sweep_table kernel results;
     if not (E.all_correct results) then exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Run a kernel's full block-size sweep and tabulate the metrics.")
-    Term.(const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg $ jobs_arg)
+       ~doc:
+         "Run a kernel's full block-size sweep and tabulate the metrics.  \
+          With --trace-out, also record the merged structured trace \
+          (byte-identical for any --jobs count).")
+    Term.(
+      const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg $ jobs_arg
+      $ trace_out_arg $ format_arg)
+
+let profile_cmd =
+  let out_arg =
+    let doc = "Trace output file." in
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run tag n seed pass jobs format trace_out =
+    let kernel = find_kernel tag in
+    let transform = obs_transform_of_name pass in
+    let trace, results = Profile.sweep ?jobs ~seed ?n ~transform kernel in
+    print_sweep_table kernel results;
+    write_trace ~format ~path:trace_out trace;
+    if not (E.all_correct results) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a kernel's block-size sweep with full observability: \
+          pass-pipeline spans and meld decisions (region, subgraph pair, \
+          FP_S, accept/reject), per-warp divergence timelines of both the \
+          baseline and transformed simulations, and per-block cycle spans \
+          — written as a Chrome trace-event file (open in Perfetto) or \
+          JSONL.  Output is byte-identical for any --jobs count.")
+    Term.(
+      const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg $ jobs_arg
+      $ format_arg $ out_arg)
 
 let parse_cmd =
   let file =
@@ -281,7 +374,8 @@ let dot_cmd =
   Cmd.v
     (Cmd.info "dot"
        ~doc:
-         "Export a kernel's CFG as Graphviz dot (divergent branches           highlighted); pipe into `dot -Tsvg`.")
+         "Export a kernel's CFG as Graphviz dot (divergent branches \
+          highlighted); pipe into `dot -Tsvg`.")
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ melded)
 
@@ -300,15 +394,15 @@ let trace_cmd =
       Darm_sim.Simulator.run ~config f ~args:inst.Kernel.args
         ~global:inst.Kernel.global inst.Kernel.launch
     in
-    Printf.printf ";; %s
-"
+    Printf.printf ";; %s\n"
       (Darm_sim.Metrics.to_string m
          ~warp_size:config.Darm_sim.Simulator.warp_size)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Execute a kernel printing one line per basic block a warp           executes - divergence appears as interleaved half-mask lines.")
+         "Execute a kernel printing one line per basic block a warp \
+          executes - divergence appears as interleaved half-mask lines.")
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg)
 
@@ -374,7 +468,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random divergent kernels must behave           identically before and after every transformation.")
+         "Differential fuzzing: random divergent kernels must behave \
+          identically before and after every transformation.")
     Term.(const run $ count $ jobs_arg)
 
 let main =
@@ -386,7 +481,7 @@ let main =
   in
   Cmd.group info
     [ list_cmd; show_cmd; divergence_cmd; meld_cmd; simulate_cmd; sweep_cmd;
-      parse_cmd;
+      profile_cmd; parse_cmd;
       compile_cmd; dot_cmd; trace_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -36,6 +36,9 @@ type config = {
   if_convert_after : bool;
       (** re-run the predicating if-conversion after the pass, modelling
           the later -O3 pipeline (the paper's §VI-C observation) *)
+  obs : Darm_obs.Trace.t option;
+      (** trace buffer for pass-pipeline spans and meld-decision events
+          (see doc/observability.md); [None] = no instrumentation *)
 }
 
 let default_config : config =
@@ -48,6 +51,7 @@ let default_config : config =
     max_iterations = 64;
     run_cleanups = true;
     if_convert_after = false;
+    obs = None;
   }
 
 let branch_fusion_config : config =
@@ -83,6 +87,25 @@ let pair_profit (cfg : config) (st : Region.subgraph) (sf : Region.subgraph)
   | None -> None
   | Some pairs -> Some (Profitability.fp_s cfg.latency pairs)
 
+(* one auditable event per scored subgraph pair: Algorithm 1's
+   accept/reject of FP_S against the threshold *)
+let obs_decision (cfg : config) (r : Region.t) (st : Region.subgraph)
+    (sf : Region.subgraph) (profit : float) : unit =
+  match cfg.obs with
+  | None -> ()
+  | Some tr ->
+      Darm_obs.Trace.instant tr ~cat:"pass"
+        ~args:
+          [
+            ("region", Darm_obs.Trace.Str r.Region.r_entry.bname);
+            ("st", Darm_obs.Trace.Str st.Region.sg_entry.bname);
+            ("sf", Darm_obs.Trace.Str sf.Region.sg_entry.bname);
+            ("fp_s", Darm_obs.Trace.Float profit);
+            ("threshold", Darm_obs.Trace.Float cfg.threshold);
+            ("accepted", Darm_obs.Trace.Bool (profit > cfg.threshold));
+          ]
+        "meld.decision"
+
 (* Greedy MostProfitableSubgraphPair: m x n comparison (paper §IV-C). *)
 let best_pair_greedy (cfg : config) (r : Region.t)
     (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
@@ -95,6 +118,7 @@ let best_pair_greedy (cfg : config) (r : Region.t)
           match pair_profit cfg st sf with
           | None -> ()
           | Some profit ->
+              obs_decision cfg r st sf profit;
               if profit > cfg.threshold then begin
                 let rank = ti + fi in
                 match !best with
@@ -138,19 +162,22 @@ let best_pair_alignment (cfg : config) (r : Region.t)
       match item with
       | Darm_align.Sequence.Both (st, sf) -> (
           match pair_profit cfg st sf with
-          | Some profit when profit > cfg.threshold -> (
-              match acc with
-              | Some b when b.c_profit >= profit -> acc
-              | _ ->
-                  Some
-                    {
-                      c_region = r;
-                      c_st = st;
-                      c_sf = sf;
-                      c_profit = profit;
-                      c_rank = 0;
-                    })
-          | Some _ | None -> acc)
+          | None -> acc
+          | Some profit -> (
+              obs_decision cfg r st sf profit;
+              if profit <= cfg.threshold then acc
+              else
+                match acc with
+                | Some b when b.c_profit >= profit -> acc
+                | _ ->
+                    Some
+                      {
+                        c_region = r;
+                        c_st = st;
+                        c_sf = sf;
+                        c_profit = profit;
+                        c_rank = 0;
+                      }))
       | Darm_align.Sequence.Left _ | Darm_align.Sequence.Right _ -> acc)
     None aligned
 
@@ -198,9 +225,20 @@ let apply_candidate (cfg : config) (f : func) (c : candidate)
     (the test suites use this). *)
 let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
   let stats = empty_stats () in
+  let obs_span name args body =
+    match config.obs with
+    | None -> body ()
+    | Some tr -> Darm_obs.Trace.with_span tr ~cat:"pass" ~args name body
+  in
+  obs_span "pass.run"
+    [ ("func", Darm_obs.Trace.Str f.fname) ]
+  @@ fun () ->
   let continue_ = ref true in
   while !continue_ && stats.iterations < config.max_iterations do
     stats.iterations <- stats.iterations + 1;
+    obs_span "pass.iteration"
+      [ ("iteration", Darm_obs.Trace.Int stats.iterations) ]
+    @@ fun () ->
     let dvg = Divergence.compute f in
     let dt = Domtree.compute f in
     let pdt = Domtree.compute_post f in
@@ -221,6 +259,18 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
     match candidate with
     | None -> continue_ := false
     | Some c ->
+        (match config.obs with
+        | None -> ()
+        | Some tr ->
+            Darm_obs.Trace.instant tr ~cat:"pass"
+              ~args:
+                [
+                  ("region", Darm_obs.Trace.Str c.c_region.Region.r_entry.bname);
+                  ("st", Darm_obs.Trace.Str c.c_st.Region.sg_entry.bname);
+                  ("sf", Darm_obs.Trace.Str c.c_sf.Region.sg_entry.bname);
+                  ("fp_s", Darm_obs.Trace.Float c.c_profit);
+                ]
+              "meld.apply");
         apply_candidate config f c stats;
         if config.run_cleanups then begin
           ignore (Darm_transforms.Simplify_cfg.run f);

@@ -30,6 +30,14 @@ type config = {
   if_convert_after : bool;
       (** re-run the predicating if-conversion after the pass, modelling
           the later -O3 pipeline (the paper's §VI-C observation) *)
+  obs : Darm_obs.Trace.t option;
+      (** trace buffer for the pass-pipeline instrumentation: a
+          [pass.run] span wrapping one [pass.iteration] span per
+          Algorithm 1 iteration, a [meld.decision] instant per scored
+          subgraph pair (region entry, pair entries, FP_S, threshold,
+          accept/reject) and a [meld.apply] instant for each meld
+          actually performed.  [None] (the default) emits nothing and
+          adds no measurable overhead. *)
 }
 
 val default_config : config

@@ -42,9 +42,19 @@ type config = {
   latency : Darm_analysis.Latency.config;
   max_cycles_per_warp : int;  (** runaway-loop guard *)
   trace : (string -> unit) option;
-      (** called once per executed basic block with
-          "block=<name> warp=<tid_base> mask=<popcount>"; shows the
-          serialization order of divergent execution *)
+      (** legacy string-trace shim, kept for [darm_opt trace]: called
+          once per executed basic block with
+          "block=<name> warp=<tid_base> mask=<popcount>".  New tooling
+          should use [obs], the structured replacement. *)
+  obs : Darm_obs.Trace.t option;
+      (** structured divergence timeline: per-warp [warp.diverge] /
+          [warp.reconverge] / [warp.barrier] instants and per-block
+          cycle spans, timestamped with the deterministic cycle
+          counter.  [None] (the default) emits nothing. *)
+  obs_pid : int;
+      (** pid stamped on this run's [obs] events, so two simulations
+          (e.g. baseline and melded) can share one buffer without
+          their tracks colliding *)
 }
 
 let default_config : config =
@@ -53,6 +63,8 @@ let default_config : config =
     latency = Darm_analysis.Latency.default;
     max_cycles_per_warp = 400_000_000;
     trace = None;
+    obs = None;
+    obs_pid = 1;
   }
 
 exception Sim_error of string
@@ -322,6 +334,39 @@ let popcount (mask : bool array) =
   done;
   !c
 
+(* ------------------------------------------------------------------ *)
+(* Structured observability.
+
+   Timeline events are stamped with [metrics.cycles] — a deterministic
+   function of the execution — so traces are byte-identical across
+   runs and domain-pool sizes.  Per-warp events go on tid
+   [1 + tid_base] (tid 0 carries the per-block cycle spans). *)
+
+module Tr = Darm_obs.Trace
+
+(* active mask as hex, lane 0 in the least-significant bit *)
+let mask_hex (mask : bool array) : string =
+  let ws = Array.length mask in
+  let nibbles = (ws + 3) / 4 in
+  let b = Bytes.create nibbles in
+  for k = 0 to nibbles - 1 do
+    let v = ref 0 in
+    for j = 0 to 3 do
+      let lane = ((nibbles - 1 - k) * 4) + j in
+      if lane < ws && mask.(lane) then v := !v lor (1 lsl j)
+    done;
+    Bytes.set b k "0123456789abcdef".[!v]
+  done;
+  Bytes.to_string b
+
+let obs_warp (ctx : launch_ctx) (w : warp) (name : string)
+    (args : (string * Tr.value) list) : unit =
+  match ctx.cfg.obs with
+  | None -> ()
+  | Some tr ->
+      Tr.instant tr ~cat:"sim" ~pid:ctx.cfg.obs_pid ~tid:(1 + w.tid_base)
+        ~ts:ctx.metrics.Metrics.cycles ~args name
+
 let account (ctx : launch_ctx) (d : dinstr) (mask : bool array) : unit =
   let m = ctx.metrics in
   m.cycles <- m.cycles + d.d_lat;
@@ -586,6 +631,18 @@ let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame)
             else fmask.(lane) <- true
         done;
         let rpc = db.db_ipdom in
+        obs_warp ctx w "warp.diverge"
+          [
+            ("block", Tr.Str db.db_name);
+            ("t_active", Tr.Int (popcount tmask));
+            ("f_active", Tr.Int (popcount fmask));
+            ("t_mask", Tr.Str (mask_hex tmask));
+            ("f_mask", Tr.Str (mask_hex fmask));
+            ( "reconverge",
+              Tr.Str
+                (if rpc >= 0 then ctx.fctx.dblocks.(rpc).db_name else "<none>")
+            );
+          ];
         let t_frame = { pc = d.d_succ.(0); ip = 0; rpc; mask = tmask } in
         let f_frame = { pc = d.d_succ.(1); ip = 0; rpc; mask = fmask } in
         if rpc >= 0 then begin
@@ -614,10 +671,18 @@ let run_warp (ctx : launch_ctx) (w : warp) : unit =
         if frame.rpc >= 0 && frame.rpc = frame.pc then begin
           (* reconverged: drop the frame, the parent resumes at rpc *)
           ctx.metrics.reconvergences <- ctx.metrics.reconvergences + 1;
+          obs_warp ctx w "warp.reconverge"
+            [
+              ("block", Tr.Str dbs.(frame.pc).db_name);
+              ("active", Tr.Int (popcount frame.mask));
+              ("mask", Tr.Str (mask_hex frame.mask));
+            ];
           w.stack <- rest
         end
         else begin
           let db = dbs.(frame.pc) in
+          (* string-trace compatibility shim ([darm_opt trace]); the
+             structured timeline goes through [obs_warp] instead *)
           (match ctx.cfg.trace with
           | Some emit when frame.ip = 0 ->
               emit
@@ -641,6 +706,11 @@ let run_warp (ctx : launch_ctx) (w : warp) : unit =
             else if d.d_op = Op.Syncthreads then begin
               account ctx d frame.mask;
               ctx.metrics.barriers <- ctx.metrics.barriers + 1;
+              obs_warp ctx w "warp.barrier"
+                [
+                  ("block", Tr.Str db.db_name);
+                  ("active", Tr.Int (popcount frame.mask));
+                ];
               (match w.stack with
               | _ :: _ :: _ -> errf "syncthreads in divergent control flow"
               | _ -> ());
@@ -683,6 +753,13 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
   in
   for block_idx = 0 to launch.grid_dim - 1 do
     let cycles_before = metrics.cycles in
+    (match config.obs with
+    | None -> ()
+    | Some tr ->
+        Tr.begin_span tr ~cat:"sim" ~pid:config.obs_pid ~tid:0
+          ~ts:metrics.cycles
+          ~args:[ ("block_idx", Tr.Int block_idx) ]
+          "block");
     let shared =
       Memory.create ~space:Sp_shared (max fctx.shared_size 1)
     in
@@ -737,7 +814,17 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
           (fun w -> if w.status = At_barrier then w.status <- Running)
           warps
     done;
+    (* CONTRACT: block_cycles is kept most-recent-block-first; see
+       {!Metrics.t} *)
     metrics.block_cycles <-
-      (metrics.cycles - cycles_before) :: metrics.block_cycles
+      (metrics.cycles - cycles_before) :: metrics.block_cycles;
+    match config.obs with
+    | None -> ()
+    | Some tr ->
+        Tr.end_span tr ~cat:"sim" ~pid:config.obs_pid ~tid:0 ~ts:metrics.cycles
+          "block";
+        Tr.counter tr ~cat:"sim" ~pid:config.obs_pid ~tid:0 ~ts:metrics.cycles
+          "block.cycles"
+          (float_of_int (metrics.cycles - cycles_before))
   done;
   metrics

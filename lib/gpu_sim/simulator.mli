@@ -26,9 +26,24 @@ type config = {
   latency : Darm_analysis.Latency.config;
   max_cycles_per_warp : int;  (** runaway-loop guard *)
   trace : (string -> unit) option;
-      (** called once per executed basic block with
-          "block=<name> warp=<tid_base> mask=<popcount>"; shows the
-          serialization order of divergent execution *)
+      (** legacy string-trace compatibility shim (kept for
+          [darm_opt trace]): called once per executed basic block with
+          "block=<name> warp=<tid_base> mask=<popcount>".  New tooling
+          should use [obs] below — the structured replacement. *)
+  obs : Darm_obs.Trace.t option;
+      (** structured divergence timeline: one [warp.diverge] /
+          [warp.reconverge] / [warp.barrier] instant per warp split,
+          reconvergence and barrier (active-mask popcounts and hex
+          masks in the attributes) on tid [1 + tid_base], plus
+          per-thread-block cycle spans and a [block.cycles] counter on
+          tid 0.  Events are timestamped with the deterministic cycle
+          counter, so traces are byte-identical across runs.  [None]
+          (the default) emits nothing and leaves the simulation
+          bit-identical to an uninstrumented run. *)
+  obs_pid : int;
+      (** pid stamped on this run's [obs] events (default 1), so two
+          simulations — e.g. baseline and melded — can share one
+          buffer on disjoint tracks *)
 }
 
 val default_config : config

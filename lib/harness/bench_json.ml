@@ -1,0 +1,64 @@
+(* Machine-readable bench summary (BENCH_darm.json): per-kernel
+   base/opt cycles, speedup, ALU utilization and pass wall time, plus
+   the geomean — the cross-PR performance trajectory record. *)
+
+module Json = Darm_obs.Json
+module Metrics = Darm_sim.Metrics
+module E = Experiment
+
+let schema = "darm-bench-v1"
+
+let default_path = "BENCH_darm.json"
+
+let result_json (warp_size : int) (r : E.result) : Json.t =
+  Json.Obj
+    [
+      ("kernel", Json.Str r.E.tag);
+      ("block_size", Json.Int r.E.block_size);
+      ("transform", Json.Str r.E.transform_name);
+      ("rewrites", Json.Int r.E.rewrites);
+      ("base_cycles", Json.Int r.E.base.Metrics.cycles);
+      ("opt_cycles", Json.Int r.E.opt.Metrics.cycles);
+      ("speedup", Json.Float (E.speedup r));
+      ( "alu_util_base",
+        Json.Float (Metrics.alu_utilization r.E.base ~warp_size) );
+      ( "alu_util_opt",
+        Json.Float (Metrics.alu_utilization r.E.opt ~warp_size) );
+      ( "divergent_branches_base",
+        Json.Int r.E.base.Metrics.divergent_branches );
+      ("divergent_branches_opt", Json.Int r.E.opt.Metrics.divergent_branches);
+      ("pass_ms", Json.Float r.E.t_ms);
+      ("correct", Json.Bool r.E.correct);
+    ]
+
+let summary ?wall_s (results : E.result list) : Json.t =
+  let warp_size = E.sim_config.E.Sim.warp_size in
+  Json.Obj
+    ([
+       ("schema", Json.Str schema);
+       ("warp_size", Json.Int warp_size);
+       ("geomean_speedup", Json.Float (E.geomean (List.map E.speedup results)));
+       ("results", Json.List (List.map (result_json warp_size) results));
+     ]
+    @ match wall_s with None -> [] | Some s -> [ ("wall_s", Json.Float s) ])
+
+(** Write the summary and validate it by re-reading and re-parsing the
+    file; raises [Failure] on an unwritable or corrupt result. *)
+let write ?(path = default_path) ?wall_s (results : E.result list) : unit =
+  let contents = Json.to_string (summary ?wall_s results) ^ "\n" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  let ic = open_in path in
+  let written =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse written with
+  | Error msg -> failwith (Printf.sprintf "%s: invalid JSON: %s" path msg)
+  | Ok j -> (
+      match Json.member "results" j with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> failwith (Printf.sprintf "%s: missing or empty results" path))

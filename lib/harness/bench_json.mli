@@ -1,0 +1,26 @@
+(** Machine-readable bench summary: [BENCH_darm.json].
+
+    One JSON document per bench run recording, per experiment point,
+    the baseline/optimized cycle counts, speedup, ALU utilization,
+    divergent-branch counts and the pass wall time — plus the geomean
+    speedup.  Written by [bench/main.exe] (both the full run and
+    [--smoke]) so the performance trajectory is tracked across PRs; see
+    doc/observability.md for the schema. *)
+
+module Json = Darm_obs.Json
+module E = Experiment
+
+(** Schema identifier embedded in the document ("darm-bench-v1"). *)
+val schema : string
+
+val default_path : string
+
+(** The summary document.  [wall_s], when given, records the whole
+    bench run's wall-clock seconds (the only non-deterministic field
+    besides [pass_ms]). *)
+val summary : ?wall_s:float -> E.result list -> Json.t
+
+(** Serialize to [path] (default {!default_path}) and validate the
+    written bytes by re-reading and re-parsing them; raises [Failure]
+    if the file does not parse back with a non-empty [results] list. *)
+val write : ?path:string -> ?wall_s:float -> E.result list -> unit

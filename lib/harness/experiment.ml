@@ -47,6 +47,7 @@ type result = {
   base : Metrics.t;
   opt : Metrics.t;
   correct : bool;  (** transformed output == baseline output == reference *)
+  t_ms : float;  (** wall-clock time of the transform itself *)
 }
 
 let speedup (r : result) : float =
@@ -133,16 +134,59 @@ let baseline ?sim (kernel : Kernel.t) ~seed ~block_size ~n :
 
 (** Run [kernel] at [block_size] with and without [transform]; check
     output equivalence against the host reference as a built-in sanity
-    gate.  [sim] overrides the machine model (e.g. the warp width). *)
-let run ?(transform = darm_default) ?(seed = 2022) ?n ?sim
+    gate.  [sim] overrides the machine model (e.g. the warp width).
+
+    [obs] wraps the whole experiment in an [experiment] span and routes
+    both simulations into the buffer (baseline on pid 1, transformed on
+    pid 2; override via [sim.obs_pid] conventions in
+    doc/observability.md).  An observed run always recomputes — the
+    caches would otherwise swallow the events of a repeated point. *)
+let run ?(transform = darm_default) ?(seed = 2022) ?n ?sim ?obs
     (kernel : Kernel.t) ~(block_size : int) : result =
   let n = Option.value ~default:kernel.Kernel.default_n n in
   let compute () =
-    let base, out_base, expected = baseline ?sim kernel ~seed ~block_size ~n in
+    let span body =
+      match obs with
+      | None -> body ()
+      | Some tr ->
+          Darm_obs.Trace.with_span tr ~cat:"bench"
+            ~args:
+              [
+                ("kernel", Darm_obs.Trace.Str kernel.Kernel.tag);
+                ("block_size", Darm_obs.Trace.Int block_size);
+                ("n", Darm_obs.Trace.Int n);
+                ("seed", Darm_obs.Trace.Int seed);
+                ("transform", Darm_obs.Trace.Str transform.t_name);
+              ]
+            "experiment" body
+    in
+    span @@ fun () ->
+    let sim_with pid =
+      match obs with
+      | None -> sim
+      | Some tr ->
+          Some
+            {
+              (Option.value ~default:sim_config sim) with
+              Sim.obs = Some tr;
+              obs_pid = pid;
+            }
+    in
+    let base, out_base, expected =
+      match obs with
+      | None -> baseline ?sim kernel ~seed ~block_size ~n
+      | Some _ ->
+          (* inline (uncached) baseline so its events land in the buffer *)
+          let inst = kernel.Kernel.make ~seed ~block_size ~n in
+          let m = run_instance ?config:(sim_with 1) inst in
+          (m, inst.Kernel.read_result (), inst.Kernel.reference ())
+    in
     let opt_inst = kernel.Kernel.make ~seed ~block_size ~n in
+    let t0 = Unix.gettimeofday () in
     let rewrites = transform.t_apply opt_inst.Kernel.func in
+    let t_ms = (Unix.gettimeofday () -. t0) *. 1000. in
     Darm_ir.Verify.run_exn opt_inst.Kernel.func;
-    let opt = run_instance ?config:sim opt_inst in
+    let opt = run_instance ?config:(sim_with 2) opt_inst in
     let out_opt = opt_inst.Kernel.read_result () in
     let correct =
       base.Metrics.cycles > 0
@@ -158,9 +202,10 @@ let run ?(transform = darm_default) ?(seed = 2022) ?n ?sim
       base;
       opt;
       correct;
+      t_ms;
     }
   in
-  if sim <> None || not (canonical transform) then compute ()
+  if sim <> None || obs <> None || not (canonical transform) then compute ()
   else
     let key =
       ( { c_tag = kernel.Kernel.tag; c_bs = block_size; c_seed = seed;

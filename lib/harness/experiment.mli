@@ -41,6 +41,10 @@ type result = {
   correct : bool;
       (** transformed output == baseline output == reference, and both
           runs retired a non-zero cycle count *)
+  t_ms : float;
+      (** wall-clock milliseconds spent inside the transform (the pass
+          pipeline only — simulation time excluded); feeds the
+          [pass_ms] column of BENCH_darm.json *)
 }
 
 (** Baseline cycles over optimized cycles.  Raises [Invalid_argument]
@@ -57,12 +61,19 @@ val sim_config : Sim.config
 val run_instance : ?config:Sim.config -> Kernel.instance -> Metrics.t
 
 (** Run [kernel] at [block_size] with and without [transform]; [sim]
-    overrides the machine model (e.g. the warp width). *)
+    overrides the machine model (e.g. the warp width).
+
+    [obs] instruments the run: the whole experiment is wrapped in an
+    [experiment] span carrying kernel/block-size/transform attributes,
+    and both simulations emit their divergence timelines into the
+    buffer (baseline on pid 1, transformed on pid 2).  Observed runs
+    bypass the memoization caches so the events are always emitted. *)
 val run :
   ?transform:transform ->
   ?seed:int ->
   ?n:int ->
   ?sim:Sim.config ->
+  ?obs:Darm_obs.Trace.t ->
   Kernel.t ->
   block_size:int ->
   result

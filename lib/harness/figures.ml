@@ -311,9 +311,10 @@ let table2 ?(reps = 5) () : unit =
 
 (** Smoke mode: every registered kernel once — smallest workload, one
     block size, one seed — through the full transform + equivalence
-    pipeline.  Fast enough for CI; returns [true] when everything
-    checked out. *)
-let smoke ?jobs () : bool =
+    pipeline.  Fast enough for CI; returns whether everything checked
+    out, plus the results (the bench harness feeds them into
+    BENCH_darm.json). *)
+let smoke ?jobs () : bool * E.result list =
   let kernels = Registry.synthetic @ Registry.real_world in
   let results =
     Parallel_sweep.map ?jobs
@@ -332,4 +333,4 @@ let smoke ?jobs () : bool =
         r.E.block_size r.E.rewrites (E.speedup r)
         (if r.E.correct then "" else "  INCORRECT"))
     kernels results;
-  check_banner results
+  (check_banner results, results)

@@ -46,5 +46,6 @@ val table1 : ?n:int -> ?jobs:int -> unit -> bool
 val table2 : ?reps:int -> unit -> unit
 
 (** CI smoke pass: every registered kernel once at its smallest
-    workload, one block size, one seed.  [true] = all correct. *)
-val smoke : ?jobs:int -> unit -> bool
+    workload, one block size, one seed.  Returns all-correct plus the
+    results (input to {!Bench_json}). *)
+val smoke : ?jobs:int -> unit -> bool * E.result list

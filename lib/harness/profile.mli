@@ -1,0 +1,51 @@
+(** Deterministic profiling pipeline behind [darm_opt profile] (and the
+    [--trace-out] flags of [simulate]/[sweep]).
+
+    A profiled point runs one (kernel, block size) experiment with full
+    observability: the pass driver emits its iteration spans and
+    meld-decision events, both simulations emit their per-warp
+    divergence timelines, and the harness wraps everything in an
+    experiment span.  {!sweep} fans the kernel's block sizes over the
+    {!Parallel_sweep} domain pool with one private buffer per task and
+    merges the buffers in block-size order, shifting each task into its
+    own pid namespace ({!pid_stride}) — so the merged trace is
+    byte-identical for any [jobs] count, matching the harness-wide
+    determinism guarantee. *)
+
+module Kernel = Darm_kernels.Kernel
+module Trace = Darm_obs.Trace
+module E = Experiment
+module Pass = Darm_core.Pass
+
+(** The DARM transform with its pass instrumentation routed into the
+    given buffer. *)
+val darm_obs_transform : ?config:Pass.config -> Trace.t -> E.transform
+
+(** CLI pass-name mapping: "darm" and "branch-fusion" are instrumented
+    ({!darm_obs_transform}); "tail-merge" and "none" run uninstrumented
+    (they do not go through the melding driver). *)
+val transform_named : string -> (Trace.t -> E.transform, string) result
+
+(** Profile a single (kernel, block size) point into a fresh buffer. *)
+val run_point :
+  ?seed:int ->
+  ?n:int ->
+  transform:(Trace.t -> E.transform) ->
+  Kernel.t ->
+  block_size:int ->
+  Trace.t * E.result
+
+(** pid distance between consecutive block-size tasks in a merged sweep
+    trace (each task occupies pids 0..2 of its namespace). *)
+val pid_stride : int
+
+(** Profile the kernel's whole block-size sweep; the merged trace and
+    the per-block-size results, both in block-size order regardless of
+    the pool size. *)
+val sweep :
+  ?jobs:int ->
+  ?seed:int ->
+  ?n:int ->
+  ?transform:(Trace.t -> E.transform) ->
+  Kernel.t ->
+  Trace.t * E.result list

@@ -1,0 +1,166 @@
+(* Trace serialization to JSONL and Chrome trace-event JSON. *)
+
+type format = Jsonl | Chrome
+
+let format_of_string = function
+  | "jsonl" -> Ok Jsonl
+  | "chrome" -> Ok Chrome
+  | other -> Error (Printf.sprintf "unknown trace format %S (jsonl|chrome)" other)
+
+let ph_to_string : Trace.phase -> string = function
+  | Trace.B -> "B"
+  | Trace.E -> "E"
+  | Trace.I -> "i"
+  | Trace.C -> "C"
+
+let ph_of_string = function
+  | "B" -> Ok Trace.B
+  | "E" -> Ok Trace.E
+  | "i" | "I" | "n" -> Ok Trace.I
+  | "C" -> Ok Trace.C
+  | other -> Error (Printf.sprintf "unknown phase %S" other)
+
+let event_to_json (ev : Trace.event) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str ev.Trace.ev_name);
+      ("cat", Json.Str ev.Trace.ev_cat);
+      ("ph", Json.Str (ph_to_string ev.Trace.ev_ph));
+      ("ts", Json.Int ev.Trace.ev_ts);
+      ("pid", Json.Int ev.Trace.ev_pid);
+      ("tid", Json.Int ev.Trace.ev_tid);
+      ( "args",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Trace.value_to_json v))
+             ev.Trace.ev_args) );
+    ]
+
+let event_of_json (j : Json.t) : (Trace.event, string) result =
+  let ( let* ) = Result.bind in
+  let str_field k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "event missing string field %S" k)
+  in
+  let int_field k =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "event missing integer field %S" k)
+  in
+  let* name = str_field "name" in
+  let* cat = str_field "cat" in
+  let* ph = Result.bind (str_field "ph") ph_of_string in
+  let* ts = int_field "ts" in
+  let* pid = int_field "pid" in
+  let* tid = int_field "tid" in
+  let* args =
+    match Json.member "args" j with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            let* v =
+              match v with
+              | Json.Str s -> Ok (Trace.Str s)
+              | Json.Int n -> Ok (Trace.Int n)
+              | Json.Float x -> Ok (Trace.Float x)
+              | Json.Bool b -> Ok (Trace.Bool b)
+              | _ -> Error (Printf.sprintf "arg %S is not a scalar" k)
+            in
+            Ok ((k, v) :: acc))
+          (Ok []) fields
+        |> Result.map List.rev
+    | Some _ -> Error "args is not an object"
+  in
+  Ok
+    {
+      Trace.ev_name = name;
+      ev_cat = cat;
+      ev_ph = ph;
+      ev_ts = ts;
+      ev_pid = pid;
+      ev_tid = tid;
+      ev_args = args;
+    }
+
+let to_jsonl (t : Trace.t) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Json.to_buffer b (event_to_json ev);
+      Buffer.add_char b '\n')
+    (Trace.events t);
+  Buffer.contents b
+
+let to_chrome (t : Trace.t) : string =
+  let b = Buffer.create 4096 in
+  Json.to_buffer b
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map event_to_json (Trace.events t)));
+         ("displayTimeUnit", Json.Str "ms");
+       ]);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let events_of_jsonl (s : string) : (Trace.event list, string) result =
+  let ( let* ) = Result.bind in
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.fold_left
+       (fun acc line ->
+         let* acc = acc in
+         let* j = Json.parse line in
+         let* ev = event_of_json j in
+         Ok (ev :: acc))
+       (Ok [])
+  |> Result.map List.rev
+
+(* validate the written bytes by re-reading them: the parse must
+   succeed and yield at least one event *)
+let validate (format : format) (path : string) (contents : string) : unit =
+  let count =
+    match format with
+    | Jsonl -> (
+        match events_of_jsonl contents with
+        | Ok evs -> List.length evs
+        | Error msg ->
+            failwith (Printf.sprintf "%s: invalid JSONL trace: %s" path msg))
+    | Chrome -> (
+        match Json.parse contents with
+        | Error msg ->
+            failwith (Printf.sprintf "%s: invalid JSON: %s" path msg)
+        | Ok j -> (
+            match Json.member "traceEvents" j with
+            | Some (Json.List evs) ->
+                List.iter
+                  (fun e ->
+                    match event_of_json e with
+                    | Ok _ -> ()
+                    | Error msg ->
+                        failwith
+                          (Printf.sprintf "%s: malformed trace event: %s" path
+                             msg))
+                  evs;
+                List.length evs
+            | _ ->
+                failwith
+                  (Printf.sprintf "%s: missing traceEvents array" path)))
+  in
+  if count = 0 then failwith (Printf.sprintf "%s: trace is empty" path)
+
+let write_file ~(format : format) ~(path : string) (t : Trace.t) : unit =
+  let contents = match format with Jsonl -> to_jsonl t | Chrome -> to_chrome t in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  let ic = open_in path in
+  let written =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate format path written

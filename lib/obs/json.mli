@@ -1,0 +1,31 @@
+(** Minimal JSON tree: enough to emit and re-read trace files and bench
+    summaries without an external dependency.
+
+    The emitter is deterministic — object fields print in the order
+    given, numbers always format the same way — so two structurally
+    identical documents serialize to identical bytes (the property the
+    trace-determinism guarantee rests on). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (no whitespace) serialization.  Strings are escaped per RFC
+    8259; non-finite floats — which JSON cannot represent — emit as
+    [null]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** Parse one JSON document (surrounding whitespace allowed).  Numbers
+    without [.]/[e] parse as [Int], others as [Float]; [\uXXXX] escapes
+    decode to UTF-8. *)
+val parse : string -> (t, string) result
+
+(** [member k j] — field [k] of object [j], if present. *)
+val member : string -> t -> t option

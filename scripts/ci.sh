@@ -1,10 +1,28 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite, then a smoke pass of the
-# evaluation harness (every kernel once, smallest config).  Any
-# correctness failure exits non-zero.
+# evaluation harness (every kernel once, smallest config) and a profile
+# trace of one kernel.  Any correctness failure exits non-zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
+
+# bench smoke pass; must leave a non-empty machine-readable summary
+rm -f BENCH_darm.json
 dune exec bench/main.exe -- --smoke
+test -s BENCH_darm.json
+grep -q '"schema":"darm-bench-v1"' BENCH_darm.json
+grep -q '"geomean_speedup"' BENCH_darm.json
+
+# observability: profile one kernel end to end and validate the trace
+trace=$(mktemp /tmp/darm_trace.XXXXXX.json)
+trap 'rm -f "$trace"' EXIT
+dune exec bin/darm_opt.exe -- profile --kernel BIT -n 256 \
+  --format chrome --trace-out "$trace"
+test -s "$trace"
+grep -q '"traceEvents"' "$trace"
+grep -q '"meld.decision"' "$trace"
+grep -q '"warp.diverge"' "$trace"
+
+echo "ci: OK"

@@ -1,0 +1,112 @@
+(* Metrics unit tests: the block_cycles ordering contract, the makespan
+   estimator's documented edge cases, and the zero-denominator guards of
+   the derived ratios. *)
+
+module Metrics = Darm_sim.Metrics
+
+let with_blocks ?(cycles = 0) blocks =
+  let m = Metrics.create () in
+  m.Metrics.cycles <- cycles;
+  m.Metrics.block_cycles <- blocks;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* block_cycles ordering contract: most recently executed block first *)
+
+let test_add_prepends_recent_blocks () =
+  let a = with_blocks [ 2; 1 ] in
+  let b = with_blocks [ 4; 3 ] in
+  Metrics.add a b;
+  (* [b] is the more recent run, so its blocks land in front *)
+  Alcotest.(check (list int)) "most-recent-first" [ 4; 3; 2; 1 ]
+    a.Metrics.block_cycles;
+  Alcotest.(check (list int)) "b untouched" [ 4; 3 ] b.Metrics.block_cycles
+
+let test_add_into_empty () =
+  let a = with_blocks [] in
+  Metrics.add a (with_blocks [ 7 ]);
+  Alcotest.(check (list int)) "prepend to empty" [ 7 ] a.Metrics.block_cycles
+
+(* ------------------------------------------------------------------ *)
+(* makespan *)
+
+let test_makespan_one_cu_is_cycles () =
+  let m = with_blocks ~cycles:123 [ 60; 63 ] in
+  Alcotest.(check int) "1 CU" 123 (Metrics.makespan m ~num_cus:1)
+
+let test_makespan_more_cus_than_blocks () =
+  let m = with_blocks ~cycles:15 [ 4; 5; 6 ] in
+  Alcotest.(check int) "longest block" 6 (Metrics.makespan m ~num_cus:8)
+
+let test_makespan_empty () =
+  let m = with_blocks ~cycles:0 [] in
+  Alcotest.(check int) "no blocks" 0 (Metrics.makespan m ~num_cus:4)
+
+let test_makespan_lpt_schedule () =
+  (* LPT on 2 CUs over [4;3;3;2]: {4,2} vs {3,3} -> 6 *)
+  let m = with_blocks ~cycles:12 [ 3; 2; 4; 3 ] in
+  Alcotest.(check int) "2 CUs" 6 (Metrics.makespan m ~num_cus:2)
+
+let test_makespan_order_insensitive () =
+  let a = with_blocks ~cycles:12 [ 4; 3; 3; 2 ] in
+  let b = with_blocks ~cycles:12 [ 2; 3; 3; 4 ] in
+  List.iter
+    (fun num_cus ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d CUs" num_cus)
+        (Metrics.makespan a ~num_cus)
+        (Metrics.makespan b ~num_cus))
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* zero-denominator guards *)
+
+let test_transactions_per_access_zero () =
+  Alcotest.(check (float 0.)) "no accesses" 0.
+    (Metrics.transactions_per_access (Metrics.create ()))
+
+let test_transactions_per_access_ratio () =
+  let m = Metrics.create () in
+  m.Metrics.global_accesses <- 4;
+  m.Metrics.global_transactions <- 10;
+  Alcotest.(check (float 1e-9)) "ratio" 2.5 (Metrics.transactions_per_access m)
+
+let test_alu_utilization_zero () =
+  Alcotest.(check (float 0.)) "no ALU issues" 0.
+    (Metrics.alu_utilization (Metrics.create ()) ~warp_size:64)
+
+let test_alu_utilization_ratio () =
+  let m = Metrics.create () in
+  m.Metrics.alu_issues <- 10;
+  m.Metrics.alu_active_lanes <- 320;
+  Alcotest.(check (float 1e-9)) "percent" 50.
+    (Metrics.alu_utilization m ~warp_size:64)
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "add: prepends recent blocks" `Quick
+          test_add_prepends_recent_blocks;
+        Alcotest.test_case "add: into empty" `Quick test_add_into_empty;
+        Alcotest.test_case "makespan: 1 CU = cycles" `Quick
+          test_makespan_one_cu_is_cycles;
+        Alcotest.test_case "makespan: more CUs than blocks" `Quick
+          test_makespan_more_cus_than_blocks;
+        Alcotest.test_case "makespan: empty" `Quick test_makespan_empty;
+        Alcotest.test_case "makespan: LPT schedule" `Quick
+          test_makespan_lpt_schedule;
+        Alcotest.test_case "makespan: order-insensitive" `Quick
+          test_makespan_order_insensitive;
+        Alcotest.test_case "txn/access: zero accesses" `Quick
+          test_transactions_per_access_zero;
+        Alcotest.test_case "txn/access: ratio" `Quick
+          test_transactions_per_access_ratio;
+        Alcotest.test_case "alu_util: zero issues" `Quick
+          test_alu_utilization_zero;
+        Alcotest.test_case "alu_util: ratio" `Quick
+          test_alu_utilization_ratio;
+      ] );
+  ]

@@ -115,6 +115,7 @@ let test_speedup_zero_cycles_raises () =
       base = m_base;
       opt = m_opt;
       correct = false;
+      t_ms = 0.;
     }
   in
   match E.speedup r with
