@@ -406,6 +406,85 @@ let trace_cmd =
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg)
 
+let check_cmd =
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Check every registry kernel (at its first block size) instead \
+             of a single one.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the darm-check-v1 JSON report instead of text.")
+  in
+  let check_pass_arg =
+    let doc =
+      "Transformation to apply before checking: none, darm, branch-fusion \
+       or tail-merge."
+    in
+    Arg.(value & opt string "none" & info [ "p"; "pass" ] ~docv:"PASS" ~doc)
+  in
+  let run tag block_size n seed pass all json =
+    let kernels =
+      if all then Registry.all
+      else
+        match Registry.find_any tag with
+        | Some k -> [ k ]
+        | None ->
+            Printf.eprintf "unknown kernel %s; available: %s\n" tag
+              (String.concat ", "
+                 (Registry.tags ()
+                 @ List.map
+                     (fun k -> k.Kernel.tag)
+                     Registry.negative));
+            exit 2
+    in
+    let transform = transform_of_name pass in
+    let reports =
+      List.map
+        (fun k ->
+          let bs =
+            if all then
+              match k.Kernel.block_sizes with b :: _ -> b | [] -> block_size
+            else block_size
+          in
+          let inst = make_instance k ~seed ~block_size:bs ~n in
+          let f = inst.Kernel.func in
+          ignore (transform.E.t_apply f);
+          Darm_checks.Checker.check_func f)
+        kernels
+    in
+    let module C = Darm_checks.Checker in
+    if json then
+      let js = List.map C.report_to_json reports in
+      match js with
+      | [ one ] when not all ->
+          print_endline (Darm_obs.Json.to_string one)
+      | _ -> print_endline (Darm_obs.Json.to_string (Darm_obs.Json.List js))
+    else
+      List.iter (fun r -> print_string (C.report_to_string r)) reports;
+    let errors =
+      List.fold_left (fun acc r -> acc + List.length (C.errors r)) 0 reports
+    in
+    if not json then
+      Printf.printf ";; checked %d kernel(s), pass %s: %d error(s)\n"
+        (List.length reports) transform.E.t_name errors;
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the GPU sanity checkers (barrier divergence, shared-memory \
+          races, IR hygiene) over a kernel — or all of them — optionally \
+          after a transformation; non-zero exit on any error diagnostic.")
+    Term.(
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg
+      $ check_pass_arg $ all_flag $ json_flag)
+
 let fuzz_cmd =
   let count =
     Arg.(value & opt int 50 & info [ "count" ] ~docv:"N"
@@ -482,6 +561,6 @@ let main =
   Cmd.group info
     [ list_cmd; show_cmd; divergence_cmd; meld_cmd; simulate_cmd; sweep_cmd;
       profile_cmd; parse_cmd;
-      compile_cmd; dot_cmd; trace_cmd; fuzz_cmd ]
+      compile_cmd; dot_cmd; trace_cmd; check_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

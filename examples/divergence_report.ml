@@ -1,19 +1,21 @@
 (* Divergence analysis as a standalone tool: print, for every
    benchmark kernel, which branches are divergent and how much dynamic
    divergence the simulator actually observes — static analysis vs
-   dynamic truth, side by side.
+   dynamic truth, side by side — plus the sanity checkers' verdict
+   (barrier divergence, shared-memory races, hygiene lints).
 
      dune exec examples/divergence_report.exe
 *)
 
 module A = Darm_analysis
+module CK = Darm_checks
 module K = Darm_kernels
 module E = Darm_harness.Experiment
 
 let () =
-  Printf.printf "%-8s %18s %20s %16s\n" "kernel" "divergent branches"
-    "dynamic warp splits" "splits after DARM";
-  Printf.printf "%s\n" (String.make 66 '-');
+  Printf.printf "%-8s %18s %20s %16s %12s\n" "kernel" "divergent branches"
+    "dynamic warp splits" "splits after DARM" "races";
+  Printf.printf "%s\n" (String.make 79 '-');
   List.iter
     (fun (kernel : K.Kernel.t) ->
       let block_size = List.hd kernel.K.Kernel.block_sizes in
@@ -25,11 +27,28 @@ let () =
       let static_count =
         List.length (A.Divergence.divergent_branches dvg inst.K.Kernel.func)
       in
+      let report = CK.Checker.check_func ~dvg inst.K.Kernel.func in
       let r = E.run kernel ~block_size ~n:(min kernel.K.Kernel.default_n 512) in
-      Printf.printf "%-8s %18d %20d %16d\n" kernel.K.Kernel.tag static_count
-        r.E.base.Darm_sim.Metrics.divergent_branches
-        r.E.opt.Darm_sim.Metrics.divergent_branches)
+      Printf.printf "%-8s %18d %20d %16d %12s\n" kernel.K.Kernel.tag
+        static_count r.E.base.Darm_sim.Metrics.divergent_branches
+        r.E.opt.Darm_sim.Metrics.divergent_branches
+        (CK.Race_check.verdict_to_string report.CK.Checker.verdict);
+      List.iter
+        (fun d -> Printf.printf "         %s\n" (CK.Diag.to_string d))
+        report.CK.Checker.diags)
     K.Registry.all;
+  print_newline ();
+  (* and one deliberately broken kernel, to show what a finding looks
+     like (XBAR/XRACE/XRW are outside Registry.all for good reason) *)
+  (match K.Registry.find_any "XRACE" with
+  | None -> ()
+  | Some bad ->
+      let inst =
+        bad.K.Kernel.make ~seed:1 ~block_size:64 ~n:bad.K.Kernel.default_n
+      in
+      let report = CK.Checker.check_func inst.K.Kernel.func in
+      print_endline "a seeded-broken kernel, for contrast:";
+      print_endline (CK.Checker.report_to_string report));
   print_newline ();
   print_endline
     "note: LUD's branch is statically divergent at every block size, but\n\

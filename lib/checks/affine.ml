@@ -1,0 +1,175 @@
+(** Affine abstraction of i32 values ([c*tid + m*sym + k]) for the race
+    checker.  See the interface for the domain description. *)
+
+open Darm_ir
+open Darm_ir.Ssa
+module Divergence = Darm_analysis.Divergence
+
+type form = { c : int; m : int; sym : Ssa.value option; k : int }
+type av = Form of form | Top
+
+(* normalization invariant: m = 0 <-> sym = None *)
+let mk_form ~c ~m ~sym ~k : av =
+  if m = 0 then Form { c; m = 0; sym = None; k }
+  else Form { c; m; sym; k }
+
+let const (k : int) : av = Form { c = 0; m = 0; sym = None; k }
+
+let sym_compatible (a : form) (b : form) : bool =
+  match a.sym, b.sym with
+  | None, _ | _, None -> true
+  | Some x, Some y -> value_equal x y
+
+let combined_sym (a : form) (b : form) : Ssa.value option =
+  match a.sym with Some _ -> a.sym | None -> b.sym
+
+let av_add (x : av) (y : av) : av =
+  match x, y with
+  | Top, _ | _, Top -> Top
+  | Form a, Form b ->
+      if sym_compatible a b then
+        mk_form ~c:(a.c + b.c) ~m:(a.m + b.m) ~sym:(combined_sym a b)
+          ~k:(a.k + b.k)
+      else Top
+
+let av_neg (x : av) : av =
+  match x with
+  | Top -> Top
+  | Form a -> mk_form ~c:(-a.c) ~m:(-a.m) ~sym:a.sym ~k:(-a.k)
+
+let av_scale (n : int) (x : av) : av =
+  match x with
+  | Top -> Top
+  | Form a -> mk_form ~c:(a.c * n) ~m:(a.m * n) ~sym:(if n = 0 then None else a.sym) ~k:(a.k * n)
+
+let equal_av (x : av) (y : av) : bool =
+  match x, y with
+  | Top, Top -> true
+  | Form a, Form b ->
+      a.c = b.c && a.m = b.m && a.k = b.k
+      && (match a.sym, b.sym with
+         | None, None -> true
+         | Some u, Some v -> value_equal u v
+         | _ -> false)
+  | _ -> false
+
+let to_string (x : av) : string =
+  match x with
+  | Top -> "unknown"
+  | Form { c; m; sym = _; k } ->
+      let parts = ref [] in
+      if k <> 0 || (c = 0 && m = 0) then parts := [ string_of_int k ];
+      if m <> 0 then parts := Printf.sprintf "%d*u" m :: !parts;
+      if c <> 0 then parts := Printf.sprintf "%d*tid" c :: !parts;
+      String.concat " + " !parts
+
+type t = {
+  table : (int, av) Hashtbl.t;  (** instr id -> av; absent = bottom *)
+}
+
+let value_av (t : t) (v : Ssa.value) : av =
+  match v with
+  | Int n -> const n
+  | Bool _ | Float _ | Undef _ -> Top
+  | Param p ->
+      if Types.equal p.pty Types.I32 then
+        Form { c = 0; m = 1; sym = Some v; k = 0 }
+      else Top
+  | Instr i -> (
+      match Hashtbl.find_opt t.table i.id with Some a -> a | None -> Top)
+
+let compute (dvg : Divergence.t) (f : func) : t =
+  let table : (int, av) Hashtbl.t = Hashtbl.create 64 in
+  (* during the fixpoint, absence = bottom (not yet known) *)
+  let lookup v =
+    match v with
+    | Int n -> Some (const n)
+    | Bool _ | Float _ | Undef _ -> Some Top
+    | Param p ->
+        Some
+          (if Types.equal p.pty Types.I32 then
+             Form { c = 0; m = 1; sym = Some v; k = 0 }
+           else Top)
+    | Instr i -> Hashtbl.find_opt table i.id
+  in
+  (* a value with no structural form: its own uniform symbol when the
+     divergence analysis proves it uniform, Top otherwise *)
+  let fallback (i : instr) : av =
+    if
+      Types.equal i.ty Types.I32
+      && not (Divergence.is_divergent_instr dvg i)
+    then Form { c = 0; m = 1; sym = Some (Instr i); k = 0 }
+    else Top
+  in
+  let structural (i : instr) : av option =
+    (* [None] = some operand still bottom, wait for the next round *)
+    let bin k =
+      match lookup i.operands.(0), lookup i.operands.(1) with
+      | Some a, Some b -> Some (k a b)
+      | _ -> None
+    in
+    match i.op with
+    | Op.Thread_idx -> Some (Form { c = 1; m = 0; sym = None; k = 0 })
+    | Op.Ibin Op.Add -> bin av_add
+    | Op.Ibin Op.Sub -> bin (fun a b -> av_add a (av_neg b))
+    | Op.Ibin Op.Mul ->
+        bin (fun a b ->
+            match a, b with
+            | Form { c = 0; m = 0; k = n; _ }, x
+            | x, Form { c = 0; m = 0; k = n; _ } ->
+                av_scale n x
+            | _ -> Top)
+    | Op.Ibin Op.Shl ->
+        bin (fun a b ->
+            match b with
+            | Form { c = 0; m = 0; k = n; _ } when n >= 0 && n <= 30 ->
+                av_scale (1 lsl n) a
+            | _ -> Top)
+    | Op.Select -> (
+        match lookup i.operands.(1), lookup i.operands.(2) with
+        | Some a, Some b -> Some (if equal_av a b then a else Top)
+        | _ -> None)
+    | Op.Phi ->
+        (* join over the known incomings; bottom incomings (back edges
+           not yet evaluated) are optimistically ignored *)
+        let known =
+          Array.to_list i.operands |> List.filter_map lookup
+        in
+        (match known with
+        | [] -> None
+        | x :: rest ->
+            Some
+              (List.fold_left
+                 (fun acc y -> if equal_av acc y then acc else Top)
+                 x rest))
+    | _ -> Some Top
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    iter_instrs f (fun i ->
+        if not (Types.equal i.ty Types.Void) then begin
+          let next =
+            match structural i with
+            | None -> None
+            | Some Top -> Some (fallback i)
+            | Some av -> Some av
+          in
+          match next with
+          | None -> ()
+          | Some av ->
+              let old = Hashtbl.find_opt table i.id in
+              let keep =
+                match old with
+                | Some o when equal_av o av -> true
+                (* monotone: never climb back from Top *)
+                | Some Top -> true
+                | _ -> false
+              in
+              if not keep then begin
+                Hashtbl.replace table i.id av;
+                changed := true
+              end
+        end)
+  done;
+  { table }

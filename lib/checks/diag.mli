@@ -1,0 +1,46 @@
+(** Structured diagnostics shared by every checker.
+
+    A diagnostic carries a stable machine-readable [id] (the contract of
+    the CI gate and the translation-validation hook — see
+    doc/static-analysis.md for the full catalogue), a severity, a
+    source location (kernel, block, instruction) and a human-readable
+    explanation.  Diagnostics serialize deterministically to JSON via
+    {!Darm_obs.Json}, so two runs over the same IR produce identical
+    bytes. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  id : string;  (** stable machine-readable identifier, e.g.
+                    ["barrier-divergence"], ["shared-race-ww"] *)
+  severity : severity;
+  func_name : string;
+  block : string option;  (** name of the block containing the finding *)
+  instr_id : int option;  (** SSA id of the offending instruction *)
+  message : string;       (** human-readable explanation *)
+}
+
+val make :
+  id:string ->
+  severity:severity ->
+  func:Darm_ir.Ssa.func ->
+  ?block:Darm_ir.Ssa.block ->
+  ?instr:Darm_ir.Ssa.instr ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+
+(** [Error] sorts before [Warning] before [Info]; ties break on id,
+    then block name, then instruction id — a total, deterministic
+    order. *)
+val compare : t -> t -> int
+
+val is_error : t -> bool
+
+(** ["error[shared-race-ww] @kern block if.then: ..."] *)
+val to_string : t -> string
+
+(** Object with fields [id], [severity], [kernel], [block], [instr],
+    [message] in that order (deterministic serialization). *)
+val to_json : t -> Darm_obs.Json.t

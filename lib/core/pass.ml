@@ -23,6 +23,16 @@ module Divergence = Darm_analysis.Divergence
     picks the most profitable aligned pair. *)
 type pairing = Greedy | Alignment
 
+(** Translation validation: re-run the {!Darm_checks} sanity checkers
+    after each meld and compare against the pre-meld report. *)
+type validation =
+  | Vnone  (** no validation (default) *)
+  | Vfail  (** raise {!Validation_failed} on any new error diagnostic *)
+  | Vreject
+      (** roll back the offending meld, skip that candidate, continue *)
+
+exception Validation_failed of string
+
 type config = {
   latency : Latency.config;
   pairing : pairing;
@@ -39,6 +49,9 @@ type config = {
   obs : Darm_obs.Trace.t option;
       (** trace buffer for pass-pipeline spans and meld-decision events
           (see doc/observability.md); [None] = no instrumentation *)
+  validate : validation;
+      (** translation validation of each meld against the sanity
+          checkers (see doc/static-analysis.md) *)
 }
 
 let default_config : config =
@@ -52,6 +65,7 @@ let default_config : config =
     run_cleanups = true;
     if_convert_after = false;
     obs = None;
+    validate = Vnone;
   }
 
 let branch_fusion_config : config =
@@ -61,6 +75,8 @@ type stats = {
   mutable iterations : int;
   mutable regions_found : int;
   mutable melds_applied : int;
+  mutable melds_rejected : int;
+      (** melds rolled back by [Vreject] translation validation *)
   meld_stats : Meld.stats;
 }
 
@@ -69,6 +85,7 @@ let empty_stats () =
     iterations = 0;
     regions_found = 0;
     melds_applied = 0;
+    melds_rejected = 0;
     meld_stats = Meld.empty_stats ();
   }
 
@@ -106,8 +123,17 @@ let obs_decision (cfg : config) (r : Region.t) (st : Region.subgraph)
           ]
         "meld.decision"
 
+(* Identifying key of a candidate, stable across snapshot/restore: the
+   region entry and the two subgraph entries by name.  Used to skip
+   candidates already rolled back by translation validation. *)
+let candidate_key (r : Region.t) (st : Region.subgraph)
+    (sf : Region.subgraph) : string * string * string =
+  ( r.Region.r_entry.bname,
+    st.Region.sg_entry.bname,
+    sf.Region.sg_entry.bname )
+
 (* Greedy MostProfitableSubgraphPair: m x n comparison (paper §IV-C). *)
-let best_pair_greedy (cfg : config) (r : Region.t)
+let best_pair_greedy ~skip (cfg : config) (r : Region.t)
     (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
     candidate option =
   let best = ref None in
@@ -115,6 +141,8 @@ let best_pair_greedy (cfg : config) (r : Region.t)
     (fun ti st ->
       List.iteri
         (fun fi sf ->
+          if skip (candidate_key r st sf) then ()
+          else
           match pair_profit cfg st sf with
           | None -> ()
           | Some profit ->
@@ -145,13 +173,15 @@ let best_pair_greedy (cfg : config) (r : Region.t)
    Needleman-Wunsch over the two sequences, scored by FP_S; the most
    profitable aligned pair is melded this iteration (the rest re-align
    after the CFG is rebuilt). *)
-let best_pair_alignment (cfg : config) (r : Region.t)
+let best_pair_alignment ~skip (cfg : config) (r : Region.t)
     (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
     candidate option =
   let score st sf =
-    match pair_profit cfg st sf with
-    | Some p when p > cfg.threshold -> Some p
-    | Some _ | None -> None
+    if skip (candidate_key r st sf) then None
+    else
+      match pair_profit cfg st sf with
+      | Some p when p > cfg.threshold -> Some p
+      | Some _ | None -> None
   in
   let aligned, _ =
     Darm_align.Sequence.needleman_wunsch ~score ~gap_open:0. ~gap_extend:0.
@@ -160,6 +190,9 @@ let best_pair_alignment (cfg : config) (r : Region.t)
   List.fold_left
     (fun acc item ->
       match item with
+      | Darm_align.Sequence.Both (st, sf) when skip (candidate_key r st sf)
+        ->
+          acc
       | Darm_align.Sequence.Both (st, sf) -> (
           match pair_profit cfg st sf with
           | None -> acc
@@ -181,8 +214,8 @@ let best_pair_alignment (cfg : config) (r : Region.t)
       | Darm_align.Sequence.Left _ | Darm_align.Sequence.Right _ -> acc)
     None aligned
 
-let best_pair (cfg : config) (r : Region.t) (pdt : Domtree.t) :
-    candidate option =
+let best_pair ?(skip = fun _ -> false) (cfg : config) (r : Region.t)
+    (pdt : Domtree.t) : candidate option =
   let t_sgs = Region.true_subgraphs pdt r in
   let f_sgs = Region.false_subgraphs pdt r in
   let single_block sg = Region.subgraph_size sg = 1 in
@@ -195,8 +228,8 @@ let best_pair (cfg : config) (r : Region.t) (pdt : Domtree.t) :
   then None
   else
     match cfg.pairing with
-    | Greedy -> best_pair_greedy cfg r t_sgs f_sgs
-    | Alignment -> best_pair_alignment cfg r t_sgs f_sgs
+    | Greedy -> best_pair_greedy ~skip cfg r t_sgs f_sgs
+    | Alignment -> best_pair_alignment ~skip cfg r t_sgs f_sgs
 
 (* Meld one candidate; the subgraphs are re-matched after normalization
    since normalization adds the dedicated exit blocks. *)
@@ -220,6 +253,20 @@ let apply_candidate (cfg : config) (f : func) (c : candidate)
        ~stats:stats.meld_stats);
   stats.melds_applied <- stats.melds_applied + 1
 
+(* Snapshot/restore for [Vreject]: the printed IR round-trips through
+   the parser (a property the test suites already rely on), and the
+   simulator binds parameters by index, so grafting the re-parsed
+   body onto the original [func] record restores pre-meld behaviour. *)
+let snapshot_func (f : func) : string = Darm_ir.Printer.func_to_string f
+
+let restore_func (f : func) (snap : string) : unit =
+  match Darm_ir.Parser.parse_func snap with
+  | Error e ->
+      invalid_arg ("Pass.restore_func: snapshot does not re-parse: " ^ e)
+  | Ok g ->
+      f.blocks_list <- g.blocks_list;
+      List.iter (fun b -> b.bparent <- Some f) f.blocks_list
+
 (** Run the melding pass on [f] to a fixpoint; returns the statistics.
     The function is verified after every meld when [verify_each] is set
     (the test suites use this). *)
@@ -234,6 +281,13 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
     [ ("func", Darm_obs.Trace.Str f.fname) ]
   @@ fun () ->
   let continue_ = ref true in
+  (* candidates rolled back by Vreject validation, by stable key; a key
+     rejected twice means restore did not reproduce the pre-meld shape,
+     so stop rather than loop *)
+  let rejected : (string * string * string, unit) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let skip key = Hashtbl.mem rejected key in
   while !continue_ && stats.iterations < config.max_iterations do
     stats.iterations <- stats.iterations + 1;
     obs_span "pass.iteration"
@@ -252,7 +306,7 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
               | None -> None
               | Some r ->
                   stats.regions_found <- stats.regions_found + 1;
-                  best_pair config r pdt))
+                  best_pair ~skip config r pdt))
         None
         (Darm_analysis.Cfg.reachable_blocks f)
     in
@@ -271,12 +325,57 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
                   ("fp_s", Darm_obs.Trace.Float c.c_profit);
                 ]
               "meld.apply");
+        let key = candidate_key c.c_region c.c_st c.c_sf in
+        let pre_meld =
+          if config.validate = Vnone then None
+          else
+            Some (snapshot_func f, Darm_checks.Checker.check_func ~dvg f)
+        in
         apply_candidate config f c stats;
         if config.run_cleanups then begin
           ignore (Darm_transforms.Simplify_cfg.run f);
           ignore (Darm_transforms.Dce.run f)
         end;
-        if verify_each then Darm_ir.Verify.run_exn f
+        if verify_each then Darm_ir.Verify.run_exn f;
+        (match pre_meld with
+        | None -> ()
+        | Some (snap, before) -> (
+            let after = Darm_checks.Checker.check_func f in
+            match Darm_checks.Checker.new_errors ~before ~after with
+            | [] -> ()
+            | news -> (
+                let detail =
+                  String.concat "\n"
+                    (List.map Darm_checks.Diag.to_string news)
+                in
+                (match config.obs with
+                | None -> ()
+                | Some tr ->
+                    Darm_obs.Trace.instant tr ~cat:"pass"
+                      ~args:
+                        [
+                          ("region",
+                           Darm_obs.Trace.Str
+                             c.c_region.Region.r_entry.bname);
+                          ("new_errors",
+                           Darm_obs.Trace.Int (List.length news));
+                        ]
+                      "meld.validation_failed");
+                match config.validate with
+                | Vnone -> ()
+                | Vfail ->
+                    raise
+                      (Validation_failed
+                         (Printf.sprintf
+                            "meld of region %s in @%s introduced new \
+                             checker errors:\n%s"
+                            c.c_region.Region.r_entry.bname f.fname detail))
+                | Vreject ->
+                    restore_func f snap;
+                    stats.melds_applied <- stats.melds_applied - 1;
+                    stats.melds_rejected <- stats.melds_rejected + 1;
+                    if Hashtbl.mem rejected key then continue_ := false
+                    else Hashtbl.replace rejected key ())))
   done;
   if config.if_convert_after then begin
     ignore (Darm_transforms.Simplify_cfg.if_convert f);

@@ -16,6 +16,20 @@ module Latency = Darm_analysis.Latency
     most profitable aligned pair. *)
 type pairing = Greedy | Alignment
 
+(** Translation validation of each meld: after a candidate is melded
+    (and cleaned up), the {!Darm_checks} sanity checkers re-run and the
+    report is diffed against the pre-meld one with
+    {!Darm_checks.Checker.new_errors}. *)
+type validation =
+  | Vnone  (** no validation (default) *)
+  | Vfail  (** raise {!Validation_failed} on any new error diagnostic *)
+  | Vreject
+      (** roll back the offending meld from a snapshot, skip that
+          candidate for the rest of the run, and keep going;
+          rejections are counted in [stats.melds_rejected] *)
+
+exception Validation_failed of string
+
 type config = {
   latency : Latency.config;
   pairing : pairing;
@@ -36,8 +50,12 @@ type config = {
           Algorithm 1 iteration, a [meld.decision] instant per scored
           subgraph pair (region entry, pair entries, FP_S, threshold,
           accept/reject) and a [meld.apply] instant for each meld
-          actually performed.  [None] (the default) emits nothing and
-          adds no measurable overhead. *)
+          actually performed.  Translation validation adds a
+          [meld.validation_failed] instant per offending meld.
+          [None] (the default) emits nothing and adds no measurable
+          overhead. *)
+  validate : validation;
+      (** translation validation mode (see doc/static-analysis.md) *)
 }
 
 val default_config : config
@@ -50,10 +68,24 @@ type stats = {
   mutable iterations : int;
   mutable regions_found : int;
   mutable melds_applied : int;
+  mutable melds_rejected : int;
+      (** melds rolled back by [Vreject] translation validation *)
   meld_stats : Meld.stats;
 }
 
 val empty_stats : unit -> stats
+
+(** {2 Snapshot / restore}
+
+    Used by [Vreject] validation to roll back a meld; exposed because
+    the test suites exercise the round-trip directly. *)
+
+(** Printed-IR snapshot of the function body. *)
+val snapshot_func : Ssa.func -> string
+
+(** Graft the re-parsed snapshot back onto [f] (in place).  Raises
+    [Invalid_argument] if the snapshot no longer parses. *)
+val restore_func : Ssa.func -> string -> unit
 
 (** Run the melding pass to a fixpoint; returns the statistics.  The
     function is verified after every meld when [verify_each] is set (the

@@ -105,6 +105,23 @@ let type_check_instr (err : error -> unit) (i : instr) : unit =
   let compatible a b =
     Types.equal a b || (Types.is_pointer a && Types.is_pointer b)
   in
+  (* Address-space flow: a concrete-space (shared/global) pointer result
+     may only be fed by pointers of the same space; widening into Flat
+     is always allowed (that is what [Types.join_ptr] produces), and
+     crossing back from Flat into a concrete space requires an explicit
+     [addrspace.cast] — which itself always produces Flat, so narrowing
+     is never implicit. *)
+  let expect_no_narrowing what v =
+    match i.ty, value_ty v with
+    | Types.Ptr rs, Types.Ptr vs
+      when (match rs with Types.Flat -> false | _ -> true)
+           && not (Types.addrspace_equal rs vs) ->
+        err
+          (errf "%s: %s narrows a %s pointer into address space %s" name what
+             (Types.addrspace_to_string vs)
+             (Types.addrspace_to_string rs))
+    | _ -> ()
+  in
   match i.op with
   | Op.Ibin _ ->
       expect_arity 2;
@@ -133,10 +150,12 @@ let type_check_instr (err : error -> unit) (i : instr) : unit =
   | Op.Select ->
       expect_arity 3;
       expect 0 Types.I1;
-      if
-        Array.length i.operands = 3
-        && not (compatible (ty 1) (ty 2) && compatible (ty 1) i.ty)
-      then err (errf "select: arm/result types incompatible")
+      if Array.length i.operands = 3 then begin
+        if not (compatible (ty 1) (ty 2) && compatible (ty 1) i.ty) then
+          err (errf "select: arm/result types incompatible");
+        expect_no_narrowing "true arm" i.operands.(1);
+        expect_no_narrowing "false arm" i.operands.(2)
+      end
   | Op.Load ->
       expect_arity 1;
       expect_ptr 0;
@@ -154,6 +173,14 @@ let type_check_instr (err : error -> unit) (i : instr) : unit =
       expect 1 Types.I32;
       if not (Types.is_pointer i.ty) then
         err (errf "gep: result must be a pointer")
+      else if Array.length i.operands = 2 then (
+        match ty 0 with
+        | Types.Ptr base when not (Types.equal i.ty (Types.Ptr base)) ->
+            err
+              (errf "gep: result space %s differs from base space %s"
+                 (Types.to_string i.ty)
+                 (Types.addrspace_to_string base))
+        | _ -> ())
   | Op.Condbr ->
       expect_arity 1;
       expect 0 Types.I1
@@ -175,14 +202,16 @@ let type_check_instr (err : error -> unit) (i : instr) : unit =
       expect_result Types.I32
   | Op.Addrspace_cast ->
       expect_arity 1;
-      expect_ptr 0
+      expect_ptr 0;
+      expect_result (Types.Ptr Types.Flat)
   | Op.Phi ->
       Array.iter
         (fun v ->
           if not (compatible (value_ty v) i.ty) then
             err (errf "phi: incoming type %s incompatible with %s"
                    (Types.to_string (value_ty v))
-                   (Types.to_string i.ty)))
+                   (Types.to_string i.ty));
+          expect_no_narrowing "incoming" v)
         i.operands
 
 (** [run f] returns the list of well-formedness violations in [f];

@@ -1,0 +1,98 @@
+(** Deliberately broken kernels (negative tests for the checkers).
+    See the interface for the catalogue. *)
+
+open Darm_ir
+module Memory = Darm_sim.Memory
+module D = Dsl
+
+(* Shared boilerplate: one global int array argument, identity
+   reference (these kernels exist to be checked, not benchmarked). *)
+let make_instance build ~seed ~block_size ~n =
+  let n = max block_size (n - (n mod block_size)) in
+  let input = Kernel.random_int_array ~seed ~n ~bound:1000 in
+  let global = Memory.create ~space:Memory.Sp_global n in
+  let pa = Memory.alloc_of_int_array global input in
+  {
+    Kernel.func = build ~block_size;
+    global;
+    args = [| pa |];
+    launch =
+      { Darm_sim.Simulator.grid_dim = n / block_size; block_dim = block_size };
+    read_result = (fun () -> Memory.read_int_array global pa n |> Kernel.ints);
+    reference = (fun () -> Kernel.ints input);
+  }
+
+let barrier_div : Kernel.t =
+  let build ~block_size =
+    D.build_kernel ~name:"bad_barrier_div"
+      ~params:[ ("a", Types.Ptr Types.Global) ]
+      (fun ctx params ->
+        let a = List.hd params in
+        let tid = D.tid ctx in
+        let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+        let s = D.shared_array ctx block_size in
+        D.store ctx (D.load ctx (D.gep ctx a gid)) (D.gep ctx s tid);
+        (* the bug: only the first 16 threads reach the barrier *)
+        D.if_then ctx (D.slt ctx tid (D.i32 16)) (fun () -> D.sync ctx);
+        D.store ctx (D.load ctx (D.gep ctx s tid)) (D.gep ctx a gid))
+  in
+  {
+    Kernel.name = "barrier under divergence";
+    tag = "XBAR";
+    description = "syncthreads guarded by tid < 16 (negative test)";
+    default_n = 256;
+    block_sizes = [ 64 ];
+    make = make_instance build;
+  }
+
+let shared_ww : Kernel.t =
+  let build ~block_size =
+    D.build_kernel ~name:"bad_shared_ww"
+      ~params:[ ("a", Types.Ptr Types.Global) ]
+      (fun ctx params ->
+        let a = List.hd params in
+        let tid = D.tid ctx in
+        let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+        let s = D.shared_array ctx (block_size + 1) in
+        let v = D.load ctx (D.gep ctx a gid) in
+        D.store ctx v (D.gep ctx s tid);
+        (* the bug: thread t and thread t+1 both write element t+1,
+           with no barrier between the two stores *)
+        D.store ctx v (D.gep ctx s (D.add ctx tid (D.i32 1)));
+        D.sync ctx;
+        D.store ctx (D.load ctx (D.gep ctx s tid)) (D.gep ctx a gid))
+  in
+  {
+    Kernel.name = "shared write-write race";
+    tag = "XRACE";
+    description = "overlapping s[tid] and s[tid+1] writes (negative test)";
+    default_n = 256;
+    block_sizes = [ 64 ];
+    make = make_instance build;
+  }
+
+let shared_rw : Kernel.t =
+  let build ~block_size =
+    D.build_kernel ~name:"bad_shared_rw"
+      ~params:[ ("a", Types.Ptr Types.Global) ]
+      (fun ctx params ->
+        let a = List.hd params in
+        let tid = D.tid ctx in
+        let gid = D.add ctx (D.mul ctx (D.bid ctx) (D.bdim ctx)) tid in
+        let s = D.shared_array ctx (block_size + 1) in
+        D.store ctx (D.load ctx (D.gep ctx a gid)) (D.gep ctx s tid);
+        (* the bug: reads the neighbour's slot with no barrier after
+           the writes *)
+        let v = D.load ctx (D.gep ctx s (D.add ctx tid (D.i32 1))) in
+        D.store ctx v (D.gep ctx a gid))
+  in
+  {
+    Kernel.name = "shared read-write race";
+    tag = "XRW";
+    description = "s[tid+1] read against s[tid] writes (negative test)";
+    default_n = 256;
+    block_sizes = [ 64 ];
+    make = make_instance build;
+  }
+
+let all : Kernel.t list = [ barrier_div; shared_ww; shared_rw ]

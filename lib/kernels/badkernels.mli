@@ -1,0 +1,19 @@
+(** Deliberately broken kernels for the sanity checkers' negative
+    tests.  They are registered under {!Registry.negative} — reachable
+    by tag through {!Registry.find_any} for [darm_opt check] and the CI
+    script — but kept out of {!Registry.all} so the benchmark sweeps
+    and differential fuzzers never execute them (the barrier one would
+    hang a real GPU, and hangs the simulator's warp scheduler too).
+
+    - [barrier_div] (tag [XBAR]): a [syncthreads] guarded by
+      [tid < 16] — barrier divergence.
+    - [shared_ww] (tag [XRACE]): every thread writes both [s\[tid\]]
+      and [s\[tid+1\]] with no barrier between — write-write race.
+    - [shared_rw] (tag [XRW]): writes [s\[tid\]] then reads
+      [s\[tid+1\]] with no barrier between — read-write race. *)
+
+val barrier_div : Kernel.t
+val shared_ww : Kernel.t
+val shared_rw : Kernel.t
+
+val all : Kernel.t list

@@ -11,8 +11,22 @@ let extras : Kernel.t list =
 
 let all : Kernel.t list = synthetic @ real_world @ extras
 
+(** Deliberately broken kernels for the sanity-checker negative tests;
+    deliberately {e not} part of {!all} so sweeps and fuzzers never
+    execute them. *)
+let negative : Kernel.t list = Badkernels.all
+
 let find (tag : string) : Kernel.t option =
   let norm = String.uppercase_ascii tag in
   List.find_opt (fun k -> String.uppercase_ascii k.Kernel.tag = norm) all
+
+(** Like {!find}, but also resolves the {!negative} kernels — used by
+    [darm_opt check], which must be able to point the checkers at
+    known-bad inputs. *)
+let find_any (tag : string) : Kernel.t option =
+  let norm = String.uppercase_ascii tag in
+  List.find_opt
+    (fun k -> String.uppercase_ascii k.Kernel.tag = norm)
+    (all @ negative)
 
 let tags () = List.map (fun k -> k.Kernel.tag) all

@@ -15,6 +15,28 @@ test -s BENCH_darm.json
 grep -q '"schema":"darm-bench-v1"' BENCH_darm.json
 grep -q '"geomean_speedup"' BENCH_darm.json
 
+# sanity checkers: every registry kernel must be diagnostic-clean both
+# before and after melding (non-zero exit on any error diagnostic), and
+# the seeded negative kernels must be flagged with the expected ids
+dune exec bin/darm_opt.exe -- check --all
+dune exec bin/darm_opt.exe -- check --all --pass darm
+if dune exec bin/darm_opt.exe -- check --kernel XBAR --block-size 64 \
+    --json > /tmp/darm_check_xbar.json; then
+  echo "ci: XBAR unexpectedly clean" >&2; exit 1
+fi
+grep -q '"id":"barrier-divergence"' /tmp/darm_check_xbar.json
+if dune exec bin/darm_opt.exe -- check --kernel XRACE --block-size 64 \
+    --json > /tmp/darm_check_xrace.json; then
+  echo "ci: XRACE unexpectedly clean" >&2; exit 1
+fi
+grep -q '"id":"shared-race-ww"' /tmp/darm_check_xrace.json
+if dune exec bin/darm_opt.exe -- check --kernel XRW --block-size 64 \
+    --json > /tmp/darm_check_xrw.json; then
+  echo "ci: XRW unexpectedly clean" >&2; exit 1
+fi
+grep -q '"id":"shared-race-rw"' /tmp/darm_check_xrw.json
+rm -f /tmp/darm_check_xbar.json /tmp/darm_check_xrace.json /tmp/darm_check_xrw.json
+
 # observability: profile one kernel end to end and validate the trace
 trace=$(mktemp /tmp/darm_trace.XXXXXX.json)
 trap 'rm -f "$trace"' EXIT

@@ -179,6 +179,81 @@ let test_latency_model () =
     (A.Latency.class_of (mk Op.Load [| shared_ptr |] Types.I32)
     <> A.Latency.class_of (mk Op.Load [| global_ptr |] Types.I32))
 
+let test_sync_joins_no_postdom () =
+  (* divergent branch straight to two separate rets: the branch block
+     has no real immediate post-dominator, so sync_joins must fall back
+     to every multi-pred block reachable from it (here the inner
+     diamond's join) rather than returning nothing *)
+  let f = Ssa.mk_func "sj" [] in
+  let e = Ssa.mk_block "entry"
+  and t = Ssa.mk_block "t"
+  and ta = Ssa.mk_block "ta"
+  and tb = Ssa.mk_block "tb"
+  and tj = Ssa.mk_block "tj"
+  and fl = Ssa.mk_block "f" in
+  List.iter (Ssa.append_block f) [ e; t; ta; tb; tj; fl ];
+  let tidi = Ssa.mk_instr Op.Thread_idx [||] [||] Types.I32 in
+  Ssa.append_instr e tidi;
+  let c =
+    Ssa.mk_instr (Op.Icmp Op.Islt) [| Ssa.Instr tidi; Ssa.Int 3 |] [||]
+      Types.I1
+  in
+  Ssa.append_instr e c;
+  Ssa.append_instr e
+    (Ssa.mk_instr Op.Condbr [| Ssa.Instr c |] [| t; fl |] Types.Void);
+  Ssa.append_instr t
+    (Ssa.mk_instr Op.Condbr [| Ssa.Bool true |] [| ta; tb |] Types.Void);
+  Ssa.append_instr ta (Ssa.mk_instr Op.Br [||] [| tj |] Types.Void);
+  Ssa.append_instr tb (Ssa.mk_instr Op.Br [||] [| tj |] Types.Void);
+  Ssa.append_instr tj (Ssa.mk_instr Op.Ret [||] [||] Types.Void);
+  Ssa.append_instr fl (Ssa.mk_instr Op.Ret [||] [||] Types.Void);
+  Verify.run_exn f;
+  let pdt = A.Domtree.compute_post f in
+  check "entry has no real ipdom" true (A.Domtree.idom pdt e = None);
+  (match A.Divergence.sync_joins f pdt e with
+  | [ b ] -> check "fallback join is tj" true (b.Ssa.bid = tj.Ssa.bid)
+  | joins ->
+      Alcotest.failf "expected exactly one fallback join, got %d"
+        (List.length joins));
+  (* and the fallback feeds the divergence fixpoint: tj has no phis
+     here, but the branch itself must still be divergent *)
+  let dvg = A.Divergence.compute f in
+  check "branch divergent" true (A.Divergence.is_divergent_branch dvg e)
+
+let test_divergence_temporal () =
+  (* x is 0 before and 1 inside a loop whose trip count depends on tid.
+     Both incomings of the header phi are uniform constants, yet the
+     value is divergent: threads exit the loop at different iterations
+     (temporal divergence), so after the loop x differs per thread. *)
+  let f =
+    D.build_kernel ~name:"tmp" ~params:[ ("a", Types.Ptr Types.Global) ]
+      (fun ctx params ->
+        let a = List.hd params in
+        let t = D.tid ctx in
+        let x = D.local ctx ~name:"x" Types.I32 in
+        D.set ctx x (D.i32 0);
+        let i = D.local ctx ~name:"i" Types.I32 in
+        D.set ctx i (D.i32 0);
+        D.while_ ctx
+          (fun () -> D.slt ctx (D.get ctx i) t)
+          (fun () ->
+            D.set ctx x (D.i32 1);
+            D.set ctx i (D.add ctx (D.get ctx i) (D.i32 1)));
+        D.store ctx (D.get ctx x) (D.gep ctx a t))
+  in
+  let dvg = A.Divergence.compute f in
+  let head =
+    List.find (fun b -> b.Ssa.bname = "while.head") f.Ssa.blocks_list
+  in
+  let is_const = function Ssa.Int _ -> true | _ -> false in
+  let xphi =
+    List.find
+      (fun p -> Array.for_all is_const p.Ssa.operands)
+      (Ssa.phis head)
+  in
+  check "constant-incoming phi is divergent" true
+    (A.Divergence.is_divergent_instr dvg xphi)
+
 let test_cfg_reachable_without () =
   let f, e, t, fl, j = diamond_cfg () in
   ignore f;
@@ -216,6 +291,10 @@ let suites =
           test_divergence_loop_dependent;
         Alcotest.test_case "divergence: loads" `Quick
           test_uniform_load_uniform_addr;
+        Alcotest.test_case "sync_joins: no-postdom fallback" `Quick
+          test_sync_joins_no_postdom;
+        Alcotest.test_case "divergence: temporal (loop exit)" `Quick
+          test_divergence_temporal;
         Alcotest.test_case "latency model" `Quick test_latency_model;
         Alcotest.test_case "cfg reachable_without" `Quick
           test_cfg_reachable_without;

@@ -4,7 +4,9 @@
    pipeline end to end with no hand-written expectations. *)
 
 module RK = Darm_kernels.Random_kernel
+module K = Darm_kernels.Kernel
 module C = Darm_core
+module CK = Darm_checks
 module T = Darm_transforms
 
 let check = Alcotest.(check bool)
@@ -151,6 +153,74 @@ let suites =
               (seeds 360 374);
             if !failures <> [] then
               Alcotest.failf "alignment: %s" (String.concat "\n" !failures));
+        Alcotest.test_case "checker cross-validation vs schedule" `Quick
+          (fun () ->
+            (* Cross-validate the race checker's sound verdict against
+               the simulator: a kernel the checker proves race-free must
+               produce schedule-independent output.  Warp size is the
+               schedule knob — it changes which threads run in lockstep
+               and therefore the interleaving of memory accesses — so a
+               proved-free kernel must give identical results at warp
+               sizes 64, 16 and 4, both before and after melding (run
+               with Vfail validation, so the TV hook is exercised on
+               random kernels too). *)
+            let cfg =
+              { RK.default_cfg with array_size = 128; max_depth = 2;
+                use_shared = false }
+            in
+            let meld f =
+              ignore
+                (C.Pass.run
+                   ~config:{ C.Pass.default_config with validate = C.Pass.Vfail }
+                   ~verify_each:true f)
+            in
+            List.iter
+              (fun seed ->
+                let f0 = RK.generate ~cfg ~seed () in
+                let report = CK.Checker.check_func f0 in
+                if CK.Checker.has_errors report then
+                  Alcotest.failf "seed %d: checker errors:\n%s" seed
+                    (CK.Checker.report_to_string report);
+                if report.CK.Checker.verdict <> CK.Race_check.Proved_free
+                then
+                  Alcotest.failf "seed %d: expected proved-free, got %s" seed
+                    (CK.Race_check.verdict_to_string
+                       report.CK.Checker.verdict);
+                (* melding must not mint new checker errors either *)
+                let fm = RK.generate ~cfg ~seed () in
+                meld fm;
+                let after = CK.Checker.check_func fm in
+                (match CK.Checker.new_errors ~before:report ~after with
+                | [] -> ()
+                | news ->
+                    Alcotest.failf "seed %d: melding introduced:\n%s" seed
+                      (String.concat "\n"
+                         (List.map CK.Diag.to_string news)));
+                let outputs ~melded ws =
+                  let inst = RK.instance ~cfg ~seed ~block_size:64 () in
+                  if melded then meld inst.K.func;
+                  let config =
+                    { Darm_sim.Simulator.default_config with warp_size = ws }
+                  in
+                  ignore
+                    (Darm_sim.Simulator.run ~config inst.K.func
+                       ~args:inst.K.args ~global:inst.K.global inst.K.launch);
+                  inst.K.read_result ()
+                in
+                List.iter
+                  (fun melded ->
+                    let base = outputs ~melded 64 in
+                    List.iter
+                      (fun ws ->
+                        match K.first_mismatch base (outputs ~melded ws) with
+                        | None -> ()
+                        | Some i ->
+                            Alcotest.failf
+                              "seed %d melded=%b warp=%d: mismatch at %d"
+                              seed melded ws i)
+                      [ 16; 4 ])
+                  [ false; true ])
+              (seeds 400 411));
         Alcotest.test_case "printer-parser roundtrip on random kernels"
           `Quick
           (fun () ->
