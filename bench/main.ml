@@ -149,7 +149,14 @@ let () =
     Printf.printf "\nbench: wrote %s (%d points, geomean %.3fx)\n"
       H.Bench_json.default_path
       (List.length !bench_results)
-      (H.Experiment.geomean (List.map H.Experiment.speedup !bench_results))
+      (H.Experiment.geomean (List.map H.Experiment.speedup !bench_results));
+    (* append the same points to the env-fingerprinted history, the
+       input of the [darm_opt bench-diff] regression sentinel *)
+    let record =
+      H.History.of_results ~wall_s ~time:(Unix.time ()) !bench_results
+    in
+    H.History.append record;
+    Printf.printf "bench: appended run to %s\n" H.History.default_path
   end;
   if not !all_ok then begin
     prerr_endline "bench: correctness failures detected";

@@ -551,6 +551,228 @@ let fuzz_cmd =
           identically before and after every transformation.")
     Term.(const run $ count $ jobs_arg)
 
+let report_cmd =
+  let module Report = Darm_harness.Report in
+  let module MR = Darm_obs.Metrics_registry in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Report every registry kernel (at its first block size) instead \
+             of a single one.")
+  in
+  let fmt_arg =
+    let doc = "Output format: text, json (darm-report-v1) or markdown." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("markdown", `Md) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Shorthand for --format json.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Also export both runs' counters (including the per-branch \
+             attribution series) as a metrics snapshot to $(docv).")
+  in
+  let metrics_fmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:
+            "Metrics snapshot format: prom (Prometheus text exposition) or \
+             json (darm-metrics-v1).")
+  in
+  let run tag block_size n seed jobs all fmt json metrics_out metrics_fmt =
+    let fmt = if json then `Json else fmt in
+    let points =
+      if all then
+        List.map
+          (fun k ->
+            ( k,
+              match k.Kernel.block_sizes with
+              | b :: _ -> b
+              | [] -> block_size ))
+          Registry.all
+      else [ (find_kernel tag, block_size) ]
+    in
+    let reports = Report.compute_many ?jobs ~seed ?n points in
+    (match fmt with
+    | `Json -> (
+        match reports with
+        | [ one ] when not all ->
+            print_endline (Darm_obs.Json.to_string (Report.to_json one))
+        | _ ->
+            print_endline
+              (Darm_obs.Json.to_string (Report.many_to_json reports)))
+    | `Text ->
+        List.iteri
+          (fun i r ->
+            if i > 0 then print_newline ();
+            print_string (Report.to_text r))
+          reports
+    | `Md ->
+        List.iteri
+          (fun i r ->
+            if i > 0 then print_newline ();
+            print_string (Report.to_markdown r))
+          reports);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let reg = MR.create () in
+        List.iter (Report.fill_metrics reg) reports;
+        let snap = MR.snapshot reg in
+        let contents =
+          match metrics_fmt with
+          | `Prom -> MR.to_prometheus snap
+          | `Json -> Darm_obs.Json.to_string (MR.to_json snap) ^ "\n"
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc contents);
+        Printf.eprintf ";; metrics: %s (%d famil%s)\n" path (List.length snap)
+          (if List.length snap = 1 then "y" else "ies"));
+    if List.exists (fun r -> not r.Report.rp_correct) reports then exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Divergence attribution: run a kernel (or all of them) \
+          baseline-vs-DARM and join the simulator's per-branch divergence \
+          counters with the pass's meld provenance into a \
+          cycles-saved-per-meld table.  Per-meld rows plus an explicit \
+          residual row sum exactly to the total cycle delta.  Output is \
+          byte-identical for any --jobs count.")
+    Term.(
+      const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ jobs_arg
+      $ all_flag $ fmt_arg $ json_flag $ metrics_out_arg $ metrics_fmt_arg)
+
+let bench_diff_cmd =
+  let module History = Darm_harness.History in
+  let history_arg =
+    let doc = "Candidate history file (JSONL, darm-bench-hist-v1); the \
+               candidate is its last record." in
+    Arg.(
+      value
+      & opt string History.default_path
+      & info [ "history" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Baseline history file; the baseline is its last record.  Default: \
+       the candidate file itself, using its second-to-last record."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline-history" ] ~docv:"FILE" ~doc)
+  in
+  let validate_flag =
+    Arg.(
+      value & flag
+      & info [ "validate-only" ]
+          ~doc:
+            "Only load and schema-check the history file; print the record \
+             count and exit (non-zero on a corrupt or missing history).")
+  in
+  let tol name default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"X" ~doc)
+  in
+  let geomean_tol =
+    tol "geomean-tol" History.default_thresholds.History.max_geomean_drop
+      "Relative geomean-speedup drop that counts as a regression."
+  in
+  let cycles_tol =
+    tol "cycles-tol" History.default_thresholds.History.max_cycle_growth
+      "Per-point relative opt_cycles growth that counts as a regression."
+  in
+  let pass_ms_factor =
+    tol "pass-ms-factor" History.default_thresholds.History.pass_ms_factor
+      "pass_ms beyond FACTOR * baseline + SLACK is a regression."
+  in
+  let pass_ms_slack =
+    tol "pass-ms-slack" History.default_thresholds.History.pass_ms_slack
+      "Absolute pass_ms slack in milliseconds."
+  in
+  let load_or_die path =
+    match History.load ~path () with
+    | Ok records -> records
+    | Error msg ->
+        Printf.eprintf "bench-diff: %s\n" msg;
+        exit 2
+  in
+  let run history baseline validate gt ct pf ps =
+    let cand_records = load_or_die history in
+    if validate then begin
+      Printf.printf "bench-diff: %s: %d valid %s record(s)\n" history
+        (List.length cand_records) History.schema;
+      if cand_records = [] then exit 2
+    end
+    else begin
+      let last l = List.nth l (List.length l - 1) in
+      let candidate =
+        match cand_records with
+        | [] ->
+            Printf.eprintf "bench-diff: %s holds no records\n" history;
+            exit 2
+        | rs -> last rs
+      in
+      let baseline =
+        match baseline with
+        | Some path -> (
+            match load_or_die path with
+            | [] ->
+                Printf.eprintf "bench-diff: %s holds no records\n" path;
+                exit 2
+            | rs -> last rs)
+        | None -> (
+            match cand_records with
+            | _ :: _ :: _ ->
+                List.nth cand_records (List.length cand_records - 2)
+            | _ ->
+                Printf.eprintf
+                  "bench-diff: %s holds fewer than two records and no \
+                   --baseline-history was given\n"
+                  history;
+                exit 2)
+      in
+      let thresholds =
+        {
+          History.max_geomean_drop = gt;
+          max_cycle_growth = ct;
+          pass_ms_factor = pf;
+          pass_ms_slack = ps;
+        }
+      in
+      let d = History.diff ~thresholds ~baseline candidate in
+      print_string (History.diff_to_text d);
+      if not (History.diff_ok d) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Regression sentinel: compare the last record of a bench history \
+          (BENCH_history.jsonl) against the previous one — or against the \
+          last record of a separate baseline history — under configurable \
+          noise thresholds.  Speedups and geomeans are recomputed from the \
+          stored cycle counts.  Exits non-zero on any regression.")
+    Term.(
+      const run $ history_arg $ baseline_arg $ validate_flag $ geomean_tol
+      $ cycles_tol $ pass_ms_factor $ pass_ms_slack)
+
 let main =
   let info =
     Cmd.info "darm_opt" ~version:"1.0"
@@ -561,6 +783,7 @@ let main =
   Cmd.group info
     [ list_cmd; show_cmd; divergence_cmd; meld_cmd; simulate_cmd; sweep_cmd;
       profile_cmd; parse_cmd;
-      compile_cmd; dot_cmd; trace_cmd; check_cmd; fuzz_cmd ]
+      compile_cmd; dot_cmd; trace_cmd; check_cmd; fuzz_cmd; report_cmd;
+      bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

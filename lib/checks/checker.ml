@@ -80,9 +80,12 @@ let report_to_string (r : report) : string =
     r.diags;
   Buffer.contents buf
 
+(* "schema" is the convention-unified key (doc/schemas.md); "format"
+   predates it and stays as a deprecated alias until darm-check-v2 *)
 let report_to_json (r : report) : J.t =
   J.Obj
     [
+      ("schema", J.Str "darm-check-v1");
       ("format", J.Str "darm-check-v1");
       ("kernel", J.Str r.kernel);
       ("verdict", J.Str (Race_check.verdict_to_string r.verdict));

@@ -36,7 +36,9 @@ val new_errors : before:report -> after:report -> Diag.t list
 
 val report_to_string : report -> string
 
-(** Stable machine-readable form; [format] field is ["darm-check-v1"]. *)
+(** Stable machine-readable form; the [schema] field is
+    ["darm-check-v1"] ([format] is a deprecated alias kept until
+    [darm-check-v2] — see doc/schemas.md). *)
 val report_to_json : report -> Darm_obs.Json.t
 
 val id_invalid_ir : string

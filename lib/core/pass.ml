@@ -71,12 +71,32 @@ let default_config : config =
 let branch_fusion_config : config =
   { default_config with diamonds_only = true }
 
+(** Provenance of one applied meld — the join key between the pass and
+    the simulator's per-branch divergence attribution ([darm_opt
+    report]). *)
+type meld_record = {
+  m_index : int;  (** 1-based application order within the run *)
+  m_region : string;
+      (** region entry block: the divergent branch this meld targets —
+          its name is the stable static branch id the simulator
+          reports divergence under *)
+  m_st : string;  (** melded true-path subgraph entry *)
+  m_sf : string;  (** melded false-path subgraph entry *)
+  m_fp_s : float;  (** the FP_S profitability score that won *)
+  m_branches : string list;
+      (** static branch ids subsumed by this meld: the region entry
+          plus every conditional branch inside the two melded
+          subgraphs, sorted *)
+}
+
 type stats = {
   mutable iterations : int;
   mutable regions_found : int;
   mutable melds_applied : int;
   mutable melds_rejected : int;
       (** melds rolled back by [Vreject] translation validation *)
+  mutable melds : meld_record list;
+      (** provenance of the applied melds, in application order *)
   meld_stats : Meld.stats;
 }
 
@@ -86,6 +106,7 @@ let empty_stats () =
     regions_found = 0;
     melds_applied = 0;
     melds_rejected = 0;
+    melds = [];
     meld_stats = Meld.empty_stats ();
   }
 
@@ -96,6 +117,31 @@ type candidate = {
   c_profit : float;
   c_rank : int;  (** position sum: smaller dominates more of the rest *)
 }
+
+(* Provenance must be captured BEFORE apply_candidate: normalization
+   renames blocks and melding merges them, so the subsumed branch ids
+   are only readable from the pre-meld subgraphs. *)
+let record_of_candidate (c : candidate) (index : int) : meld_record =
+  let condbrs sg =
+    List.filter_map
+      (fun b ->
+        if has_terminator b && (terminator b).op = Darm_ir.Op.Condbr then
+          Some b.bname
+        else None)
+      (Region.subgraph_block_list sg)
+  in
+  let branches =
+    c.c_region.Region.r_entry.bname :: (condbrs c.c_st @ condbrs c.c_sf)
+    |> List.sort_uniq String.compare
+  in
+  {
+    m_index = index;
+    m_region = c.c_region.Region.r_entry.bname;
+    m_st = c.c_st.Region.sg_entry.bname;
+    m_sf = c.c_sf.Region.sg_entry.bname;
+    m_fp_s = c.c_profit;
+    m_branches = branches;
+  }
 
 (* profitability of a subgraph pair, when meldable *)
 let pair_profit (cfg : config) (st : Region.subgraph) (sf : Region.subgraph)
@@ -331,7 +377,11 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
           else
             Some (snapshot_func f, Darm_checks.Checker.check_func ~dvg f)
         in
+        let record = record_of_candidate c (stats.melds_applied + 1) in
         apply_candidate config f c stats;
+        (* most-recent-first while running so Vreject can pop; reversed
+           into application order before [run] returns *)
+        stats.melds <- record :: stats.melds;
         if config.run_cleanups then begin
           ignore (Darm_transforms.Simplify_cfg.run f);
           ignore (Darm_transforms.Dce.run f)
@@ -374,6 +424,9 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
                     restore_func f snap;
                     stats.melds_applied <- stats.melds_applied - 1;
                     stats.melds_rejected <- stats.melds_rejected + 1;
+                    (match stats.melds with
+                    | _rolled_back :: rest -> stats.melds <- rest
+                    | [] -> ());
                     if Hashtbl.mem rejected key then continue_ := false
                     else Hashtbl.replace rejected key ())))
   done;
@@ -381,6 +434,7 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
     ignore (Darm_transforms.Simplify_cfg.if_convert f);
     ignore (Darm_transforms.Dce.run f)
   end;
+  stats.melds <- List.rev stats.melds;
   stats
 
 (** Branch fusion (Coutinho et al.): the diamond-only restriction of

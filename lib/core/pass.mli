@@ -64,12 +64,36 @@ val default_config : config
     (Coutinho et al.), the Table I baseline. *)
 val branch_fusion_config : config
 
+(** Provenance of one applied meld — the join key between the pass and
+    the simulator's per-branch divergence attribution: [darm_opt
+    report] matches the [m_branches] ids against
+    {!Darm_sim.Metrics.branch_stats} of the baseline run to attribute
+    cycles saved to individual melds. *)
+type meld_record = {
+  m_index : int;  (** 1-based application order within the run *)
+  m_region : string;
+      (** region entry block name — the stable static branch id of the
+          divergent branch this meld targets *)
+  m_st : string;  (** melded true-path subgraph entry block name *)
+  m_sf : string;  (** melded false-path subgraph entry block name *)
+  m_fp_s : float;  (** the FP_S profitability score that won *)
+  m_branches : string list;
+      (** static branch ids subsumed by this meld: the region entry plus
+          every conditional branch inside the two melded subgraphs
+          (captured {e before} normalization renames blocks), sorted and
+          deduplicated *)
+}
+
 type stats = {
   mutable iterations : int;
   mutable regions_found : int;
   mutable melds_applied : int;
   mutable melds_rejected : int;
       (** melds rolled back by [Vreject] translation validation *)
+  mutable melds : meld_record list;
+      (** provenance of the applied melds, in application order;
+          [Vreject]ed melds are removed, so
+          [List.length melds = melds_applied] *)
   meld_stats : Meld.stats;
 }
 

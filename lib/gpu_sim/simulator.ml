@@ -256,6 +256,14 @@ type frame = {
   mutable ip : int;  (** resume index into [db_code] (for barriers) *)
   rpc : int;  (** pop when [pc] reaches this block; -1 = never *)
   mask : bool array;
+  origin : int;
+      (** dense index of the divergent branch block that pushed this
+          frame; -1 for uniform control flow.  Issue cycles under the
+          frame are attributed to this branch (innermost branch wins
+          under nested divergence). *)
+  f_lost : int;
+      (** lanes of the split's parent mask left inactive while this
+          frame runs — the other arm's lane count; 0 when uniform *)
 }
 
 type warp_status = Running | At_barrier | Finished
@@ -282,6 +290,14 @@ type launch_ctx = {
   seg_scratch : int array;  (** distinct global segments, [warp_size] *)
   bank_scratch : int array;  (** shared offsets of one 32-lane phase *)
   phi_stage : rv array array;  (** two-phase phi staging buffers *)
+  (* per-branch divergence attribution, indexed by dense block index
+     of the branch block; folded into [metrics.branches] (keyed by
+     block name — the stable static branch id) at the end of the
+     launch.  Shared across the whole grid like the scratch buffers. *)
+  br_div : int array;  (** warp splits at this branch *)
+  br_cycles : int array;  (** issue cycles inside the branch's arms *)
+  br_lost : int array;  (** idle-lane cycles inside the arms *)
+  br_reconv : int array;  (** arm completions at the IPDOM *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -367,10 +383,18 @@ let obs_warp (ctx : launch_ctx) (w : warp) (name : string)
       Tr.instant tr ~cat:"sim" ~pid:ctx.cfg.obs_pid ~tid:(1 + w.tid_base)
         ~ts:ctx.metrics.Metrics.cycles ~args name
 
-let account (ctx : launch_ctx) (d : dinstr) (mask : bool array) : unit =
+let account (ctx : launch_ctx) (d : dinstr) (fr : frame) : unit =
   let m = ctx.metrics in
+  let mask = fr.mask in
   m.cycles <- m.cycles + d.d_lat;
   m.instructions <- m.instructions + 1;
+  if fr.origin >= 0 then begin
+    (* divergence attribution: this issue runs inside an arm of the
+       branch at block [origin]; the split's other-arm lanes idle *)
+    ctx.br_cycles.(fr.origin) <- ctx.br_cycles.(fr.origin) + d.d_lat;
+    ctx.br_lost.(fr.origin) <-
+      ctx.br_lost.(fr.origin) + (fr.f_lost * d.d_lat)
+  end;
   if d.d_alu then begin
     m.alu_issues <- m.alu_issues + 1;
     m.alu_active_lanes <- m.alu_active_lanes + popcount mask
@@ -488,7 +512,7 @@ exception Poison
     error and traps. *)
 let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (d : dinstr) :
     unit =
-  account ctx d frame.mask;
+  account ctx d frame;
   let fail_context msg =
     let i = d.d_orig in
     errf "%s (instr %d, op %s, block %s)" msg i.id (Op.to_string i.op)
@@ -589,7 +613,7 @@ let set_pred_for_mask (w : warp) (mask : bool array) (bi : int) : unit =
 (** Execute the terminator of the top frame, updating the stack. *)
 let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame)
     (d : dinstr) (db : dblock) : unit =
-  account ctx d frame.mask;
+  account ctx d frame;
   match d.d_op with
   | Op.Ret -> w.stack <- List.tl w.stack
   | Op.Br ->
@@ -621,6 +645,7 @@ let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame)
       else begin
         (* the warp splits: IPDOM reconvergence *)
         ctx.metrics.divergent_branches <- ctx.metrics.divergent_branches + 1;
+        ctx.br_div.(cur) <- ctx.br_div.(cur) + 1;
         set_pred_for_mask w frame.mask cur;
         let tmask = Array.make ws false in
         let fmask = Array.make ws false in
@@ -634,6 +659,7 @@ let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame)
         obs_warp ctx w "warp.diverge"
           [
             ("block", Tr.Str db.db_name);
+            ("branch_id", Tr.Str db.db_name);
             ("t_active", Tr.Int (popcount tmask));
             ("f_active", Tr.Int (popcount fmask));
             ("t_mask", Tr.Str (mask_hex tmask));
@@ -643,8 +669,14 @@ let exec_terminator (ctx : launch_ctx) (w : warp) (frame : frame)
                 (if rpc >= 0 then ctx.fctx.dblocks.(rpc).db_name else "<none>")
             );
           ];
-        let t_frame = { pc = d.d_succ.(0); ip = 0; rpc; mask = tmask } in
-        let f_frame = { pc = d.d_succ.(1); ip = 0; rpc; mask = fmask } in
+        let t_frame =
+          { pc = d.d_succ.(0); ip = 0; rpc; mask = tmask; origin = cur;
+            f_lost = !fcount }
+        in
+        let f_frame =
+          { pc = d.d_succ.(1); ip = 0; rpc; mask = fmask; origin = cur;
+            f_lost = !tcount }
+        in
         if rpc >= 0 then begin
           frame.pc <- rpc;
           frame.ip <- 0;
@@ -671,9 +703,15 @@ let run_warp (ctx : launch_ctx) (w : warp) : unit =
         if frame.rpc >= 0 && frame.rpc = frame.pc then begin
           (* reconverged: drop the frame, the parent resumes at rpc *)
           ctx.metrics.reconvergences <- ctx.metrics.reconvergences + 1;
+          if frame.origin >= 0 then
+            ctx.br_reconv.(frame.origin) <- ctx.br_reconv.(frame.origin) + 1;
           obs_warp ctx w "warp.reconverge"
             [
               ("block", Tr.Str dbs.(frame.pc).db_name);
+              ( "branch_id",
+                Tr.Str
+                  (if frame.origin >= 0 then dbs.(frame.origin).db_name
+                   else "<entry>") );
               ("active", Tr.Int (popcount frame.mask));
               ("mask", Tr.Str (mask_hex frame.mask));
             ];
@@ -704,7 +742,7 @@ let run_warp (ctx : launch_ctx) (w : warp) : unit =
               stop := true
             end
             else if d.d_op = Op.Syncthreads then begin
-              account ctx d frame.mask;
+              account ctx d frame;
               ctx.metrics.barriers <- ctx.metrics.barriers + 1;
               obs_warp ctx w "warp.barrier"
                 [
@@ -751,6 +789,11 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
   let phi_stage =
     Array.init (max fctx.max_phis 1) (fun _ -> Array.make ws Rundef)
   in
+  let nblocks = Array.length fctx.dblocks in
+  let br_div = Array.make nblocks 0 in
+  let br_cycles = Array.make nblocks 0 in
+  let br_lost = Array.make nblocks 0 in
+  let br_reconv = Array.make nblocks 0 in
   for block_idx = 0 to launch.grid_dim - 1 do
     let cycles_before = metrics.cycles in
     (match config.obs with
@@ -777,6 +820,10 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
         seg_scratch;
         bank_scratch;
         phi_stage;
+        br_div;
+        br_cycles;
+        br_lost;
+        br_reconv;
       }
     in
     let nwarps = (launch.block_dim + ws - 1) / ws in
@@ -789,7 +836,8 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
             tid_base;
             regs = Array.init fctx.nslots (fun _ -> Array.make ws Rundef);
             pred = Array.make ws (-1);
-            stack = [ { pc = 0; ip = 0; rpc = -1; mask } ];
+            stack =
+              [ { pc = 0; ip = 0; rpc = -1; mask; origin = -1; f_lost = 0 } ];
             status = Running;
           })
     in
@@ -826,5 +874,18 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
         Tr.counter tr ~cat:"sim" ~pid:config.obs_pid ~tid:0 ~ts:metrics.cycles
           "block.cycles"
           (float_of_int (metrics.cycles - cycles_before))
+  done;
+  (* fold the dense attribution arrays into the metrics, keyed by the
+     stable static branch id (the branch block's name) *)
+  for bi = 0 to nblocks - 1 do
+    if br_div.(bi) > 0 || br_cycles.(bi) > 0 || br_reconv.(bi) > 0 then begin
+      let s = Metrics.touch_branch metrics fctx.dblocks.(bi).db_name in
+      s.Metrics.br_divergences <- s.Metrics.br_divergences + br_div.(bi);
+      s.Metrics.br_cycles <- s.Metrics.br_cycles + br_cycles.(bi);
+      s.Metrics.br_lost_lane_cycles <-
+        s.Metrics.br_lost_lane_cycles + br_lost.(bi);
+      s.Metrics.br_reconvergences <-
+        s.Metrics.br_reconvergences + br_reconv.(bi)
+    end
   done;
   metrics

@@ -33,8 +33,9 @@ type config = {
   obs : Darm_obs.Trace.t option;
       (** structured divergence timeline: one [warp.diverge] /
           [warp.reconverge] / [warp.barrier] instant per warp split,
-          reconvergence and barrier (active-mask popcounts and hex
-          masks in the attributes) on tid [1 + tid_base], plus
+          reconvergence and barrier (active-mask popcounts, hex masks
+          and the stable [branch_id] of the splitting branch in the
+          attributes) on tid [1 + tid_base], plus
           per-thread-block cycle spans and a [block.cycles] counter on
           tid 0.  Events are timestamped with the deterministic cycle
           counter, so traces are byte-identical across runs.  [None]
@@ -61,7 +62,15 @@ type launch = { grid_dim : int; block_dim : int }
 
 (** Execute the kernel over the whole grid and return the collected
     metrics.  [args] bind the function parameters positionally; the
-    function is verified before execution. *)
+    function is verified before execution.
+
+    Beyond the aggregate counters, the result carries per-branch
+    divergence attribution ({!Metrics.branch_stats}): every conditional
+    branch that split a warp is keyed by its static branch id (block
+    name) with its split count, the issue cycles spent inside its arms,
+    the idle-lane cycles those splits wasted, and its reconvergence
+    count.  Attribution is always on — it costs two array increments
+    per issue — and deterministic like every other counter. *)
 val run :
   ?config:config ->
   Ssa.func ->

@@ -1,0 +1,359 @@
+(* Append-only bench history (BENCH_history.jsonl) and the regression
+   sentinel behind [darm_opt bench-diff].  See history.mli. *)
+
+module J = Darm_obs.Json
+module Metrics = Darm_sim.Metrics
+module E = Experiment
+
+let schema = "darm-bench-hist-v1"
+
+let default_path = "BENCH_history.jsonl"
+
+type env = {
+  ocaml_version : string;
+  os_type : string;
+  word_size : int;
+  warp_size : int;
+  jobs : int;
+}
+
+let current_env ?jobs () : env =
+  {
+    ocaml_version = Sys.ocaml_version;
+    os_type = Sys.os_type;
+    word_size = Sys.word_size;
+    warp_size = E.sim_config.E.Sim.warp_size;
+    jobs = (match jobs with Some j -> j | None -> Parallel_sweep.default_jobs ());
+  }
+
+type entry = {
+  e_kernel : string;
+  e_block_size : int;
+  e_transform : string;
+  e_rewrites : int;
+  e_base_cycles : int;
+  e_opt_cycles : int;
+  e_pass_ms : float;
+  e_correct : bool;
+}
+
+let entry_speedup (e : entry) : float =
+  if e.e_opt_cycles = 0 then 0.
+  else float_of_int e.e_base_cycles /. float_of_int e.e_opt_cycles
+
+type record = {
+  r_time : float;
+  r_env : env;
+  r_wall_s : float option;
+  r_entries : entry list;
+}
+
+let of_results ?wall_s ?jobs ~time (results : E.result list) : record =
+  {
+    r_time = time;
+    r_env = current_env ?jobs ();
+    r_wall_s = wall_s;
+    r_entries =
+      List.map
+        (fun (r : E.result) ->
+          {
+            e_kernel = r.E.tag;
+            e_block_size = r.E.block_size;
+            e_transform = r.E.transform_name;
+            e_rewrites = r.E.rewrites;
+            e_base_cycles = r.E.base.Metrics.cycles;
+            e_opt_cycles = r.E.opt.Metrics.cycles;
+            e_pass_ms = r.E.t_ms;
+            e_correct = r.E.correct;
+          })
+        results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let env_to_json (e : env) : J.t =
+  J.Obj
+    [
+      ("ocaml_version", J.Str e.ocaml_version);
+      ("os_type", J.Str e.os_type);
+      ("word_size", J.Int e.word_size);
+      ("warp_size", J.Int e.warp_size);
+      ("jobs", J.Int e.jobs);
+    ]
+
+let entry_to_json (e : entry) : J.t =
+  J.Obj
+    [
+      ("kernel", J.Str e.e_kernel);
+      ("block_size", J.Int e.e_block_size);
+      ("transform", J.Str e.e_transform);
+      ("rewrites", J.Int e.e_rewrites);
+      ("base_cycles", J.Int e.e_base_cycles);
+      ("opt_cycles", J.Int e.e_opt_cycles);
+      ("pass_ms", J.Float e.e_pass_ms);
+      ("correct", J.Bool e.e_correct);
+    ]
+
+let record_to_json (r : record) : J.t =
+  J.Obj
+    ([
+       ("schema", J.Str schema);
+       ("time", J.Float r.r_time);
+       ("env", env_to_json r.r_env);
+     ]
+    @ (match r.r_wall_s with
+      | None -> []
+      | Some s -> [ ("wall_s", J.Float s) ])
+    @ [ ("results", J.List (List.map entry_to_json r.r_entries)) ])
+
+(* tolerant field accessors: ints may have been written as floats *)
+let get_str j k =
+  match J.member k j with
+  | Some (J.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" k)
+
+let get_int j k =
+  match J.member k j with
+  | Some (J.Int i) -> Ok i
+  | Some (J.Float f) when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "missing int field %S" k)
+
+let get_float j k =
+  match J.member k j with
+  | Some (J.Float f) -> Ok f
+  | Some (J.Int i) -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "missing number field %S" k)
+
+let get_bool j k =
+  match J.member k j with
+  | Some (J.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "missing bool field %S" k)
+
+let ( let* ) = Result.bind
+
+let env_of_json (j : J.t) : (env, string) result =
+  let* ocaml_version = get_str j "ocaml_version" in
+  let* os_type = get_str j "os_type" in
+  let* word_size = get_int j "word_size" in
+  let* warp_size = get_int j "warp_size" in
+  let* jobs = get_int j "jobs" in
+  Ok { ocaml_version; os_type; word_size; warp_size; jobs }
+
+let entry_of_json (j : J.t) : (entry, string) result =
+  let* e_kernel = get_str j "kernel" in
+  let* e_block_size = get_int j "block_size" in
+  let* e_transform = get_str j "transform" in
+  let* e_rewrites = get_int j "rewrites" in
+  let* e_base_cycles = get_int j "base_cycles" in
+  let* e_opt_cycles = get_int j "opt_cycles" in
+  let* e_pass_ms = get_float j "pass_ms" in
+  let* e_correct = get_bool j "correct" in
+  Ok
+    {
+      e_kernel;
+      e_block_size;
+      e_transform;
+      e_rewrites;
+      e_base_cycles;
+      e_opt_cycles;
+      e_pass_ms;
+      e_correct;
+    }
+
+let record_of_json (j : J.t) : (record, string) result =
+  let* s = get_str j "schema" in
+  if s <> schema then
+    Error (Printf.sprintf "schema mismatch: expected %S, got %S" schema s)
+  else
+    let* r_time = get_float j "time" in
+    let* env_j =
+      match J.member "env" j with
+      | Some e -> Ok e
+      | None -> Error "missing object field \"env\""
+    in
+    let* r_env = env_of_json env_j in
+    let r_wall_s =
+      match J.member "wall_s" j with
+      | Some (J.Float f) -> Some f
+      | Some (J.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let* entries =
+      match J.member "results" j with
+      | Some (J.List l) ->
+          List.fold_left
+            (fun acc e ->
+              let* acc = acc in
+              let* entry = entry_of_json e in
+              Ok (entry :: acc))
+            (Ok []) l
+          |> Result.map List.rev
+      | _ -> Error "missing list field \"results\""
+    in
+    Ok { r_time; r_env; r_wall_s; r_entries = entries }
+
+let append ?(path = default_path) (r : record) : unit =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string (record_to_json r) ^ "\n"))
+
+let load ?(path = default_path) () : (record list, string) result =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    let rec parse i acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest when String.trim line = "" -> parse (i + 1) acc rest
+      | line :: rest -> (
+          match J.parse line with
+          | Error e -> Error (Printf.sprintf "%s:%d: invalid JSON: %s" path i e)
+          | Ok j -> (
+              match record_of_json j with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path i e)
+              | Ok r -> parse (i + 1) (r :: acc) rest))
+    in
+    parse 1 [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Regression sentinel *)
+
+type thresholds = {
+  max_geomean_drop : float;
+  max_cycle_growth : float;
+  pass_ms_factor : float;
+  pass_ms_slack : float;
+}
+
+let default_thresholds =
+  {
+    max_geomean_drop = 0.02;
+    max_cycle_growth = 0.02;
+    pass_ms_factor = 10.;
+    pass_ms_slack = 100.;
+  }
+
+type diff = {
+  d_regressions : string list;
+  d_notes : string list;
+  d_geomean_base : float;
+  d_geomean_cand : float;
+  d_compared : int;
+}
+
+let key (e : entry) = (e.e_kernel, e.e_block_size, e.e_transform)
+
+let key_str (k, bs, t) = Printf.sprintf "%s/bs%d/%s" k bs t
+
+let diff ?(thresholds = default_thresholds) ~(baseline : record)
+    (candidate : record) : diff =
+  let regressions = ref [] and notes = ref [] in
+  let regress fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let be = baseline.r_env and ce = candidate.r_env in
+  if be.warp_size <> ce.warp_size then
+    note "env: warp_size changed %d -> %d (cycle counts not comparable)"
+      be.warp_size ce.warp_size;
+  if be.ocaml_version <> ce.ocaml_version then
+    note "env: ocaml_version changed %s -> %s" be.ocaml_version
+      ce.ocaml_version;
+  if be.word_size <> ce.word_size then
+    note "env: word_size changed %d -> %d" be.word_size ce.word_size;
+  let base_tbl = Hashtbl.create 32 in
+  List.iter (fun e -> Hashtbl.replace base_tbl (key e) e) baseline.r_entries;
+  let compared = ref [] in
+  List.iter
+    (fun (c : entry) ->
+      match Hashtbl.find_opt base_tbl (key c) with
+      | None -> note "new point %s (no baseline)" (key_str (key c))
+      | Some b ->
+          Hashtbl.remove base_tbl (key c);
+          compared := (b, c) :: !compared)
+    candidate.r_entries;
+  Hashtbl.iter
+    (fun k _ -> note "point %s disappeared from the candidate" (key_str k))
+    base_tbl;
+  let compared = List.rev !compared in
+  (* per-point gates, in candidate order for deterministic output *)
+  List.iter
+    (fun ((b : entry), (c : entry)) ->
+      let ks = key_str (key c) in
+      if (not c.e_correct) && b.e_correct then
+        regress "%s: correctness flipped to INCORRECT" ks;
+      if c.e_opt_cycles = 0 then
+        regress "%s: optimized run retired zero cycles" ks
+      else begin
+        let growth =
+          float_of_int (c.e_opt_cycles - b.e_opt_cycles)
+          /. float_of_int (max 1 b.e_opt_cycles)
+        in
+        if growth > thresholds.max_cycle_growth then
+          regress "%s: opt_cycles grew %d -> %d (+%.1f%%, threshold %.1f%%)"
+            ks b.e_opt_cycles c.e_opt_cycles (growth *. 100.)
+            (thresholds.max_cycle_growth *. 100.)
+        else if growth < -.thresholds.max_cycle_growth then
+          note "%s: opt_cycles improved %d -> %d (%.1f%%)" ks b.e_opt_cycles
+            c.e_opt_cycles (growth *. 100.)
+      end;
+      let limit =
+        (thresholds.pass_ms_factor *. b.e_pass_ms) +. thresholds.pass_ms_slack
+      in
+      if c.e_pass_ms > limit then
+        regress "%s: pass_ms %.1f -> %.1f exceeds %.1f (%.0fx + %.0fms slack)"
+          ks b.e_pass_ms c.e_pass_ms limit thresholds.pass_ms_factor
+          thresholds.pass_ms_slack)
+    compared;
+  (* geomean gate over the compared intersection, recomputed from
+     cycles so a tampered speedup field cannot mask a regression *)
+  let geo f =
+    Experiment.geomean
+      (List.filter_map
+         (fun (b, c) ->
+           let s = entry_speedup (f (b, c)) in
+           if s > 0. then Some s else None)
+         compared)
+  in
+  let g_base = geo fst and g_cand = geo snd in
+  if compared <> [] && g_base > 0. then begin
+    let drop = (g_base -. g_cand) /. g_base in
+    if drop > thresholds.max_geomean_drop then
+      regress "geomean speedup dropped %.3fx -> %.3fx (-%.1f%%, threshold %.1f%%)"
+        g_base g_cand (drop *. 100.)
+        (thresholds.max_geomean_drop *. 100.)
+    else if drop < -.thresholds.max_geomean_drop then
+      note "geomean speedup improved %.3fx -> %.3fx" g_base g_cand
+  end;
+  if compared = [] then regress "no common points between the two records";
+  {
+    d_regressions = List.rev !regressions;
+    d_notes = List.rev !notes;
+    d_geomean_base = g_base;
+    d_geomean_cand = g_cand;
+    d_compared = List.length compared;
+  }
+
+let diff_ok (d : diff) : bool = d.d_regressions = []
+
+let diff_to_text (d : diff) : string =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "bench-diff: %d point(s) compared, geomean %.3fx -> %.3fx" d.d_compared
+    d.d_geomean_base d.d_geomean_cand;
+  List.iter (fun n -> line "  note: %s" n) d.d_notes;
+  if d.d_regressions = [] then line "  OK: no regression"
+  else
+    List.iter (fun r -> line "  REGRESSION: %s" r) d.d_regressions;
+  Buffer.contents b

@@ -1,0 +1,113 @@
+(** Append-only bench history and the regression sentinel.
+
+    Every bench run appends one env-fingerprinted record to a JSONL
+    file ([BENCH_history.jsonl] by default, one JSON document per
+    line, schema [darm-bench-hist-v1] — see doc/schemas.md), so the
+    performance trajectory across commits survives the overwrite of
+    [BENCH_darm.json].  {!diff} compares two records under configurable
+    noise thresholds and is the engine of [darm_opt bench-diff] — the
+    CI regression sentinel.
+
+    Cycle counts are deterministic per (kernel, block size, seed, n,
+    warp size), so the cycle thresholds can be tight; [pass_ms] is
+    wall-clock and needs generous slack. *)
+
+val schema : string
+(** ["darm-bench-hist-v1"]. *)
+
+val default_path : string
+(** ["BENCH_history.jsonl"]. *)
+
+(** Environment fingerprint stamped on every record: enough to tell
+    "the code regressed" from "the machine changed". *)
+type env = {
+  ocaml_version : string;
+  os_type : string;
+  word_size : int;
+  warp_size : int;
+  jobs : int;  (** domain-pool size the run used *)
+}
+
+(** Fingerprint of the current process ([jobs] defaults to
+    {!Parallel_sweep.default_jobs}). *)
+val current_env : ?jobs:int -> unit -> env
+
+(** One experiment point, flattened to the serialized fields. *)
+type entry = {
+  e_kernel : string;
+  e_block_size : int;
+  e_transform : string;
+  e_rewrites : int;
+  e_base_cycles : int;
+  e_opt_cycles : int;
+  e_pass_ms : float;
+  e_correct : bool;
+}
+
+(** Speedup recomputed from the stored cycles (never trusted from the
+    file); 0 when the optimized run retired zero cycles. *)
+val entry_speedup : entry -> float
+
+type record = {
+  r_time : float;  (** unix seconds at append time *)
+  r_env : env;
+  r_wall_s : float option;  (** harness wall-clock, when known *)
+  r_entries : entry list;
+}
+
+val of_results :
+  ?wall_s:float -> ?jobs:int -> time:float -> Experiment.result list -> record
+
+val record_to_json : record -> Darm_obs.Json.t
+
+(** Parse one history line; checks the [schema] key. *)
+val record_of_json : Darm_obs.Json.t -> (record, string) result
+
+(** Append one line to the history file (creating it if needed). *)
+val append : ?path:string -> record -> unit
+
+(** All records of a history file in file order.  [Error] on a missing
+    file, unparsable line or wrong schema — CI treats any of these as a
+    corrupt history. *)
+val load : ?path:string -> unit -> (record list, string) result
+
+(** {2 Regression sentinel} *)
+
+type thresholds = {
+  max_geomean_drop : float;
+      (** relative drop of recomputed geomean speedup that counts as a
+          regression (default 0.02 = 2%) *)
+  max_cycle_growth : float;
+      (** per-point relative growth of [opt_cycles] that counts as a
+          regression (default 0.02); cycles are deterministic, so this
+          is headroom for intentional trade-offs, not timer noise *)
+  pass_ms_factor : float;
+      (** candidate [pass_ms] beyond [factor * base + slack] is a
+          regression; wall-clock, so generous (default 10.0) *)
+  pass_ms_slack : float;  (** absolute ms slack (default 100.0) *)
+}
+
+val default_thresholds : thresholds
+
+type diff = {
+  d_regressions : string list;
+      (** human-readable findings, deterministic order; empty = pass *)
+  d_notes : string list;
+      (** non-fatal observations (env changes, coverage differences,
+          improvements) *)
+  d_geomean_base : float;  (** over the compared points, baseline *)
+  d_geomean_cand : float;  (** over the compared points, candidate *)
+  d_compared : int;  (** points present in both records *)
+}
+
+(** [diff ~baseline candidate] compares the candidate record against
+    the baseline.  Points are keyed by (kernel, block size, transform);
+    only keys present in both are compared (coverage differences become
+    notes).  Speedups and geomeans are recomputed from cycles.
+    Correctness flips and zero-cycle entries are always regressions. *)
+val diff : ?thresholds:thresholds -> baseline:record -> record -> diff
+
+val diff_ok : diff -> bool
+
+(** Render a diff for the terminal (deterministic). *)
+val diff_to_text : diff -> string

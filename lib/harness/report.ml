@@ -1,0 +1,345 @@
+(** Per-meld divergence attribution — the [darm_opt report] pipeline.
+    See report.mli for the attribution model and the exact-sum
+    contract. *)
+
+module Kernel = Darm_kernels.Kernel
+module Metrics = Darm_sim.Metrics
+module Pass = Darm_core.Pass
+module J = Darm_obs.Json
+
+let schema = "darm-report-v1"
+
+type branch_join = {
+  bj_id : string;
+  bj_base : Metrics.branch_stat option;
+  bj_opt : Metrics.branch_stat option;
+  bj_meld : int option;
+}
+
+type meld_row = {
+  mr_meld : Pass.meld_record;
+  mr_claimed : string list;
+  mr_base_divergences : int;
+  mr_opt_divergences : int;
+  mr_base_cycles : int;
+  mr_opt_cycles : int;
+  mr_base_lost : int;
+  mr_opt_lost : int;
+}
+
+let meld_saved (r : meld_row) : int = r.mr_base_cycles - r.mr_opt_cycles
+
+type t = {
+  rp_kernel : string;
+  rp_block_size : int;
+  rp_seed : int;
+  rp_n : int;
+  rp_correct : bool;
+  rp_rewrites : int;
+  rp_pass_ms : float;
+  rp_base : Metrics.t;
+  rp_opt : Metrics.t;
+  rp_melds : meld_row list;
+  rp_branches : branch_join list;
+}
+
+let delta (t : t) : int = t.rp_base.Metrics.cycles - t.rp_opt.Metrics.cycles
+
+let residual (t : t) : int =
+  delta t - List.fold_left (fun a r -> a + meld_saved r) 0 t.rp_melds
+
+let no_divergence (t : t) : bool =
+  t.rp_base.Metrics.divergent_branches = 0 && t.rp_melds = []
+
+(* ------------------------------------------------------------------ *)
+(* Assembly: claim branches to melds (first application wins), join
+   the two runs' per-branch counters. *)
+
+let build ~kernel ~block_size ~seed ~n ~correct ~rewrites ~pass_ms
+    ~(base : Metrics.t) ~(opt : Metrics.t)
+    ~(melds : Pass.meld_record list) : t =
+  let stat_of m id = Hashtbl.find_opt m.Metrics.branches id in
+  let claimed_by : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let meld_rows =
+    List.map
+      (fun (m : Pass.meld_record) ->
+        let claimed =
+          List.filter
+            (fun id ->
+              if Hashtbl.mem claimed_by id then false
+              else begin
+                Hashtbl.replace claimed_by id m.Pass.m_index;
+                true
+              end)
+            m.Pass.m_branches
+        in
+        let sum f =
+          List.fold_left
+            (fun (b, o) id ->
+              let get m = Option.fold ~none:0 ~some:f (stat_of m id) in
+              (b + get base, o + get opt))
+            (0, 0) claimed
+        in
+        let bd, od = sum (fun s -> s.Metrics.br_divergences) in
+        let bc, oc = sum (fun s -> s.Metrics.br_cycles) in
+        let bl, ol = sum (fun s -> s.Metrics.br_lost_lane_cycles) in
+        {
+          mr_meld = m;
+          mr_claimed = claimed;
+          mr_base_divergences = bd;
+          mr_opt_divergences = od;
+          mr_base_cycles = bc;
+          mr_opt_cycles = oc;
+          mr_base_lost = bl;
+          mr_opt_lost = ol;
+        })
+      melds
+  in
+  let ids = Hashtbl.create 16 in
+  let note m =
+    Hashtbl.iter (fun id _ -> Hashtbl.replace ids id ()) m.Metrics.branches
+  in
+  note base;
+  note opt;
+  let branches =
+    Hashtbl.fold (fun id () acc -> id :: acc) ids []
+    |> List.sort String.compare
+    |> List.map (fun id ->
+           {
+             bj_id = id;
+             bj_base = stat_of base id;
+             bj_opt = stat_of opt id;
+             bj_meld = Hashtbl.find_opt claimed_by id;
+           })
+  in
+  {
+    rp_kernel = kernel;
+    rp_block_size = block_size;
+    rp_seed = seed;
+    rp_n = n;
+    rp_correct = correct;
+    rp_rewrites = rewrites;
+    rp_pass_ms = pass_ms;
+    rp_base = base;
+    rp_opt = opt;
+    rp_melds = meld_rows;
+    rp_branches = branches;
+  }
+
+let compute ?(config = Pass.default_config) ?(seed = 2022) ?n
+    (kernel : Kernel.t) ~(block_size : int) : t =
+  let n = Option.value ~default:kernel.Kernel.default_n n in
+  let stats_ref = ref None in
+  (* custom transform (bypasses the result cache) so the pass's
+     provenance records are captured, not just the meld count *)
+  let transform =
+    {
+      Experiment.t_name = "DARM";
+      t_apply =
+        (fun f ->
+          let st = Pass.run ~config f in
+          stats_ref := Some st;
+          st.Pass.melds_applied);
+    }
+  in
+  let r = Experiment.run ~transform ~seed ~n kernel ~block_size in
+  let melds =
+    match !stats_ref with Some st -> st.Pass.melds | None -> []
+  in
+  build ~kernel:r.Experiment.tag ~block_size ~seed ~n
+    ~correct:r.Experiment.correct ~rewrites:r.Experiment.rewrites
+    ~pass_ms:r.Experiment.t_ms ~base:r.Experiment.base
+    ~opt:r.Experiment.opt ~melds
+
+let compute_many ?jobs ?config ?seed ?n (points : (Kernel.t * int) list) :
+    t list =
+  Parallel_sweep.map ?jobs
+    (fun (k, bs) -> compute ?config ?seed ?n k ~block_size:bs)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Renderers.  All three consume only the report record, so they are
+   deterministic wherever the report is. *)
+
+let speedup_str (t : t) : string =
+  if t.rp_opt.Metrics.cycles = 0 then "n/a"
+  else
+    Printf.sprintf "%.2fx"
+      (float_of_int t.rp_base.Metrics.cycles
+      /. float_of_int t.rp_opt.Metrics.cycles)
+
+let pair_str (m : Pass.meld_record) : string =
+  Printf.sprintf "%s ~ %s" m.Pass.m_st m.Pass.m_sf
+
+let header_lines (t : t) : string list =
+  [
+    Printf.sprintf "kernel %s  block_size %d  (seed %d, n %d)" t.rp_kernel
+      t.rp_block_size t.rp_seed t.rp_n;
+    Printf.sprintf
+      "base %d cycles -> opt %d cycles  (delta %d, speedup %s)  %s"
+      t.rp_base.Metrics.cycles t.rp_opt.Metrics.cycles (delta t)
+      (speedup_str t)
+      (if t.rp_correct then "correct" else "INCORRECT");
+  ]
+
+let to_text (t : t) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter (fun s -> line "%s" s) (header_lines t);
+  if no_divergence t then
+    line
+      "no divergence: the baseline never split a warp and no meld was \
+       applied; nothing to attribute."
+  else begin
+    line "per-meld attribution (divergent-arm issue cycles, base -> opt):";
+    line "  %3s  %-14s %-24s %8s %9s  %16s %10s" "#" "region" "melded pair"
+      "FP_S" "branches" "div cycles" "saved";
+    List.iter
+      (fun r ->
+        line "  %3d  %-14s %-24s %8.2f %9d  %7d -> %-6d %10d"
+          r.mr_meld.Pass.m_index r.mr_meld.Pass.m_region
+          (pair_str r.mr_meld) r.mr_meld.Pass.m_fp_s
+          (List.length r.mr_claimed) r.mr_base_cycles r.mr_opt_cycles
+          (meld_saved r))
+      t.rp_melds;
+    let attributed =
+      List.fold_left (fun a r -> a + meld_saved r) 0 t.rp_melds
+    in
+    line "  residual (melded-path execution, reconvergence, secondary): %d"
+      (residual t);
+    line "  sum: %d attributed + %d residual = %d = total delta" attributed
+      (residual t) (delta t);
+    let unclaimed =
+      List.filter
+        (fun bj -> bj.bj_meld = None && bj.bj_base <> None)
+        t.rp_branches
+    in
+    if unclaimed <> [] then begin
+      line "unmelded divergent branches (baseline divergences / cycles):";
+      List.iter
+        (fun bj ->
+          match bj.bj_base with
+          | None -> ()
+          | Some s ->
+              line "  %-24s %6d / %d" bj.bj_id s.Metrics.br_divergences
+                s.Metrics.br_cycles)
+        unclaimed
+    end
+  end;
+  Buffer.contents b
+
+let to_markdown (t : t) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "### %s (block size %d)" t.rp_kernel t.rp_block_size;
+  line "";
+  line "base %d cycles, opt %d cycles, delta %d, speedup %s, %s"
+    t.rp_base.Metrics.cycles t.rp_opt.Metrics.cycles (delta t)
+    (speedup_str t)
+    (if t.rp_correct then "correct" else "**INCORRECT**");
+  line "";
+  if no_divergence t then
+    line "_no divergence: nothing to attribute._"
+  else begin
+    line "| # | region | melded pair | FP_S | branches | base cycles | \
+          opt cycles | saved |";
+    line "|---|--------|-------------|------|----------|-------------|\
+          ------------|-------|";
+    List.iter
+      (fun r ->
+        line "| %d | `%s` | `%s` | %.2f | %d | %d | %d | %d |"
+          r.mr_meld.Pass.m_index r.mr_meld.Pass.m_region
+          (pair_str r.mr_meld) r.mr_meld.Pass.m_fp_s
+          (List.length r.mr_claimed) r.mr_base_cycles r.mr_opt_cycles
+          (meld_saved r))
+      t.rp_melds;
+    line "| | residual | | | | | | %d |" (residual t);
+    line "| | **total** | | | | | | **%d** |" (delta t)
+  end;
+  Buffer.contents b
+
+let json_branch_stat (s : Metrics.branch_stat) : J.t =
+  J.Obj
+    [
+      ("divergences", J.Int s.Metrics.br_divergences);
+      ("divergent_cycles", J.Int s.Metrics.br_cycles);
+      ("lost_lane_cycles", J.Int s.Metrics.br_lost_lane_cycles);
+      ("reconvergences", J.Int s.Metrics.br_reconvergences);
+    ]
+
+let json_body (t : t) : (string * J.t) list =
+  [
+    ("kernel", J.Str t.rp_kernel);
+    ("block_size", J.Int t.rp_block_size);
+    ("seed", J.Int t.rp_seed);
+    ("n", J.Int t.rp_n);
+    ("correct", J.Bool t.rp_correct);
+    ("rewrites", J.Int t.rp_rewrites);
+    ("base_cycles", J.Int t.rp_base.Metrics.cycles);
+    ("opt_cycles", J.Int t.rp_opt.Metrics.cycles);
+    ("cycles_delta", J.Int (delta t));
+    ("no_divergence", J.Bool (no_divergence t));
+    ( "melds",
+      J.List
+        (List.map
+           (fun r ->
+             J.Obj
+               [
+                 ("index", J.Int r.mr_meld.Pass.m_index);
+                 ("region", J.Str r.mr_meld.Pass.m_region);
+                 ("st", J.Str r.mr_meld.Pass.m_st);
+                 ("sf", J.Str r.mr_meld.Pass.m_sf);
+                 ("fp_s", J.Float r.mr_meld.Pass.m_fp_s);
+                 ( "branches",
+                   J.List
+                     (List.map (fun s -> J.Str s) r.mr_meld.Pass.m_branches)
+                 );
+                 ( "claimed",
+                   J.List (List.map (fun s -> J.Str s) r.mr_claimed) );
+                 ("base_divergences", J.Int r.mr_base_divergences);
+                 ("opt_divergences", J.Int r.mr_opt_divergences);
+                 ("base_divergent_cycles", J.Int r.mr_base_cycles);
+                 ("opt_divergent_cycles", J.Int r.mr_opt_cycles);
+                 ("base_lost_lane_cycles", J.Int r.mr_base_lost);
+                 ("opt_lost_lane_cycles", J.Int r.mr_opt_lost);
+                 ("cycles_saved", J.Int (meld_saved r));
+               ])
+           t.rp_melds) );
+    ("residual_cycles", J.Int (residual t));
+    ( "branches",
+      J.List
+        (List.map
+           (fun bj ->
+             J.Obj
+               ([ ("id", J.Str bj.bj_id) ]
+               @ (match bj.bj_base with
+                 | None -> []
+                 | Some s -> [ ("base", json_branch_stat s) ])
+               @ (match bj.bj_opt with
+                 | None -> []
+                 | Some s -> [ ("opt", json_branch_stat s) ])
+               @
+               match bj.bj_meld with
+               | None -> []
+               | Some i -> [ ("meld", J.Int i) ]))
+           t.rp_branches) );
+  ]
+
+let to_json (t : t) : J.t = J.Obj (("schema", J.Str schema) :: json_body t)
+
+let many_to_json (ts : t list) : J.t =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("reports", J.List (List.map (fun t -> J.Obj (json_body t)) ts));
+    ]
+
+let fill_metrics (reg : Darm_obs.Metrics_registry.t) (t : t) : unit =
+  let ws = Experiment.sim_config.Darm_sim.Simulator.warp_size in
+  let fill run m =
+    Metrics.fill_registry reg
+      ~labels:[ ("kernel", t.rp_kernel); ("run", run) ]
+      m ~warp_size:ws
+  in
+  fill "base" t.rp_base;
+  fill "opt" t.rp_opt

@@ -1,0 +1,144 @@
+(** Per-meld divergence attribution: joins the simulator's per-branch
+    divergence counters from a baseline and an optimized run with the
+    melding pass's provenance records ({!Darm_core.Pass.meld_record})
+    into a cycles-saved-per-meld table — the [darm_opt report]
+    pipeline.
+
+    {2 Attribution model}
+
+    Every conditional branch that splits a warp is keyed by its stable
+    static branch id (block name), which survives the melding pass for
+    unmelded code.  A meld's provenance lists the branch ids it
+    subsumed; each branch id is {e claimed} by the first meld (in
+    application order) that lists it, so no cycle is counted twice.  A
+    meld's [cycles saved] is the drop in divergent-arm issue cycles
+    over its claimed branches between the baseline and optimized runs.
+
+    The sum of the per-meld rows does not equal the total cycle delta:
+    melded code still executes (once instead of twice), reconvergence
+    and unpredicated gap blocks cost cycles, and cleanups shift uniform
+    code.  Those effects are collected in an explicit {e residual} row,
+    so that [sum(melds) + residual = base_cycles - opt_cycles] holds
+    {e exactly} — an accounting identity the test suite checks on every
+    registry kernel.  See doc/observability.md for the residual's
+    interpretation and typical magnitude. *)
+
+module Kernel = Darm_kernels.Kernel
+module Metrics = Darm_sim.Metrics
+module Pass = Darm_core.Pass
+
+val schema : string
+(** ["darm-report-v1"] — the [schema] key of the JSON rendering (see
+    doc/schemas.md). *)
+
+(** One static branch id joined across the two runs.  [None] means the
+    branch never split a warp in that run (melded away, newly created,
+    or simply uniform). *)
+type branch_join = {
+  bj_id : string;
+  bj_base : Metrics.branch_stat option;
+  bj_opt : Metrics.branch_stat option;
+  bj_meld : int option;
+      (** [m_index] of the meld that claimed this branch, if any *)
+}
+
+(** One applied meld with the divergence counters of its claimed
+    branches aggregated from both runs. *)
+type meld_row = {
+  mr_meld : Pass.meld_record;
+  mr_claimed : string list;
+      (** subsumed branch ids claimed by this meld (first claim in
+          application order wins), sorted *)
+  mr_base_divergences : int;
+  mr_opt_divergences : int;
+  mr_base_cycles : int;  (** divergent-arm issue cycles, baseline *)
+  mr_opt_cycles : int;  (** divergent-arm issue cycles, optimized *)
+  mr_base_lost : int;  (** idle-lane cycles, baseline *)
+  mr_opt_lost : int;  (** idle-lane cycles, optimized *)
+}
+
+(** [mr_base_cycles - mr_opt_cycles]: the divergent-arm cycles this
+    meld eliminated. *)
+val meld_saved : meld_row -> int
+
+type t = {
+  rp_kernel : string;
+  rp_block_size : int;
+  rp_seed : int;
+  rp_n : int;
+  rp_correct : bool;
+  rp_rewrites : int;  (** melds applied by the pass *)
+  rp_pass_ms : float;  (** wall-clock ms inside the pass pipeline *)
+  rp_base : Metrics.t;
+  rp_opt : Metrics.t;
+  rp_melds : meld_row list;  (** in application order *)
+  rp_branches : branch_join list;  (** sorted by branch id *)
+}
+
+(** Total cycle delta, [base - opt]; positive = the pass helped. *)
+val delta : t -> int
+
+(** [delta t - sum(meld_saved)]: cycles explained by melded-path
+    execution, reconvergence overhead and secondary effects rather than
+    by any single meld.  [sum(meld_saved) + residual = delta] exactly. *)
+val residual : t -> int
+
+(** True when the baseline run never split a warp and no meld was
+    applied — the renderers then say so instead of emitting an empty
+    table. *)
+val no_divergence : t -> bool
+
+(** Assemble a report from raw pieces (exposed so the tests can build
+    synthetic inputs without running kernels).  Claims branches to
+    melds and builds the joined branch table. *)
+val build :
+  kernel:string ->
+  block_size:int ->
+  seed:int ->
+  n:int ->
+  correct:bool ->
+  rewrites:int ->
+  pass_ms:float ->
+  base:Metrics.t ->
+  opt:Metrics.t ->
+  melds:Pass.meld_record list ->
+  t
+
+(** Run [kernel] baseline-vs-DARM at [block_size] (capturing the pass's
+    provenance) and assemble the attribution report.  Deterministic:
+    identical inputs produce identical reports. *)
+val compute :
+  ?config:Pass.config ->
+  ?seed:int ->
+  ?n:int ->
+  Kernel.t ->
+  block_size:int ->
+  t
+
+(** [compute] over several (kernel, block size) points on the domain
+    pool; results come back in input order for any [jobs], so rendered
+    output is byte-identical across pool sizes. *)
+val compute_many :
+  ?jobs:int ->
+  ?config:Pass.config ->
+  ?seed:int ->
+  ?n:int ->
+  (Kernel.t * int) list ->
+  t list
+
+(** {2 Renderers} — all three are pure functions of the report. *)
+
+val to_text : t -> string
+val to_markdown : t -> string
+
+(** Single-report JSON document: [{"schema":"darm-report-v1",...}]. *)
+val to_json : t -> Darm_obs.Json.t
+
+(** Multi-report document:
+    [{"schema":"darm-report-v1","reports":[...]}]. *)
+val many_to_json : t list -> Darm_obs.Json.t
+
+(** Export both runs' counters into a metrics registry, labelled
+    [kernel=<tag>], [run=base|opt] (plus the per-branch series of
+    {!Metrics.fill_registry}). *)
+val fill_metrics : Darm_obs.Metrics_registry.t -> t -> unit

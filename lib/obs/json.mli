@@ -20,6 +20,11 @@ type t =
     [null]. *)
 val to_buffer : Buffer.t -> t -> unit
 
+(** The emitter's deterministic float formatting (shortest decimal that
+    round-trips) — shared with the Prometheus exposition of
+    {!Metrics_registry} so every serialized number prints one way. *)
+val float_repr : float -> string
+
 val to_string : t -> string
 
 (** Parse one JSON document (surrounding whitespace allowed).  Numbers

@@ -1,0 +1,299 @@
+(* Typed metrics registry with deterministic snapshots and JSON /
+   Prometheus exposition.  See metrics_registry.mli for the model. *)
+
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(* duplicate keys: last binding wins, then sort by key for a canonical
+   series identity *)
+let normalize_labels (ls : labels) : labels =
+  let tbl = Hashtbl.create (List.length ls) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) ls;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* one time series: a (name, labels) cell *)
+type cell = {
+  mutable c_value : float;  (* counter/gauge value; histogram sum *)
+  mutable c_count : int;  (* histogram samples *)
+  c_bounds : float array;  (* histogram upper bounds, [||] otherwise *)
+  c_bucket_counts : int array;  (* per-bound non-cumulative counts *)
+}
+
+type fam = {
+  fam_kind : kind;
+  mutable fam_help : string;
+  fam_cells : (labels, cell) Hashtbl.t;
+}
+
+type t = { fams : (string, fam) Hashtbl.t }
+
+let create () : t = { fams = Hashtbl.create 16 }
+
+let default_buckets =
+  [ 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500.; 5000. ]
+
+let family (t : t) (name : string) (kind : kind) : fam =
+  match Hashtbl.find_opt t.fams name with
+  | Some f ->
+      if f.fam_kind <> kind then
+        invalid_arg
+          (Printf.sprintf
+             "Metrics_registry: %S is a %s, used as a %s" name
+             (kind_to_string f.fam_kind) (kind_to_string kind));
+      f
+  | None ->
+      let f = { fam_kind = kind; fam_help = ""; fam_cells = Hashtbl.create 4 } in
+      Hashtbl.replace t.fams name f;
+      f
+
+let cell (f : fam) (labels : labels) (bounds : float array) : cell =
+  let labels = normalize_labels labels in
+  match Hashtbl.find_opt f.fam_cells labels with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          c_value = 0.;
+          c_count = 0;
+          c_bounds = bounds;
+          c_bucket_counts = Array.make (Array.length bounds) 0;
+        }
+      in
+      Hashtbl.replace f.fam_cells labels c;
+      c
+
+let inc (t : t) ?(labels = []) ?(by = 1.) (name : string) : unit =
+  if by < 0. then
+    invalid_arg
+      (Printf.sprintf "Metrics_registry.inc: counter %S decremented by %g"
+         name by);
+  let c = cell (family t name Counter) labels [||] in
+  c.c_value <- c.c_value +. by
+
+let set (t : t) ?(labels = []) (name : string) (v : float) : unit =
+  let c = cell (family t name Gauge) labels [||] in
+  c.c_value <- v
+
+let observe (t : t) ?(labels = []) ?(buckets = default_buckets)
+    (name : string) (v : float) : unit =
+  let bounds =
+    List.sort_uniq compare (List.filter Float.is_finite buckets)
+    |> Array.of_list
+  in
+  let c = cell (family t name Histogram) labels bounds in
+  c.c_value <- c.c_value +. v;
+  c.c_count <- c.c_count + 1;
+  (* first finite bound >= v; a sample above every bound lands only in
+     the implicit +inf bucket *)
+  let n = Array.length c.c_bounds in
+  let rec place i =
+    if i < n then
+      if v <= c.c_bounds.(i) then
+        c.c_bucket_counts.(i) <- c.c_bucket_counts.(i) + 1
+      else place (i + 1)
+  in
+  place 0
+
+let help (t : t) (name : string) (text : string) : unit =
+  match Hashtbl.find_opt t.fams name with
+  | Some f -> if f.fam_help = "" then f.fam_help <- text
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type series = {
+  s_labels : labels;
+  s_value : float;
+  s_count : int;
+  s_buckets : (float * int) list;
+}
+
+type family = {
+  f_name : string;
+  f_kind : kind;
+  f_help : string;
+  f_series : series list;
+}
+
+let compare_labels (a : labels) (b : labels) : int =
+  compare a b
+
+let snapshot (t : t) : family list =
+  Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.fams []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, f) ->
+         let series =
+           Hashtbl.fold (fun ls c acc -> (ls, c) :: acc) f.fam_cells []
+           |> List.sort (fun (a, _) (b, _) -> compare_labels a b)
+           |> List.map (fun (ls, c) ->
+                  let buckets =
+                    if f.fam_kind <> Histogram then []
+                    else begin
+                      (* cumulative counts, +inf bucket last *)
+                      let acc = ref 0 in
+                      let finite =
+                        Array.to_list
+                          (Array.mapi
+                             (fun i b ->
+                               acc := !acc + c.c_bucket_counts.(i);
+                               (b, !acc))
+                             c.c_bounds)
+                      in
+                      finite @ [ (infinity, c.c_count) ]
+                    end
+                  in
+                  {
+                    s_labels = ls;
+                    s_value = c.c_value;
+                    s_count = c.c_count;
+                    s_buckets = buckets;
+                  })
+         in
+         {
+           f_name = name;
+           f_kind = f.fam_kind;
+           f_help = f.fam_help;
+           f_series = series;
+         })
+
+let cardinality (t : t) : int =
+  Hashtbl.fold (fun _ f acc -> acc + Hashtbl.length f.fam_cells) t.fams 0
+
+let find (t : t) ?(labels = []) (name : string) : float option =
+  match Hashtbl.find_opt t.fams name with
+  | None -> None
+  | Some f ->
+      Option.map
+        (fun c -> c.c_value)
+        (Hashtbl.find_opt f.fam_cells (normalize_labels labels))
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let labels_json (ls : labels) : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ls)
+
+let series_json (kind : kind) (s : series) : Json.t =
+  Json.Obj
+    (("labels", labels_json s.s_labels)
+     ::
+     (match kind with
+     | Counter | Gauge -> [ ("value", Json.Float s.s_value) ]
+     | Histogram ->
+         [
+           ("sum", Json.Float s.s_value);
+           ("count", Json.Int s.s_count);
+           ( "buckets",
+             Json.List
+               (List.map
+                  (fun (le, n) ->
+                    Json.Obj
+                      [
+                        ( "le",
+                          if Float.is_finite le then Json.Float le
+                          else Json.Str "+Inf" );
+                        ("count", Json.Int n);
+                      ])
+                  s.s_buckets) );
+         ]))
+
+let to_json (fams : family list) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "darm-metrics-v1");
+      ( "families",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 ([
+                    ("name", Json.Str f.f_name);
+                    ("kind", Json.Str (kind_to_string f.f_kind));
+                  ]
+                 @ (if f.f_help = "" then []
+                    else [ ("help", Json.Str f.f_help) ])
+                 @ [
+                     ( "series",
+                       Json.List (List.map (series_json f.f_kind) f.f_series)
+                     );
+                   ]))
+             fams) );
+    ]
+
+(* Prometheus text format 0.0.4.  Metric and label names pass through
+   unchanged (callers use [a-zA-Z_:][a-zA-Z0-9_:]* names); label values
+   escape backslash, double quote and newline. *)
+let prom_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels (b : Buffer.t) (ls : labels) : unit =
+  if ls <> [] then begin
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (prom_escape v);
+        Buffer.add_char b '"')
+      ls;
+    Buffer.add_char b '}'
+  end
+
+let prom_sample (b : Buffer.t) (name : string) (ls : labels) (v : string) :
+    unit =
+  Buffer.add_string b name;
+  prom_labels b ls;
+  Buffer.add_char b ' ';
+  Buffer.add_string b v;
+  Buffer.add_char b '\n'
+
+let le_repr (le : float) : string =
+  if Float.is_finite le then Json.float_repr le else "+Inf"
+
+let to_prometheus (fams : family list) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      if f.f_help <> "" then begin
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" f.f_name (prom_escape f.f_help))
+      end;
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" f.f_name (kind_to_string f.f_kind));
+      List.iter
+        (fun s ->
+          match f.f_kind with
+          | Counter | Gauge ->
+              prom_sample b f.f_name s.s_labels (Json.float_repr s.s_value)
+          | Histogram ->
+              List.iter
+                (fun (le, n) ->
+                  prom_sample b (f.f_name ^ "_bucket")
+                    (s.s_labels @ [ ("le", le_repr le) ])
+                    (string_of_int n))
+                s.s_buckets;
+              prom_sample b (f.f_name ^ "_sum") s.s_labels
+                (Json.float_repr s.s_value);
+              prom_sample b (f.f_name ^ "_count") s.s_labels
+                (string_of_int s.s_count))
+        f.f_series)
+    fams;
+  Buffer.contents b

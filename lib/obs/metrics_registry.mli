@@ -1,0 +1,94 @@
+(** Typed metrics registry: named counters, gauges and histograms with
+    string labels, exposed as deterministic snapshots in JSON or
+    Prometheus text format.
+
+    Where {!Trace} records {e when} things happened, the registry
+    records {e how much} — it is the aggregation layer behind the
+    per-branch divergence attribution of {!Darm_sim.Metrics} and the
+    [darm_opt report] tables (see doc/observability.md).
+
+    {b Typing.}  A metric name is bound to one kind (counter, gauge or
+    histogram) on first use; re-using the name with a different kind
+    raises [Invalid_argument].  Within one name, each distinct label
+    set is an independent time series (Prometheus's data model).
+
+    {b Determinism.}  A {!snapshot} orders families by metric name and
+    series by their label list, so two registries fed the same updates
+    — in any order — serialize to identical bytes.  No wall-clock time
+    enters a snapshot. *)
+
+type t
+
+(** Labels are (key, value) pairs; order and duplicates are
+    normalized away (sorted by key, last binding wins). *)
+type labels = (string * string) list
+
+val create : unit -> t
+
+(** {2 Updates} *)
+
+(** [inc t name] adds [by] (default [1.]) to the counter [name]
+    (registering it on first use).  Raises [Invalid_argument] if [by]
+    is negative — counters only go up — or if [name] is already bound
+    to another kind. *)
+val inc : t -> ?labels:labels -> ?by:float -> string -> unit
+
+(** [set t name v] sets the gauge [name] to [v]. *)
+val set : t -> ?labels:labels -> string -> float -> unit
+
+(** [observe t name v] records one sample into the histogram [name].
+    Buckets are fixed at registration: the [buckets] of the {e first}
+    [observe] for that name win; they are upper bounds, sorted and
+    deduplicated, with [+inf] implicit. *)
+val observe : t -> ?labels:labels -> ?buckets:float list -> string -> float -> unit
+
+(** Optional help text attached to a metric family (first writer wins;
+    emitted as the [# HELP] line of the Prometheus exposition).  A name
+    must be registered by an update before help can attach; help for an
+    unknown name is ignored. *)
+val help : t -> string -> string -> unit
+
+val default_buckets : float list
+
+(** {2 Snapshots} *)
+
+type kind = Counter | Gauge | Histogram
+
+type series = {
+  s_labels : labels;  (** normalized: sorted by key *)
+  s_value : float;  (** counter / gauge value; histogram sample sum *)
+  s_count : int;  (** histogram sample count (0 for counter/gauge) *)
+  s_buckets : (float * int) list;
+      (** histogram only: cumulative count per upper bound, the last
+          bound being [infinity]; [] for counter/gauge *)
+}
+
+type family = {
+  f_name : string;
+  f_kind : kind;
+  f_help : string;  (** "" when never set *)
+  f_series : series list;  (** sorted by label list *)
+}
+
+(** Deterministic view of the whole registry: families sorted by name,
+    series sorted by labels.  An empty registry yields [[]]. *)
+val snapshot : t -> family list
+
+(** Number of registered series across all families. *)
+val cardinality : t -> int
+
+(** Look up one series' value ([None] if the name/labels pair was
+    never written).  For histograms the value is the sample sum. *)
+val find : t -> ?labels:labels -> string -> float option
+
+(** {2 Exposition} *)
+
+(** [{"schema":"darm-metrics-v1","families":[...]}] — see
+    doc/schemas.md. *)
+val to_json : family list -> Json.t
+
+(** Prometheus text exposition format (version 0.0.4): [# HELP] /
+    [# TYPE] comments, one line per sample, histograms expanded into
+    [_bucket]/[_sum]/[_count] with a cumulative [le="+Inf"] bucket.
+    Ends with a newline; an empty snapshot yields [""]. *)
+val to_prometheus : family list -> string

@@ -8,12 +8,46 @@ cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
 
-# bench smoke pass; must leave a non-empty machine-readable summary
-rm -f BENCH_darm.json
+# bench smoke pass; must leave a non-empty machine-readable summary and
+# append an env-fingerprinted record to the bench history.  Two smoke
+# runs back to back give the regression sentinel an identical pair to
+# compare (cycle counts are deterministic, so the diff must be clean).
+rm -f BENCH_darm.json BENCH_history.jsonl
+dune exec bench/main.exe -- --smoke
 dune exec bench/main.exe -- --smoke
 test -s BENCH_darm.json
 grep -q '"schema":"darm-bench-v1"' BENCH_darm.json
 grep -q '"geomean_speedup"' BENCH_darm.json
+test -s BENCH_history.jsonl
+grep -q '"schema":"darm-bench-hist-v1"' BENCH_history.jsonl
+test "$(wc -l < BENCH_history.jsonl)" -eq 2
+
+# regression sentinel: the history must schema-validate, an identical
+# re-run must pass the diff, and a synthetically inflated candidate
+# (every opt_cycles gains a trailing zero = exact 10x) must trip it
+dune exec bin/darm_opt.exe -- bench-diff --validate-only
+dune exec bin/darm_opt.exe -- bench-diff
+hist_inflated=$(mktemp /tmp/darm_hist_inflated.XXXXXX.jsonl)
+sed 's/"opt_cycles":\([0-9]*\)/"opt_cycles":\10/g' BENCH_history.jsonl \
+  > "$hist_inflated"
+if dune exec bin/darm_opt.exe -- bench-diff \
+    --history "$hist_inflated" --baseline-history BENCH_history.jsonl; then
+  echo "ci: bench-diff sentinel failed to fire on 10x cycle inflation" >&2
+  rm -f "$hist_inflated"; exit 1
+fi
+rm -f "$hist_inflated"
+
+# divergence attribution: the report must be byte-identical for any
+# --jobs count, and must join melds with per-branch counters
+dune exec bin/darm_opt.exe -- report --all -j 1 > /tmp/darm_report_j1.txt
+dune exec bin/darm_opt.exe -- report --all -j 4 > /tmp/darm_report_j4.txt
+cmp /tmp/darm_report_j1.txt /tmp/darm_report_j4.txt
+grep -q 'per-meld attribution' /tmp/darm_report_j1.txt
+dune exec bin/darm_opt.exe -- report --kernel BIT --block-size 64 --json \
+  > /tmp/darm_report_bit.json
+grep -q '"schema":"darm-report-v1"' /tmp/darm_report_bit.json
+grep -q '"cycles_saved"' /tmp/darm_report_bit.json
+rm -f /tmp/darm_report_j1.txt /tmp/darm_report_j4.txt /tmp/darm_report_bit.json
 
 # sanity checkers: every registry kernel must be diagnostic-clean both
 # before and after melding (non-zero exit on any error diagnostic), and

@@ -263,6 +263,65 @@ let test_write_file_validates () =
       | exception Failure _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Counter events across pid tracks: sweep tasks get disjoint pid
+   namespaces (Profile.pid_stride apart), and the Chrome export must
+   keep each counter sample on its own track with its value intact. *)
+
+let test_chrome_counter_tracks () =
+  let stride = Profile.pid_stride in
+  let pids = [ 0; stride; 2 * stride ] in
+  let tr =
+    Trace.merge
+      (List.map
+         (fun pid ->
+           let t = Trace.create () in
+           Trace.counter t ~cat:"sim" "block.cycles" (float_of_int (pid + 7));
+           Trace.shift_pid t pid;
+           t)
+         pids)
+  in
+  let doc = Export.to_chrome tr in
+  ignore (check_chrome_schema doc);
+  let evs =
+    match Json.parse doc with
+    | Ok j -> (
+        match Json.member "traceEvents" j with
+        | Some (Json.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents")
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  let counters =
+    List.filter (fun e -> Json.member "ph" e = Some (Json.Str "C")) evs
+  in
+  Alcotest.(check int) "one counter per track" (List.length pids)
+    (List.length counters);
+  let got_pids =
+    List.filter_map (fun e ->
+        match Json.member "pid" e with Some (Json.Int p) -> Some p | _ -> None)
+      counters
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "pid namespaces preserved" pids got_pids;
+  (* each sample's value must ride in args under the "value" key
+     (the Trace.counter convention; Perfetto plots one series per
+     args key, so every counter here is a single-series track) *)
+  List.iter
+    (fun e ->
+      let pid =
+        match Json.member "pid" e with Some (Json.Int p) -> p | _ -> -1
+      in
+      match Json.member "args" e with
+      | Some args -> (
+          match Json.member "value" args with
+          | Some (Json.Float v) ->
+              Alcotest.(check (float 0.0)) "counter value"
+                (float_of_int (pid + 7))
+                v
+          | Some (Json.Int v) ->
+              Alcotest.(check int) "counter value" (pid + 7) v
+          | _ -> Alcotest.fail "counter args missing sample value")
+      | None -> Alcotest.fail "counter event without args")
+    counters
 
 let suites =
   [
@@ -282,6 +341,8 @@ let suites =
         Alcotest.test_case "jsonl: rejects incomplete events" `Quick
           test_jsonl_rejects_incomplete;
         Alcotest.test_case "chrome: schema" `Quick test_chrome_schema;
+        Alcotest.test_case "chrome: counter events across pid tracks" `Quick
+          test_chrome_counter_tracks;
         Alcotest.test_case "profile: pass + sim events present" `Quick
           test_profile_point_events;
         Alcotest.test_case "profile: pid track conventions" `Quick
