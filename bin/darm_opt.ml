@@ -486,70 +486,226 @@ let check_cmd =
       $ check_pass_arg $ all_flag $ json_flag)
 
 let fuzz_cmd =
+  let module O = Darm_fuzz.Oracle in
+  let module G = Darm_fuzz.Gen in
+  let module M = Darm_fuzz.Mutate in
+  let module Sh = Darm_fuzz.Shrink in
+  let module Corpus = Darm_fuzz.Corpus in
   let count =
     Arg.(value & opt int 50 & info [ "count" ] ~docv:"N"
-           ~doc:"Number of random kernels per pipeline.")
+           ~doc:"Number of generator seeds to run through the oracle.")
   in
-  let run count jobs =
-    let module RK = Darm_kernels.Random_kernel in
-    let pipelines =
-      [
-        ("darm", fun f -> ignore (Darm_core.Pass.run ~verify_each:true f));
-        ("branch-fusion",
-         fun f -> ignore (Darm_core.Pass.run_branch_fusion ~verify_each:true f));
-        ("tail-merge",
-         fun f ->
-           ignore (Darm_transforms.Tail_merge.run f);
-           Darm_ir.Verify.run_exn f);
-        ("unroll+darm",
-         fun f ->
-           ignore (Darm_transforms.Loop_unroll.run ~max_trip:8 f);
-           ignore (Darm_core.Pass.run ~verify_each:true f));
-        ("darm-align",
-         fun f ->
-           ignore
-             (Darm_core.Pass.run
-                ~config:
-                  { Darm_core.Pass.default_config with
-                    pairing = Darm_core.Pass.Alignment }
-                ~verify_each:true f));
-        ("full+ifconv",
-         fun f ->
-           ignore (Darm_transforms.Simplify_cfg.run f);
-           ignore (Darm_transforms.Constfold.run f);
-           ignore (Darm_core.Pass.run ~verify_each:true f);
-           ignore (Darm_transforms.Simplify_cfg.if_convert f);
-           ignore (Darm_transforms.Dce.run f);
-           Darm_ir.Verify.run_exn f);
-      ]
-    in
-    let failures = ref 0 in
+  let seed_start =
+    Arg.(value & opt int 0 & info [ "seed-start" ] ~docv:"S"
+           ~doc:"First generator seed of the range.")
+  in
+  let fuzz_block_size =
+    Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~docv:"N"
+           ~doc:"Thread-block size of the generated launches.")
+  in
+  let budget =
+    Arg.(value & opt (some float) None & info [ "budget-s" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget; no new seed chunk starts past the \
+                 deadline, so a generous budget never changes the outcome.")
+  in
+  let features =
+    Arg.(value & opt string "all" & info [ "features" ] ~docv:"SPEC"
+           ~doc:"Generator features: $(b,all), $(b,none), or a comma list \
+                 drawn from loops-uniform, loops-divergent, barriers, \
+                 shared-tile, nested-diamonds, switch-ladders.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Small generator profile (shallow nesting, short blocks).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"TAG"
+           ~doc:"Inject a seeded bug (XBAR, XRACE or XRW) into every \
+                 generated kernel; the oracle must flag each one, so the \
+                 exit status is non-zero exactly when detection works.")
+  in
+  let minimize =
+    Arg.(value & flag & info [ "minimize" ]
+           ~doc:"Delta-debug each failing seed to a minimal repro.")
+  in
+  let corpus_dir =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"With $(b,--minimize): save each shrunk repro to DIR as a \
+                 replayable corpus entry.")
+  in
+  let replay_dir =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"DIR"
+           ~doc:"Replay a corpus directory instead of generating kernels; \
+                 every entry must match its recorded expectation.")
+  in
+  let replay dir =
+    let entries = Corpus.load_dir dir in
+    if entries = [] then begin
+      Printf.eprintf "no corpus entries under %s\n" dir;
+      exit 2
+    end;
+    let bad = ref 0 in
     List.iter
-      (fun (name, transform) ->
-        (* seeds fan out over the domain pool; outcomes come back in
-           seed order, so the failure report is deterministic *)
-        let outcomes =
-          Darm_harness.Parallel_sweep.map ?jobs
-            (fun seed -> RK.check_transform ~seed ~block_size:64 ~transform ())
-            (List.init count Fun.id)
+      (fun (file, e) ->
+        match e with
+        | Error msg ->
+            incr bad;
+            Printf.printf "REPLAY %s: bad entry: %s\n" file msg
+        | Ok entry -> (
+            match Corpus.replay entry with
+            | Ok () ->
+                Printf.printf "REPLAY %s: ok (%s)\n" file
+                  (Corpus.expectation_to_string entry.Corpus.en_expect)
+            | Error msg ->
+                incr bad;
+                Printf.printf "REPLAY %s: %s\n" file msg))
+      entries;
+    Printf.printf "fuzz replay: %d entries, %d bad\n" (List.length entries)
+      !bad;
+    if !bad > 0 then exit 1
+  in
+  let seed_of_subject name =
+    let stem =
+      match String.index_opt name '+' with
+      | Some i -> String.sub name 0 i
+      | None -> name
+    in
+    if String.length stem > 5 && String.sub stem 0 5 = "fuzz_" then
+      int_of_string_opt (String.sub stem 5 (String.length stem - 5))
+    else None
+  in
+  let shrink_failure ~cfg ~inject ~block_size ~corpus_dir (fl : O.failure) =
+    match seed_of_subject fl.O.fl_subject with
+    | None ->
+        Printf.printf "MINIMIZE %s: cannot recover seed\n" fl.O.fl_subject
+    | Some seed ->
+        let f = G.generate ~cfg ~seed () in
+        (match inject with
+        | Some bug -> (
+            match M.inject bug f with
+            | Ok () -> ()
+            | Error e -> failwith ("inject: " ^ e))
+        | None -> ());
+        let text0 = Darm_ir.Printer.func_to_string f in
+        let key0 = O.failure_key fl in
+        let stages =
+          List.filter
+            (fun st -> st.O.st_name = fl.O.fl_stage)
+            O.default_stages
         in
-        let bad =
-          List.filter_map
-            (function Error e -> Some e | Ok () -> None)
-            outcomes
+        (* only spend simulations on warp sizes that can reproduce the
+           recorded failure *)
+        let warps =
+          if
+            String.length fl.O.fl_detail >= 7
+            && String.sub fl.O.fl_detail 0 7 = "warp=64"
+          then [ 64 ]
+          else O.warp_sizes
         in
-        List.iter (fun e -> Printf.printf "FAIL [%s] %s\n" name e) bad;
-        failures := !failures + List.length bad;
-        Printf.printf "%-14s %d/%d ok\n" name (count - List.length bad) count)
-      pipelines;
-    if !failures > 0 then exit 1
+        let still_failing t =
+          let subj =
+            O.subject_of_text ~name:fl.O.fl_subject ~block_size
+              ~n:cfg.G.array_size ~input_seed:seed t
+          in
+          List.exists
+            (fun f' -> O.failure_key f' = key0)
+            (O.run_subject ~stages ~warps subj)
+        in
+        let r = Sh.minimize ~still_failing text0 in
+        Printf.printf "MINIMIZED subject=%s key=%s blocks=%d steps=%d\n%s"
+          fl.O.fl_subject key0 r.Sh.sh_blocks r.Sh.sh_steps r.Sh.sh_text;
+        Option.iter
+          (fun dir ->
+            let entry =
+              {
+                Corpus.en_name =
+                  String.map
+                    (fun c -> if c = '+' then '-' else c)
+                    fl.O.fl_subject;
+                en_seed = seed;
+                en_block_size = block_size;
+                en_n = cfg.G.array_size;
+                en_input_seed = seed;
+                en_expect =
+                  Corpus.Fail { stage = fl.O.fl_stage; kind = fl.O.fl_kind };
+                en_note =
+                  Some
+                    (Printf.sprintf
+                       "shrunk by darm_opt fuzz --minimize in %d steps"
+                       r.Sh.sh_steps);
+                en_text = r.Sh.sh_text;
+              }
+            in
+            Printf.printf "CORPUS %s\n" (Corpus.save ~dir entry))
+          corpus_dir
+  in
+  let run count seed_start block_size jobs budget_s features smoke inject
+      minimize corpus_dir replay_dir =
+    match replay_dir with
+    | Some dir -> replay dir
+    | None ->
+        let features =
+          match G.features_of_string features with
+          | Ok fs -> fs
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              exit 2
+        in
+        let cfg =
+          { (if smoke then G.smoke_cfg else G.default_cfg) with G.features }
+        in
+        let inject =
+          Option.map
+            (fun tag ->
+              match M.of_tag tag with
+              | Some b -> b
+              | None ->
+                  Printf.eprintf "unknown bug tag %s (XBAR, XRACE, XRW)\n"
+                    tag;
+                  exit 2)
+            inject
+        in
+        let seeds = List.init count (fun i -> seed_start + i) in
+        let sum =
+          O.run_seeds ?jobs ?budget_s ~cfg ?inject ~block_size ~seeds ()
+        in
+        List.iter
+          (fun fl -> print_endline (O.failure_to_string fl))
+          sum.O.sm_failures;
+        (if minimize then
+           (* one shrink per failing subject, in seed order *)
+           let firsts =
+             List.rev
+               (List.fold_left
+                  (fun acc (fl : O.failure) ->
+                    if
+                      List.exists
+                        (fun (o : O.failure) ->
+                          o.O.fl_subject = fl.O.fl_subject)
+                        acc
+                    then acc
+                    else fl :: acc)
+                  [] sum.O.sm_failures)
+           in
+           List.iter
+             (shrink_failure ~cfg ~inject ~block_size ~corpus_dir)
+             firsts);
+        Printf.printf "fuzz: %d/%d seed(s), %d failure(s)%s\n"
+          sum.O.sm_seeds_run sum.O.sm_seeds_total
+          (List.length sum.O.sm_failures)
+          (if sum.O.sm_budget_exhausted then " [budget exhausted]" else "");
+        if sum.O.sm_failures <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random divergent kernels must behave \
-          identically before and after every transformation.")
-    Term.(const run $ count $ jobs_arg)
+         "Generative conformance fuzzing: structured random kernels (loops, \
+          barriers, shared tiles, nested diamonds) run through every \
+          pipeline stage under a lockstep differential oracle; failures \
+          shrink to minimal corpus repros.")
+    Term.(
+      const run $ count $ seed_start $ fuzz_block_size $ jobs_arg $ budget
+      $ features $ smoke $ inject $ minimize $ corpus_dir $ replay_dir)
 
 let report_cmd =
   let module Report = Darm_harness.Report in

@@ -507,24 +507,41 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
           (fun i -> i.op <> Op.Phi && not (Op.is_terminator i.op))
           blk.instrs
       in
-      (* find first maximal same-side gap run *)
+      (* find first maximal same-side gap run; also return the scan
+         position after it so pure runs can be skipped *)
       let rec find_run acc side = function
         | i :: tl -> (
             match Hashtbl.find_opt env.provenance i.id with
             | Some (Gap s) when side = None || side = Some s ->
                 find_run (i :: acc) (Some s) tl
-            | _ -> if acc = [] then find_run [] None tl else (List.rev acc, side)
-            )
-        | [] -> (List.rev acc, side)
+            | _ ->
+                if acc = [] then find_run [] None tl
+                else (List.rev acc, side, i :: tl))
+        | [] -> (List.rev acc, side, [])
       in
-      let run_instrs, side = find_run [] None body_instrs in
-      let must_move =
-        run_instrs <> []
-        && (unpredicate
-           || List.exists (fun i -> Op.unsafe_to_speculate i.op) run_instrs)
+      (* the first run that must move: every run when unpredicating,
+         otherwise only runs containing unsafe-to-speculate
+         instructions — a pure run may stay in line, but scanning must
+         continue past it, or an unsafe load/store behind it would be
+         left to execute speculatively *)
+      let rec find_movable = function
+        | [] -> None
+        | instrs -> (
+            match find_run [] None instrs with
+            | [], _, _ -> None
+            | run, side, rest ->
+                if
+                  unpredicate
+                  || List.exists
+                       (fun i -> Op.unsafe_to_speculate i.op)
+                       run
+                then Some (run, side)
+                else find_movable rest)
       in
-      if not must_move then continue_ := false
-      else begin
+      match find_movable body_instrs with
+      | None -> continue_ := false
+      | Some (run_instrs, side) ->
+      begin
         let side = match side with Some s -> s | None -> assert false in
         let run_ids = List.map (fun i -> i.id) run_instrs in
         (* split blk into head / guard / tail *)

@@ -1,0 +1,128 @@
+(** Lockstep differential oracle: the conformance subsystem's judge.
+
+    A {!subject} (a generated, mutated, or corpus kernel over two global
+    arrays) is put through the full matrix:
+
+    - {b verifier} — the IR must be well-formed;
+    - {b checkers} — {!Darm_checks.Checker} must report no error
+      diagnostics on the untransformed kernel (kernels that fail here
+      are reported and never executed — they are the mutation-kill
+      targets);
+    - {b schedule independence} — the untransformed kernel runs at warp
+      sizes 64, 16 and 4 and the final memory images must agree
+      (race-free kernels are schedule-independent; the warp size is the
+      schedule knob);
+    - {b every pipeline stage} — cleanups, tail merging, branch fusion,
+      and DARM with and without unpredication (melding stages run under
+      [Vfail] translation validation): each transformed kernel must
+      verify, mint no new checker errors, and reproduce the baseline
+      memory image at every warp size;
+    - {b metrics invariants} — for melding stages, the per-branch
+      divergence attribution must stay consistent: branch splits sum to
+      the aggregate divergence counter in both runs, all counters are
+      non-negative, and the per-meld cycles-saved rows of
+      {!Darm_harness.Report} plus the residual equal the total cycle
+      delta exactly.
+
+    Everything is deterministic: the same subject yields the same
+    failure list, whatever the parallelism, so [darm_opt fuzz] reports
+    byte-identical failure sets at any [--jobs] count. *)
+
+open Darm_ir
+
+(** {2 Subjects} *)
+
+type subject = {
+  sb_name : string;
+  sb_fresh : unit -> Ssa.func;
+      (** a {e fresh} copy per call — transformations mutate in place *)
+  sb_block_size : int;
+  sb_n : int;  (** element count of each of the two arrays *)
+  sb_input_seed : int;  (** seed of the deterministic array contents *)
+}
+
+(** A generated kernel (optionally with an injected bug).  Raises
+    [Invalid_argument] when [cfg.array_size < block_size]: threads of
+    one block would then share output cells, the kernel would race
+    against itself, and the schedule oracle would report phantom
+    failures. *)
+val subject_of_seed :
+  ?cfg:Gen.cfg -> ?inject:Mutate.bug -> block_size:int -> seed:int -> unit ->
+  subject
+
+(** A kernel stored as printed IR (corpus entries, shrink candidates).
+    The text must hold exactly one kernel taking two global pointer
+    parameters; parse errors surface as [crash] failures. *)
+val subject_of_text :
+  name:string ->
+  block_size:int ->
+  n:int ->
+  input_seed:int ->
+  string ->
+  subject
+
+(** {2 Pipeline stages} *)
+
+type stage = {
+  st_name : string;
+  st_apply : Ssa.func -> Darm_core.Pass.stats option;
+      (** returns the pass statistics for melding stages (their meld
+          provenance feeds the metrics invariants) *)
+}
+
+(** cleanups, tail-merge, branch-fusion, darm, darm-nounpred — melding
+    stages under [Vfail] translation validation. *)
+val default_stages : stage list
+
+val warp_sizes : int list
+(** [64; 16; 4] *)
+
+(** {2 Failures} *)
+
+type failure = {
+  fl_subject : string;
+  fl_stage : string;  (** ["base"] or a stage name *)
+  fl_kind : string;
+      (** [verifier], [checker:<id>], [checker-regression:<id>], [tv],
+          [schedule], [mismatch], [metrics], [crash] *)
+  fl_detail : string;
+}
+
+(** [stage/kind] — the shrinker's failure signature. *)
+val failure_key : failure -> string
+
+(** One deterministic line: [FAIL subject=.. stage=.. kind=.. :: detail]. *)
+val failure_to_string : failure -> string
+
+(** {2 Running} *)
+
+(** Run one subject through the matrix; [[]] means fully conformant.
+    [warps] (default {!warp_sizes}) narrows the schedule sweep — the
+    shrinker passes [[64]] so each candidate costs two simulations
+    instead of six. *)
+val run_subject :
+  ?stages:stage list -> ?warps:int list -> subject -> failure list
+
+type summary = {
+  sm_failures : failure list;  (** in seed order *)
+  sm_seeds_run : int;
+  sm_seeds_total : int;
+  sm_budget_exhausted : bool;
+}
+
+(** Fan a seed range over the domain pool ({!Darm_harness.Parallel_sweep});
+    failures come back in seed order for any [jobs].  [budget_s] bounds
+    wall-clock time: the seed list is processed in deterministic chunks
+    and no new chunk starts past the deadline (so a generous budget
+    never changes the outcome, and [sm_budget_exhausted] says when the
+    range was cut short). *)
+val run_seeds :
+  ?jobs:int ->
+  ?stages:stage list ->
+  ?cfg:Gen.cfg ->
+  ?inject:Mutate.bug ->
+  ?budget_s:float ->
+  block_size:int ->
+  seeds:int list ->
+  unit ->
+  summary

@@ -71,6 +71,28 @@ fi
 grep -q '"id":"shared-race-rw"' /tmp/darm_check_xrw.json
 rm -f /tmp/darm_check_xbar.json /tmp/darm_check_xrace.json /tmp/darm_check_xrw.json
 
+# generative conformance fuzzing (doc/fuzzing.md): a time-boxed oracle
+# matrix sweep (DARM_FUZZ_BUDGET seconds, smoke default), the regression
+# corpus replayed against its recorded expectations, a --jobs
+# determinism diff, and a mutation-kill probe — the oracle must flag a
+# deliberately re-broken kernel
+fuzz_budget="${DARM_FUZZ_BUDGET:-30}"
+dune exec bin/darm_opt.exe -- fuzz --smoke --count 200 \
+  --budget-s "$fuzz_budget" --jobs 4
+dune exec bin/darm_opt.exe -- fuzz --replay test/corpus
+dune exec bin/darm_opt.exe -- fuzz --smoke --count 10 --jobs 1 \
+  > /tmp/darm_fuzz_j1.txt
+dune exec bin/darm_opt.exe -- fuzz --smoke --count 10 --jobs 4 \
+  > /tmp/darm_fuzz_j4.txt
+cmp /tmp/darm_fuzz_j1.txt /tmp/darm_fuzz_j4.txt
+rm -f /tmp/darm_fuzz_j1.txt /tmp/darm_fuzz_j4.txt
+if dune exec bin/darm_opt.exe -- fuzz --smoke --count 5 --inject XBAR \
+    > /tmp/darm_fuzz_inject.txt; then
+  echo "ci: fuzz oracle missed an injected XBAR bug" >&2; exit 1
+fi
+grep -q 'checker:barrier-divergence' /tmp/darm_fuzz_inject.txt
+rm -f /tmp/darm_fuzz_inject.txt
+
 # observability: profile one kernel end to end and validate the trace
 trace=$(mktemp /tmp/darm_trace.XXXXXX.json)
 trap 'rm -f "$trace"' EXIT

@@ -1,0 +1,13 @@
+; darm-corpus-v1 name=fuzz_3-XBAR seed=3 input_seed=3 block_size=64 n=128 expect=fail/base/checker:barrier-divergence
+; note: shrunk by darm_opt fuzz --minimize in 11 steps
+kernel @fuzz_3(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = thread.idx
+  %1 = icmp slt %0, 0
+  condbr %1, xbar_sync, xbar_join
+xbar_sync:
+  syncthreads
+  br xbar_join
+xbar_join:
+  ret
+}

@@ -1,0 +1,9 @@
+; darm-corpus-v1 name=fuzz_3-XRACE seed=3 input_seed=3 block_size=64 n=128 expect=fail/base/checker:shared-race-ww
+; note: shrunk by darm_opt fuzz --minimize in 15 steps
+kernel @fuzz_3(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = gep %0, 0
+  store 0, %1
+  ret
+}

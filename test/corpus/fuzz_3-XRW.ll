@@ -1,0 +1,13 @@
+; darm-corpus-v1 name=fuzz_3-XRW seed=3 input_seed=3 block_size=64 n=128 expect=fail/base/checker:shared-race-rw
+; note: shrunk by darm_opt fuzz --minimize in 14 steps
+kernel @fuzz_3(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = gep %0, 0
+  store 0, %1
+  %2 = gep %0, 0
+  %3 = load i32, %2
+  %4 = gep %b, 0
+  store %3, %4
+  ret
+}

@@ -1,0 +1,27 @@
+; darm-corpus-v1 name=gen-barriers seed=1 input_seed=1 block_size=64 n=128 expect=pass
+; note: generator feature class: block-uniform guarded barriers fencing shared-tile writes
+kernel @fuzz_1(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = thread.idx
+  %2 = block.dim
+  %3 = block.idx
+  %4 = mul %3, %2
+  %5 = add %4, %1
+  %6 = gep %b, 0
+  %7 = and %1, 0
+  syncthreads
+  %8 = gep %0, %7
+  store 0, %8
+  syncthreads
+  %9 = smin %5, 34
+  %10 = icmp sgt 29, %9
+  condbr %10, if.then.4, if.end.4
+if.then.4:
+  br if.end.4
+if.end.4:
+  %11 = phi i32 [0, if.then.4], [%1, entry]
+  %12 = xor %11, 0
+  store %12, %6
+  ret
+}

@@ -1,0 +1,20 @@
+; darm-corpus-v1 name=gen-loops seed=1 input_seed=1 block_size=64 n=128 expect=pass
+; note: generator feature class: loops (uniform + divergent trip)
+kernel @fuzz_1(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = thread.idx
+  %1 = gep %b, 0
+  %2 = xor %0, 0
+  %3 = and %2, 3
+  br while.head
+while.head:
+  %4 = phi i32 [%6, while.body], [0, entry]
+  %5 = icmp slt %4, %3
+  condbr %5, while.body, while.end
+while.body:
+  %6 = add %4, 1
+  br while.head
+while.end:
+  store 0, %1
+  ret
+}

@@ -1,0 +1,31 @@
+; darm-corpus-v1 name=gen-nested-diamonds seed=2 input_seed=2 block_size=64 n=128 expect=pass
+; note: generator feature class: nested and sequential diamonds
+kernel @fuzz_2(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = thread.idx
+  %1 = gep %b, 0
+  %2 = gep %a, 0
+  %3 = load i32, %2
+  %4 = smax 0, %3
+  %5 = icmp sle 0, %4
+  condbr %5, if.then.3, if.end.3
+if.then.3:
+  %6 = gep %a, 0
+  %7 = load i32, %6
+  %8 = and %0, 127
+  %9 = gep %a, %8
+  %10 = load i32, %9
+  %11 = smin %10, %7
+  %12 = gep %a, 0
+  %13 = load i32, %12
+  %14 = and %0, %13
+  %15 = icmp sgt %11, %14
+  condbr %15, if.end.3, if.else.2
+if.end.3:
+  %16 = phi i32 [%0, entry], [0, if.else.2], [0, if.then.3]
+  %17 = xor %16, 0
+  store %17, %1
+  ret
+if.else.2:
+  br if.end.3
+}

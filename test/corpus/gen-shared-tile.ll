@@ -1,0 +1,34 @@
+; darm-corpus-v1 name=gen-shared-tile seed=1 input_seed=1 block_size=64 n=128 expect=pass
+; note: generator feature class: shared tile with affine tid addressing
+kernel @fuzz_1(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = thread.idx
+  %2 = gep %b, 0
+  %3 = block.dim
+  %4 = sdiv 0, %3
+  %5 = smax %4, 0
+  br while.head
+while.head:
+  %6 = icmp slt 0, %5
+  condbr %6, while.body, while.end
+while.body:
+  %7 = and %1, 0
+  %8 = gep %0, %7
+  store 0, %8
+  br while.head
+while.end:
+  %9 = gep %a, 0
+  %10 = load i32, %9
+  %11 = xor 0, %1
+  %12 = icmp slt 0, %11
+  condbr %12, if.end.1, if.else
+if.else:
+  br if.end.1
+if.end.1:
+  %13 = phi i32 [%1, if.else], [%10, while.end]
+  %14 = add %13, %1
+  %15 = xor %14, 0
+  store %15, %2
+  ret
+}

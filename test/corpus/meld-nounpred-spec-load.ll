@@ -1,0 +1,53 @@
+; darm-corpus-v1 name=meld-nounpred-spec-load seed=5 input_seed=5 block_size=64 n=128 expect=pass
+; note: regression: DARM with unpredicate=false left an unsafe-to-speculate load inline behind a pure gap run (speculative execution crashed wrong-side lanes); fixed by scanning past pure runs in unpredicate_block
+kernel @fuzz_5(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = thread.idx
+  %2 = gep %b, 0
+  %3 = block.dim
+  %4 = sdiv 0, %3
+  %5 = smax %4, 1
+  br while.head
+while.head:
+  %6 = phi i32 [%10, while.body], [0, entry]
+  %7 = icmp slt %6, %5
+  condbr %7, while.body, while.end
+while.body:
+  %8 = and %1, 127
+  %9 = gep %0, %8
+  store 0, %9
+  %10 = add %6, 1
+  br while.head
+while.end:
+  %11 = add %1, %1
+  %12 = xor 0, %11
+  %13 = smax %12, 0
+  %14 = add 40, %13
+  %15 = and %14, 127
+  %16 = gep %0, %15
+  %17 = load i32, %16
+  %18 = and %1, 0
+  %19 = icmp eq %18, 2
+  condbr %19, if.then.31, if.else.30
+if.then.31:
+  %20 = and %14, 0
+  %21 = gep %a, %20
+  %22 = load i32, %21
+  %23 = xor 0, %22
+  %24 = xor %23, 0
+  store 0, %2
+  br if.end.31
+if.else.30:
+  %25 = smax %17, %1
+  %26 = and %25, 0
+  store %26, %2
+  br if.end.31
+if.end.31:
+  %27 = phi i32 [%17, if.else.30], [%24, if.then.31]
+  %28 = xor 0, %27
+  %29 = add %28, %14
+  store %29, %2
+  ret
+}
+

@@ -1,0 +1,65 @@
+; darm-corpus-v1 name=meld-nounpred-spec-store seed=8 input_seed=8 block_size=64 n=128 expect=pass
+; note: regression: DARM with unpredicate=false left an unsafe gap run with a store inline, so wrong-side lanes executed it speculatively and corrupted output; fixed by scanning past pure runs in unpredicate_block
+kernel @fuzz_8(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = thread.idx
+  %2 = gep %b, 0
+  %3 = block.dim
+  %4 = sdiv 0, %3
+  %5 = smax %4, 1
+  br while.head
+while.head:
+  %6 = phi i32 [%10, while.body], [0, entry]
+  %7 = icmp slt %6, %5
+  condbr %7, while.body, while.end
+while.body:
+  %8 = and %1, 0
+  %9 = gep %0, %8
+  store 0, %9
+  %10 = add %6, 1
+  br while.head
+while.end:
+  %11 = xor 0, %1
+  %12 = mul %1, 6
+  %13 = icmp sgt %12, %1
+  condbr %13, if.then.11, if.else.7
+if.then.11:
+  %14 = xor 0, %1
+  %15 = and %14, 0
+  %16 = icmp eq %15, 0
+  condbr %16, if.then.17, if.end.17
+if.else.7:
+  %17 = mul %11, 5
+  %18 = icmp sle 0, %17
+  condbr %18, if.then.20, if.end.11
+if.end.11:
+  ret
+if.then.17:
+  %19 = gep %0, 0
+  %20 = load i32, %19
+  %21 = icmp sle 0, %20
+  %22 = select %21, 15, 0
+  br if.end.17
+if.end.17:
+  %23 = phi i32 [%22, if.then.17], [%1, if.then.11]
+  br while.head.6
+while.head.6:
+  %24 = phi i32 [%28, while.body.6], [0, if.end.17]
+  %25 = phi i32 [%27, while.body.6], [%23, if.end.17]
+  %26 = icmp slt %24, 0
+  condbr %26, while.body.6, if.end.11
+while.body.6:
+  %27 = xor %25, %24
+  %28 = add %24, 1
+  br while.head.6
+if.then.20:
+  %29 = and %11, 0
+  %30 = gep %0, %29
+  %31 = load i32, %30
+  %32 = icmp sgt %31, %1
+  %33 = select %32, 0, %1
+  store %33, %2
+  br if.end.11
+}
+

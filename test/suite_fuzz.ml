@@ -1,66 +1,22 @@
 (* Differential fuzzing: random structured divergent kernels must
    behave identically before and after every transformation.  The
    untransformed simulation is the oracle, so this covers the whole
-   pipeline end to end with no hand-written expectations. *)
+   pipeline end to end with no hand-written expectations.
+
+   Seed ranges and transform thunks live in {!Testlib} and are shared
+   with the generative-conformance suites (suite_gen, suite_shrink,
+   suite_corpus). *)
 
 module RK = Darm_kernels.Random_kernel
 module K = Darm_kernels.Kernel
 module C = Darm_core
 module CK = Darm_checks
-module T = Darm_transforms
+open Testlib
 
-let check = Alcotest.(check bool)
-
-let small_cfg =
-  { RK.default_cfg with array_size = 128; max_depth = 2; stmts_per_block = 3 }
+let small_cfg = rk_small_cfg
 
 let run_seeds ~name ~transform ~seeds () =
-  let failures = ref [] in
-  List.iter
-    (fun seed ->
-      match
-        RK.check_transform ~cfg:small_cfg ~seed ~block_size:64 ~transform ()
-      with
-      | Ok () -> ()
-      | Error e -> failures := e :: !failures)
-    seeds;
-  (match !failures with
-  | [] -> ()
-  | fs ->
-      Alcotest.failf "%s: %d failure(s):\n%s" name (List.length fs)
-        (String.concat "\n" fs));
-  check name true true
-
-let seeds lo hi =
-  let rec go k acc = if k < lo then acc else go (k - 1) (k :: acc) in
-  go hi []
-
-let darm f = ignore (C.Pass.run ~verify_each:true f)
-
-let darm_no_unpred f =
-  ignore
-    (C.Pass.run
-       ~config:{ C.Pass.default_config with unpredicate = false }
-       ~verify_each:true f)
-
-let fusion f = ignore (C.Pass.run_branch_fusion ~verify_each:true f)
-
-let tail_merge f =
-  ignore (T.Tail_merge.run f);
-  Darm_ir.Verify.run_exn f
-
-let cleanups f =
-  ignore (T.Simplify_cfg.run f);
-  ignore (T.Constfold.run f);
-  ignore (T.Dce.run f);
-  Darm_ir.Verify.run_exn f
-
-let everything f =
-  cleanups f;
-  darm f;
-  tail_merge f;
-  ignore (T.Simplify_cfg.if_convert f);
-  cleanups f
+  run_rk_seeds ~cfg:small_cfg ~name ~transform ~seeds ()
 
 let suites =
   [
@@ -88,51 +44,21 @@ let suites =
               { RK.default_cfg with array_size = 128; max_depth = 4;
                 stmts_per_block = 2 }
             in
-            let failures = ref [] in
-            List.iter
-              (fun seed ->
-                match
-                  RK.check_transform ~cfg:deep ~seed ~block_size:64
-                    ~transform:darm ()
-                with
-                | Ok () -> ()
-                | Error e -> failures := e :: !failures)
-              (seeds 300 314);
-            if !failures <> [] then
-              Alcotest.failf "deep: %s" (String.concat "\n" !failures));
+            run_rk_seeds ~cfg:deep ~name:"deep" ~transform:darm
+              ~seeds:(seeds 300 314) ());
         Alcotest.test_case "darm, no shared memory" `Quick
           (fun () ->
             let cfg =
               { RK.default_cfg with array_size = 128; max_depth = 2;
                 use_shared = false }
             in
-            let failures = ref [] in
-            List.iter
-              (fun seed ->
-                match
-                  RK.check_transform ~cfg ~seed ~block_size:64
-                    ~transform:darm ()
-                with
-                | Ok () -> ()
-                | Error e -> failures := e :: !failures)
-              (seeds 320 334);
-            if !failures <> [] then
-              Alcotest.failf "no-shared: %s" (String.concat "\n" !failures));
+            run_rk_seeds ~cfg ~name:"no-shared" ~transform:darm
+              ~seeds:(seeds 320 334) ());
         Alcotest.test_case "darm, partial warp (block 32 on warp 64)"
           `Quick
           (fun () ->
-            let failures = ref [] in
-            List.iter
-              (fun seed ->
-                match
-                  RK.check_transform ~cfg:small_cfg ~seed ~block_size:32
-                    ~transform:darm ()
-                with
-                | Ok () -> ()
-                | Error e -> failures := e :: !failures)
-              (seeds 340 354);
-            if !failures <> [] then
-              Alcotest.failf "partial-warp: %s" (String.concat "\n" !failures));
+            run_rk_seeds ~cfg:small_cfg ~block_size:32 ~name:"partial-warp"
+              ~transform:darm ~seeds:(seeds 340 354) ());
         Alcotest.test_case "alignment pairing on random kernels" `Quick
           (fun () ->
             let transform f =
@@ -141,18 +67,8 @@ let suites =
                    ~config:{ C.Pass.default_config with pairing = C.Pass.Alignment }
                    ~verify_each:true f)
             in
-            let failures = ref [] in
-            List.iter
-              (fun seed ->
-                match
-                  RK.check_transform ~cfg:small_cfg ~seed ~block_size:64
-                    ~transform ()
-                with
-                | Ok () -> ()
-                | Error e -> failures := e :: !failures)
-              (seeds 360 374);
-            if !failures <> [] then
-              Alcotest.failf "alignment: %s" (String.concat "\n" !failures));
+            run_rk_seeds ~cfg:small_cfg ~name:"alignment" ~transform
+              ~seeds:(seeds 360 374) ());
         Alcotest.test_case "checker cross-validation vs schedule" `Quick
           (fun () ->
             (* Cross-validate the race checker's sound verdict against

@@ -1,0 +1,122 @@
+(* The feature-flagged kernel generator (lib/fuzz/gen.ml): determinism,
+   edge-case configurations, the oracle's array-size precondition, and
+   feature-flag coverage markers in the printed IR. *)
+
+module G = Darm_fuzz.Gen
+module O = Darm_fuzz.Oracle
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let gen_text ?(cfg = G.smoke_cfg) seed =
+  Darm_ir.Printer.func_to_string (G.generate ~cfg ~seed ())
+
+(* run the full oracle matrix on a generated subject; [] means clean *)
+let matrix ?cfg seed =
+  O.run_subject (O.subject_of_seed ?cfg ~block_size:64 ~seed ())
+
+let check_clean ~what ?cfg seed =
+  match matrix ?cfg seed with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "%s seed %d: %d failure(s):\n%s" what seed
+        (List.length fs)
+        (String.concat "\n" (List.map O.failure_to_string fs))
+
+let suites =
+  [
+    ( "gen",
+      [
+        Alcotest.test_case "same seed and cfg give byte-identical IR" `Quick
+          (fun () ->
+            List.iter
+              (fun seed ->
+                Alcotest.(check string)
+                  (Printf.sprintf "smoke seed %d" seed)
+                  (gen_text seed) (gen_text seed);
+                Alcotest.(check string)
+                  (Printf.sprintf "default seed %d" seed)
+                  (gen_text ~cfg:G.default_cfg seed)
+                  (gen_text ~cfg:G.default_cfg seed))
+              [ 0; 1; 7 ]);
+        Alcotest.test_case "different seeds differ" `Quick
+          (fun () ->
+            if gen_text 0 = gen_text 1 then
+              Alcotest.fail "seeds 0 and 1 generated identical kernels");
+        Alcotest.test_case "max_depth = 0 still generates and conforms"
+          `Quick
+          (fun () ->
+            let cfg = { G.smoke_cfg with G.max_depth = 0 } in
+            List.iter
+              (fun seed ->
+                Darm_ir.Verify.run_exn (G.generate ~cfg ~seed ());
+                check_clean ~what:"depth-0" ~cfg seed)
+              [ 0; 1; 2 ]);
+        Alcotest.test_case "stmts_per_block = 1 still generates and conforms"
+          `Quick
+          (fun () ->
+            let cfg = { G.smoke_cfg with G.stmts_per_block = 1 } in
+            List.iter
+              (fun seed ->
+                Darm_ir.Verify.run_exn (G.generate ~cfg ~seed ());
+                check_clean ~what:"stmts-1" ~cfg seed)
+              [ 0; 1; 2 ]);
+        Alcotest.test_case "array_size < block_size is rejected by the oracle"
+          `Quick
+          (fun () ->
+            let cfg = { G.smoke_cfg with G.array_size = 32 } in
+            match O.subject_of_seed ~cfg ~block_size:64 ~seed:0 () with
+            | exception Invalid_argument _ -> ()
+            | _ ->
+                Alcotest.fail
+                  "subject_of_seed accepted array_size 32 < block_size 64");
+        Alcotest.test_case "feature flags leave their markers" `Quick
+          (fun () ->
+            let with_features fs =
+              { G.smoke_cfg with G.features = fs }
+            in
+            (* no features: straight-line diamonds only *)
+            let bare = gen_text ~cfg:(with_features G.no_features) 1 in
+            List.iter
+              (fun needle ->
+                if contains ~needle bare then
+                  Alcotest.failf "feature-free kernel contains %S" needle)
+              [ "syncthreads"; "alloc.shared"; "while." ];
+            (* each flag mints its marker in at least one smoke seed *)
+            let some_seed_has ~needle fs =
+              List.exists
+                (fun seed -> contains ~needle (gen_text ~cfg:(with_features fs) seed))
+                [ 0; 1; 2; 3 ]
+            in
+            let check name spec needle =
+              let fs = Result.get_ok (G.features_of_string spec) in
+              if not (some_seed_has ~needle fs) then
+                Alcotest.failf "%s: no smoke seed produced %S" name needle
+            in
+            check "loops" "loops-uniform,loops-divergent" "while.";
+            check "barriers" "barriers,shared-tile" "syncthreads";
+            check "shared-tile" "shared-tile" "alloc.shared");
+        Alcotest.test_case "features_of_string round-trips and rejects junk"
+          `Quick
+          (fun () ->
+            (match G.features_of_string "all" with
+            | Ok fs ->
+                Alcotest.(check string)
+                  "all round-trip"
+                  (G.features_to_string G.all_features)
+                  (G.features_to_string fs)
+            | Error e -> Alcotest.failf "all: %s" e);
+            (match G.features_of_string "barriers,shared-tile" with
+            | Ok fs ->
+                if not fs.G.barriers || not fs.G.shared_tile then
+                  Alcotest.fail "subset spec dropped a flag";
+                if fs.G.loops_uniform then
+                  Alcotest.fail "subset spec turned on an unlisted flag"
+            | Error e -> Alcotest.failf "subset: %s" e);
+            match G.features_of_string "barriers,bogus" with
+            | Ok _ -> Alcotest.fail "bogus feature accepted"
+            | Error _ -> ());
+      ] );
+  ]

@@ -66,3 +66,62 @@ let diamond_func () : Ssa.func =
         (fun () -> D.set ctx r (D.mul ctx (D.sub ctx (D.i32 0) v) (D.i32 2)))
         (fun () -> D.set ctx r (D.mul ctx v (D.i32 3)));
       D.store ctx (D.get ctx r) (D.gep ctx out gid))
+
+(* ------------------------------------------------------------------ *)
+(* Seed ranges and transform thunks shared by the fuzz-style suites    *)
+
+module RK = Darm_kernels.Random_kernel
+module Tf = Darm_transforms
+
+(** [seeds lo hi] is the inclusive range [lo..hi]. *)
+let seeds lo hi =
+  let rec go k acc = if k < lo then acc else go (k - 1) (k :: acc) in
+  go hi []
+
+let darm f = ignore (Pass.run ~verify_each:true f)
+
+let darm_no_unpred f =
+  ignore
+    (Pass.run
+       ~config:{ Pass.default_config with unpredicate = false }
+       ~verify_each:true f)
+
+let fusion f = ignore (Pass.run_branch_fusion ~verify_each:true f)
+
+let tail_merge f =
+  ignore (Tf.Tail_merge.run f);
+  Verify.run_exn f
+
+let cleanups f =
+  ignore (Tf.Simplify_cfg.run f);
+  ignore (Tf.Constfold.run f);
+  ignore (Tf.Dce.run f);
+  Verify.run_exn f
+
+let everything f =
+  cleanups f;
+  darm f;
+  tail_merge f;
+  ignore (Tf.Simplify_cfg.if_convert f);
+  cleanups f
+
+let rk_small_cfg =
+  { RK.default_cfg with array_size = 128; max_depth = 2; stmts_per_block = 3 }
+
+(** Run [transform] over [Random_kernel] instances for every seed;
+    collects all failures before reporting so one bad seed doesn't mask
+    the others. *)
+let run_rk_seeds ?(cfg = rk_small_cfg) ?(block_size = 64) ~name ~transform
+    ~seeds:seed_list () =
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      match RK.check_transform ~cfg ~seed ~block_size ~transform () with
+      | Ok () -> ()
+      | Error e -> failures := e :: !failures)
+    seed_list;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "%s: %d failure(s):\n%s" name (List.length fs)
+        (String.concat "\n" fs)
