@@ -794,10 +794,7 @@ let report_cmd =
           | `Prom -> MR.to_prometheus snap
           | `Json -> Darm_obs.Json.to_string (MR.to_json snap) ^ "\n"
         in
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc contents);
+        Darm_obs.Fsio.write_atomic ~path contents;
         Printf.eprintf ";; metrics: %s (%d famil%s)\n" path (List.length snap)
           (if List.length snap = 1 then "y" else "ies"));
     if List.exists (fun r -> not r.Report.rp_correct) reports then exit 1
@@ -814,6 +811,170 @@ let report_cmd =
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ jobs_arg
       $ all_flag $ fmt_arg $ json_flag $ metrics_out_arg $ metrics_fmt_arg)
+
+let batch_cmd =
+  let module B = Darm_fuzz.Batch in
+  let module Cache = Darm_harness.Result_cache in
+  let module History = Darm_harness.History in
+  let module MR = Darm_obs.Metrics_registry in
+  let manifest_arg =
+    let doc =
+      "JSONL manifest of kernel specs, one darm-manifest-v1 object per \
+       line (see doc/fleet.md)."
+    in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Result file: one darm-batchres-v1 JSON line per manifest \
+               entry, in manifest order at any --jobs count." in
+    Arg.(
+      value
+      & opt string "batch_results.jsonl"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let budget =
+    Arg.(value & opt (some float) None & info [ "budget-s" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget; no new chunk starts past the deadline, \
+                 so a generous budget never changes the outcome.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Root of the content-addressed result cache.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Recompute every entry; neither read nor write the cache.")
+  in
+  let clear_cache =
+    Arg.(value & flag & info [ "clear-cache" ]
+           ~doc:"Empty the cache before running.")
+  in
+  let history_path_arg =
+    Arg.(
+      value
+      & opt string History.default_path
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Bench history file the run's throughput record appends to.")
+  in
+  let no_history =
+    Arg.(value & flag & info [ "no-history" ]
+           ~doc:"Do not append a throughput record to the bench history.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Export the run's darm_batch_* counters as a metrics \
+                snapshot to $(docv).")
+  in
+  let metrics_fmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:"Metrics snapshot format: prom or json (darm-metrics-v1).")
+  in
+  let gen_fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen-fuzz" ] ~docv:"COUNT"
+          ~doc:
+            "Instead of running, write a manifest of $(docv) consecutive \
+             fuzz seeds to --manifest and exit.")
+  in
+  let seed_start =
+    Arg.(value & opt int 0 & info [ "seed-start" ] ~docv:"S"
+           ~doc:"With --gen-fuzz: first generator seed.")
+  in
+  let gen_block_size =
+    Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~docv:"N"
+           ~doc:"With --gen-fuzz: thread-block size of the specs.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (enum [ ("smoke", true); ("default", false) ]) true
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"With --gen-fuzz: generator profile, smoke or default.")
+  in
+  let gen_features =
+    Arg.(value & opt string "all" & info [ "features" ] ~docv:"SPEC"
+           ~doc:"With --gen-fuzz: generator feature spec.")
+  in
+  let run manifest out jobs budget_s cache_dir no_cache clear_cache
+      history_path no_history metrics_out metrics_fmt gen_fuzz seed_start
+      block_size smoke features =
+    match gen_fuzz with
+    | Some count ->
+        (try
+           B.write_fuzz_manifest ~path:manifest ~count ~seed_start
+             ~block_size ~smoke ~features ()
+         with Invalid_argument msg ->
+           Printf.eprintf "batch: %s\n" msg;
+           exit 2);
+        Printf.printf ";; manifest: %s (%d fuzz spec(s))\n" manifest count
+    | None -> (
+        match B.read_manifest manifest with
+        | Error msg ->
+            Printf.eprintf "batch: %s\n" msg;
+            exit 2
+        | Ok specs ->
+            let cache =
+              if no_cache then None else Some (Cache.create ~dir:cache_dir ())
+            in
+            (match (clear_cache, cache) with
+            | true, Some c ->
+                Printf.eprintf ";; cache cleared (%d entrie(s))\n"
+                  (Cache.clear c)
+            | _ -> ());
+            let sum = B.run ?jobs ?budget_s ?cache ~out specs in
+            Printf.printf ";; results: %s\n" out;
+            (match metrics_out with
+            | None -> ()
+            | Some path ->
+                let reg = MR.create () in
+                B.fill_metrics reg sum;
+                let snap = MR.snapshot reg in
+                let contents =
+                  match metrics_fmt with
+                  | `Prom -> MR.to_prometheus snap
+                  | `Json -> Darm_obs.Json.to_string (MR.to_json snap) ^ "\n"
+                in
+                Darm_obs.Fsio.write_atomic ~path contents;
+                Printf.eprintf ";; metrics: %s\n" path);
+            if not no_history then begin
+              History.append ~path:history_path
+                (History.of_batch ?jobs ~time:(Unix.gettimeofday ())
+                   (B.to_batch_stats sum));
+              Printf.eprintf ";; history: %s\n" history_path
+            end;
+            print_endline (B.summary_to_string sum);
+            if sum.B.bt_errors > 0 || sum.B.bt_incorrect > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Fleet-scale sweep: stream a JSONL manifest of kernel specs \
+          (registry benchmarks and/or fuzz seeds) through meld + check + \
+          simulate on the domain pool, backed by a content-addressed \
+          on-disk result cache.  Results are one JSON line per entry, in \
+          manifest order and byte-identical at any --jobs count; a warm \
+          cache replays stored bytes verbatim.  Appends a throughput \
+          record (cache hit-rate, kernels/sec) to the bench history for \
+          the bench-diff sentinel.")
+    Term.(
+      const run $ manifest_arg $ out_arg $ jobs_arg $ budget $ cache_dir_arg
+      $ no_cache $ clear_cache $ history_path_arg $ no_history
+      $ metrics_out_arg $ metrics_fmt_arg $ gen_fuzz_arg $ seed_start
+      $ gen_block_size $ profile $ gen_features)
 
 let bench_diff_cmd =
   let module History = Darm_harness.History in
@@ -862,6 +1023,11 @@ let bench_diff_cmd =
     tol "pass-ms-slack" History.default_thresholds.History.pass_ms_slack
       "Absolute pass_ms slack in milliseconds."
   in
+  let kps_ratio =
+    tol "kps-ratio" History.default_thresholds.History.min_kps_ratio
+      "Batch throughput (kernels/sec) below RATIO * baseline is a \
+       regression; applies when both records carry batch stats."
+  in
   let load_or_die path =
     match History.load ~path () with
     | Ok records -> records
@@ -869,7 +1035,7 @@ let bench_diff_cmd =
         Printf.eprintf "bench-diff: %s\n" msg;
         exit 2
   in
-  let run history baseline validate gt ct pf ps =
+  let run history baseline validate gt ct pf ps kr =
     let cand_records = load_or_die history in
     if validate then begin
       Printf.printf "bench-diff: %s: %d valid %s record(s)\n" history
@@ -910,6 +1076,7 @@ let bench_diff_cmd =
           max_cycle_growth = ct;
           pass_ms_factor = pf;
           pass_ms_slack = ps;
+          min_kps_ratio = kr;
         }
       in
       let d = History.diff ~thresholds ~baseline candidate in
@@ -927,7 +1094,7 @@ let bench_diff_cmd =
           stored cycle counts.  Exits non-zero on any regression.")
     Term.(
       const run $ history_arg $ baseline_arg $ validate_flag $ geomean_tol
-      $ cycles_tol $ pass_ms_factor $ pass_ms_slack)
+      $ cycles_tol $ pass_ms_factor $ pass_ms_slack $ kps_ratio)
 
 let main =
   let info =
@@ -940,6 +1107,6 @@ let main =
     [ list_cmd; show_cmd; divergence_cmd; meld_cmd; simulate_cmd; sweep_cmd;
       profile_cmd; parse_cmd;
       compile_cmd; dot_cmd; trace_cmd; check_cmd; fuzz_cmd; report_cmd;
-      bench_diff_cmd ]
+      batch_cmd; bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

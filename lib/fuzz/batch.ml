@@ -1,0 +1,541 @@
+(* Fleet-scale batch driver.  See batch.mli and doc/fleet.md. *)
+
+open Darm_ir
+module J = Darm_obs.Json
+module MR = Darm_obs.Metrics_registry
+module Fsio = Darm_obs.Fsio
+module Cache = Darm_harness.Result_cache
+module History = Darm_harness.History
+module PS = Darm_harness.Parallel_sweep
+module E = Darm_harness.Experiment
+module Kernel = Darm_kernels.Kernel
+module Registry = Darm_kernels.Registry
+module Memory = Darm_sim.Memory
+module Simulator = Darm_sim.Simulator
+module Metrics = Darm_sim.Metrics
+module Checker = Darm_checks.Checker
+module Diag = Darm_checks.Diag
+module Pass = Darm_core.Pass
+
+let manifest_schema = "darm-manifest-v1"
+
+let payload_schema = Cache.default_schema
+
+(* ------------------------------------------------------------------ *)
+(* Manifest specs                                                      *)
+
+type spec =
+  | Registry of {
+      rs_tag : string;
+      rs_block_size : int option;
+      rs_n : int option;
+      rs_seed : int;
+    }
+  | Fuzz of {
+      fz_seed : int;
+      fz_block_size : int;
+      fz_smoke : bool;
+      fz_features : string;
+    }
+
+let spec_name = function
+  | Registry r -> r.rs_tag
+  | Fuzz f -> Printf.sprintf "fuzz_%d" f.fz_seed
+
+let spec_kind = function Registry _ -> "registry" | Fuzz _ -> "fuzz"
+
+let fuzz_cfg ~smoke ~features : (Gen.cfg, string) result =
+  match Gen.features_of_string features with
+  | Error e -> Error e
+  | Ok fs ->
+      Ok
+        {
+          (if smoke then Gen.smoke_cfg else Gen.default_cfg) with
+          Gen.features = fs;
+        }
+
+let spec_to_json = function
+  | Registry r ->
+      J.Obj
+        ([ ("kind", J.Str "registry"); ("kernel", J.Str r.rs_tag) ]
+        @ (match r.rs_block_size with
+          | None -> []
+          | Some b -> [ ("block_size", J.Int b) ])
+        @ (match r.rs_n with None -> [] | Some n -> [ ("n", J.Int n) ])
+        @ [ ("seed", J.Int r.rs_seed) ])
+  | Fuzz f ->
+      J.Obj
+        [
+          ("kind", J.Str "fuzz");
+          ("seed", J.Int f.fz_seed);
+          ("block_size", J.Int f.fz_block_size);
+          ("profile", J.Str (if f.fz_smoke then "smoke" else "default"));
+          ("features", J.Str f.fz_features);
+        ]
+
+(* tolerant accessors in the style of History: ints may arrive as
+   floats from other JSON emitters *)
+let get_int j k =
+  match J.member k j with
+  | Some (J.Int i) -> Ok i
+  | Some (J.Float f) when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "missing int field %S" k)
+
+let get_int_opt j k ~default =
+  match J.member k j with None -> Ok default | Some _ -> get_int j k
+
+let get_str_opt j k ~default =
+  match J.member k j with
+  | None -> Ok default
+  | Some (J.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" k)
+
+let ( let* ) = Result.bind
+
+let spec_of_json (j : J.t) : (spec, string) result =
+  match J.member "kind" j with
+  | Some (J.Str "registry") ->
+      let* tag =
+        match J.member "kernel" j with
+        | Some (J.Str s) -> Ok s
+        | _ -> Error "missing string field \"kernel\""
+      in
+      let* block_size =
+        match J.member "block_size" j with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (get_int j "block_size")
+      in
+      let* n =
+        match J.member "n" j with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (get_int j "n")
+      in
+      let* seed = get_int_opt j "seed" ~default:2022 in
+      Ok
+        (Registry
+           { rs_tag = tag; rs_block_size = block_size; rs_n = n;
+             rs_seed = seed })
+  | Some (J.Str "fuzz") ->
+      let* seed = get_int j "seed" in
+      let* block_size = get_int_opt j "block_size" ~default:64 in
+      let* profile = get_str_opt j "profile" ~default:"smoke" in
+      let* smoke =
+        match profile with
+        | "smoke" -> Ok true
+        | "default" -> Ok false
+        | p -> Error (Printf.sprintf "unknown profile %S (smoke|default)" p)
+      in
+      let* features = get_str_opt j "features" ~default:"all" in
+      let* cfg = fuzz_cfg ~smoke ~features in
+      if cfg.Gen.array_size < block_size then
+        Error
+          (Printf.sprintf
+             "block_size %d exceeds the profile's array_size %d (the \
+              generated kernel would race against itself)"
+             block_size cfg.Gen.array_size)
+      else
+        Ok
+          (Fuzz
+             { fz_seed = seed; fz_block_size = block_size; fz_smoke = smoke;
+               fz_features = features })
+  | Some (J.Str other) ->
+      Error (Printf.sprintf "unknown kind %S (registry|fuzz)" other)
+  | _ -> Error "missing string field \"kind\""
+
+let read_manifest (path : string) : (spec list, string) result =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else
+    let text = Fsio.read_file path in
+    let lines = String.split_on_char '\n' text in
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest when String.trim line = "" -> go (i + 1) acc rest
+      | line :: rest -> (
+          match J.parse line with
+          | Error e ->
+              Error (Printf.sprintf "%s:%d: invalid JSON: %s" path i e)
+          | Ok j -> (
+              match spec_of_json j with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path i e)
+              | Ok s -> go (i + 1) (s :: acc) rest))
+    in
+    go 1 [] lines
+
+let write_fuzz_manifest ~path ~count ?(seed_start = 0) ?(block_size = 64)
+    ?(smoke = true) ?(features = "all") () : unit =
+  (match fuzz_cfg ~smoke ~features with
+  | Error e -> invalid_arg ("Batch.write_fuzz_manifest: " ^ e)
+  | Ok cfg ->
+      if cfg.Gen.array_size < block_size then
+        invalid_arg
+          (Printf.sprintf
+             "Batch.write_fuzz_manifest: block_size %d > array_size %d"
+             block_size cfg.Gen.array_size));
+  let b = Buffer.create (count * 64) in
+  for i = 0 to count - 1 do
+    J.to_buffer b
+      (spec_to_json
+         (Fuzz
+            {
+              fz_seed = seed_start + i;
+              fz_block_size = block_size;
+              fz_smoke = smoke;
+              fz_features = features;
+            }));
+    Buffer.add_char b '\n'
+  done;
+  Fsio.write_atomic ~path (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Result payloads                                                     *)
+
+(* the cache key must cover everything a payload depends on: any change
+   to the pass configuration (or this signature's format) starts a
+   fresh key space *)
+let pass_sig : string =
+  let c = Pass.default_config in
+  let l = c.Pass.latency in
+  Printf.sprintf
+    "darm|pairing=%s|threshold=%g|unpredicate=%b|diamonds_only=%b|max_iterations=%d|run_cleanups=%b|if_convert_after=%b|validate=none|lat=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
+    (match c.Pass.pairing with
+    | Pass.Greedy -> "greedy"
+    | Pass.Alignment -> "alignment")
+    c.Pass.threshold c.Pass.unpredicate c.Pass.diamonds_only
+    c.Pass.max_iterations c.Pass.run_cleanups c.Pass.if_convert_after
+    l.Darm_analysis.Latency.alu l.Darm_analysis.Latency.mul
+    l.Darm_analysis.Latency.div l.Darm_analysis.Latency.falu
+    l.Darm_analysis.Latency.fdiv l.Darm_analysis.Latency.cast
+    l.Darm_analysis.Latency.select l.Darm_analysis.Latency.branch
+    l.Darm_analysis.Latency.shared_mem l.Darm_analysis.Latency.global_mem
+    l.Darm_analysis.Latency.flat_mem l.Darm_analysis.Latency.barrier
+    l.Darm_analysis.Latency.intrinsic
+
+let payload ~name ~kind ~block_size ~n ~status ?(check_ids = [])
+    ?(rewrites = 0) ?(base = (0, 0)) ?(opt = (0, 0)) ?(correct = true)
+    ?(pass_ms = 0.) ?detail () : string =
+  let base_cycles, base_div = base and opt_cycles, opt_div = opt in
+  J.to_string
+    (J.Obj
+       ([
+          ("schema", J.Str payload_schema);
+          ("name", J.Str name);
+          ("kind", J.Str kind);
+          ("block_size", J.Int block_size);
+          ("n", J.Int n);
+          ("status", J.Str status);
+          ("check_errors", J.Int (List.length check_ids));
+          ("check_ids", J.List (List.map (fun s -> J.Str s) check_ids));
+          ("rewrites", J.Int rewrites);
+          ("base_cycles", J.Int base_cycles);
+          ("opt_cycles", J.Int opt_cycles);
+          ("divergent_branches_base", J.Int base_div);
+          ("divergent_branches_opt", J.Int opt_div);
+          ("correct", J.Bool correct);
+          ("pass_ms", J.Float pass_ms);
+        ]
+       @ match detail with None -> [] | Some d -> [ ("detail", J.Str d) ]))
+  ^ "\n"
+
+(* run a fuzz kernel over the two-array workload (same discipline as
+   Oracle.exec: deterministic inputs from the seed, warp size 64) *)
+let exec_fuzz ~(n : int) ~(block_size : int) ~(input_seed : int)
+    (f : Ssa.func) : Metrics.t * Memory.rv array =
+  let a_init = Kernel.random_int_array ~seed:(input_seed + 1) ~n ~bound:1000 in
+  let b_init = Kernel.random_int_array ~seed:(input_seed + 2) ~n ~bound:1000 in
+  let global = Memory.create ~space:Memory.Sp_global (2 * n) in
+  let pa = Memory.alloc_of_int_array global a_init in
+  let pb = Memory.alloc_of_int_array global b_init in
+  let config =
+    { Simulator.default_config with max_cycles_per_warp = 10_000_000 }
+  in
+  let launch =
+    { Simulator.grid_dim = max 1 (n / block_size); block_dim = block_size }
+  in
+  let m = Simulator.run ~config f ~args:[| pa; pb |] ~global launch in
+  let out =
+    Array.append
+      (Memory.read_int_array global pa n)
+      (Memory.read_int_array global pb n)
+    |> Kernel.ints
+  in
+  (m, out)
+
+let check_ids_of report =
+  List.map (fun (d : Diag.t) -> d.Diag.id) (Checker.errors report)
+  |> List.sort_uniq compare
+
+let compute_fuzz ~(cfg : Gen.cfg) ~(seed : int) ~(block_size : int)
+    ~(name : string) (f0 : Ssa.func) : string =
+  let n = cfg.Gen.array_size in
+  let mk = payload ~name ~kind:"fuzz" ~block_size ~n in
+  let report = Checker.check_func f0 in
+  match check_ids_of report with
+  | _ :: _ as ids ->
+      (* checker-flagged kernels are never executed (the oracle's rule) *)
+      mk ~status:"check-failed" ~check_ids:ids ~correct:false ()
+  | [] ->
+      let base_m, base_out = exec_fuzz ~n ~block_size ~input_seed:seed f0 in
+      let f1 = Gen.generate ~cfg ~seed () in
+      let t0 = Unix.gettimeofday () in
+      let stats = Pass.run f1 in
+      let pass_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let opt_m, opt_out = exec_fuzz ~n ~block_size ~input_seed:seed f1 in
+      let correct =
+        Kernel.rv_array_equal base_out opt_out
+        && base_m.Metrics.cycles > 0
+        && opt_m.Metrics.cycles > 0
+      in
+      mk ~status:"ok" ~rewrites:stats.Pass.melds_applied
+        ~base:(base_m.Metrics.cycles, base_m.Metrics.divergent_branches)
+        ~opt:(opt_m.Metrics.cycles, opt_m.Metrics.divergent_branches)
+        ~correct ~pass_ms ()
+
+let compute_registry ~(kernel : Kernel.t) ~(block_size : int) ~(n : int)
+    ~(seed : int) (inst : Kernel.instance) : string =
+  let mk = payload ~name:kernel.Kernel.tag ~kind:"registry" ~block_size ~n in
+  let report = Checker.check_func inst.Kernel.func in
+  match check_ids_of report with
+  | _ :: _ as ids -> mk ~status:"check-failed" ~check_ids:ids ~correct:false ()
+  | [] ->
+      let r = E.run ~transform:E.darm_default ~seed ~n kernel ~block_size in
+      mk ~status:"ok" ~rewrites:r.E.rewrites
+        ~base:(r.E.base.Metrics.cycles, r.E.base.Metrics.divergent_branches)
+        ~opt:(r.E.opt.Metrics.cycles, r.E.opt.Metrics.divergent_branches)
+        ~correct:r.E.correct ~pass_ms:r.E.t_ms ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-spec processing                                                 *)
+
+type outcome = {
+  oc_line : string;
+  oc_hit : bool;
+  oc_status : string;
+  oc_correct : bool;
+}
+
+let line_flags (line : string) : string * bool =
+  match J.parse line with
+  | Error _ -> ("error", false)
+  | Ok j ->
+      let status =
+        match J.member "status" j with Some (J.Str s) -> s | _ -> "ok"
+      in
+      let correct =
+        match J.member "correct" j with Some (J.Bool b) -> b | _ -> true
+      in
+      (status, correct)
+
+let outcome_of_line ~hit line =
+  let status, correct = line_flags line in
+  { oc_line = line; oc_hit = hit; oc_status = status; oc_correct = correct }
+
+(* (printed IR, workload signature, compute thunk) — everything the
+   content-addressed key needs, plus the way to fill a miss *)
+let prepare (spec : spec) : string * string * (unit -> string) =
+  match spec with
+  | Fuzz f ->
+      let cfg =
+        match fuzz_cfg ~smoke:f.fz_smoke ~features:f.fz_features with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      let f0 = Gen.generate ~cfg ~seed:f.fz_seed () in
+      let ir = Printer.func_to_string f0 in
+      let workload =
+        Printf.sprintf "kind=fuzz|bs=%d|n=%d|input_seed=%d|warp=%d"
+          f.fz_block_size cfg.Gen.array_size f.fz_seed
+          Simulator.default_config.Simulator.warp_size
+      in
+      ( ir,
+        workload,
+        fun () ->
+          compute_fuzz ~cfg ~seed:f.fz_seed ~block_size:f.fz_block_size
+            ~name:(spec_name spec) f0 )
+  | Registry r -> (
+      match Registry.find_any r.rs_tag with
+      | None -> failwith (Printf.sprintf "unknown kernel %s" r.rs_tag)
+      | Some kernel ->
+          let block_size =
+            match (r.rs_block_size, kernel.Kernel.block_sizes) with
+            | Some b, _ -> b
+            | None, b :: _ -> b
+            | None, [] -> 64
+          in
+          let n = Option.value r.rs_n ~default:kernel.Kernel.default_n in
+          let inst =
+            kernel.Kernel.make ~seed:r.rs_seed ~block_size ~n
+          in
+          let ir = Printer.func_to_string inst.Kernel.func in
+          let workload =
+            Printf.sprintf "kind=registry|tag=%s|bs=%d|n=%d|seed=%d|warp=%d"
+              kernel.Kernel.tag block_size n r.rs_seed
+              E.sim_config.Simulator.warp_size
+          in
+          ( ir,
+            workload,
+            fun () ->
+              compute_registry ~kernel ~block_size ~n ~seed:r.rs_seed inst ))
+
+let process ?(cache : Cache.t option) (spec : spec) : outcome =
+  let error_line detail =
+    payload ~name:(spec_name spec) ~kind:(spec_kind spec) ~block_size:0 ~n:0
+      ~status:"error" ~correct:false ~detail ()
+  in
+  match prepare spec with
+  | exception e -> outcome_of_line ~hit:false (error_line (Printexc.to_string e))
+  | ir, workload, compute -> (
+      let key =
+        Option.map (fun c -> Cache.key c [ ir; pass_sig; workload ]) cache
+      in
+      let hit =
+        match (cache, key) with
+        | Some c, Some k -> Cache.find c ~key:k
+        | _ -> None
+      in
+      match hit with
+      | Some bytes -> outcome_of_line ~hit:true bytes
+      | None -> (
+          match compute () with
+          | exception e ->
+              outcome_of_line ~hit:false (error_line (Printexc.to_string e))
+          | line ->
+              (* the cache is best-effort: an unwritable directory must
+                 not fail a run whose results are already in hand *)
+              (match (cache, key) with
+              | Some c, Some k -> (
+                  try Cache.store c ~key:k line with _ -> ())
+              | _ -> ());
+              outcome_of_line ~hit:false line))
+
+(* ------------------------------------------------------------------ *)
+(* The sharded driver                                                  *)
+
+let chunk_size = 64
+
+let chunks (l : 'a list) : 'a list list =
+  let rec take k = function
+    | [] -> ([], [])
+    | x :: tl when k > 0 ->
+        let a, b = take (k - 1) tl in
+        (x :: a, b)
+    | l -> ([], l)
+  in
+  let rec go = function
+    | [] -> []
+    | l ->
+        let c, rest = take chunk_size l in
+        c :: go rest
+  in
+  go l
+
+type summary = {
+  bt_total : int;
+  bt_run : int;
+  bt_hits : int;
+  bt_misses : int;
+  bt_incorrect : int;
+  bt_check_failed : int;
+  bt_errors : int;
+  bt_wall_s : float;
+  bt_budget_exhausted : bool;
+}
+
+let hit_rate (s : summary) : float =
+  if s.bt_run = 0 then 0. else float_of_int s.bt_hits /. float_of_int s.bt_run
+
+let kernels_per_sec (s : summary) : float =
+  if s.bt_wall_s <= 0. then 0.
+  else float_of_int s.bt_run /. s.bt_wall_s
+
+let to_batch_stats (s : summary) : History.batch =
+  {
+    History.b_kernels = s.bt_run;
+    b_hits = s.bt_hits;
+    b_misses = s.bt_misses;
+    b_incorrect = s.bt_incorrect;
+    b_wall_s = s.bt_wall_s;
+  }
+
+let run ?jobs ?budget_s ?cache ~(out : string) (specs : spec list) : summary =
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> t0 +. b) budget_s in
+  let total = List.length specs in
+  let hits = ref 0 and misses = ref 0 and run_n = ref 0 in
+  let incorrect = ref 0 and check_failed = ref 0 and errors = ref 0 in
+  let cut = ref false in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 out
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun chunk ->
+          let past_deadline =
+            match deadline with
+            | Some d -> Unix.gettimeofday () > d
+            | None -> false
+          in
+          if past_deadline then cut := true
+          else begin
+            let outs = PS.map ?jobs (process ?cache) chunk in
+            List.iter
+              (fun o ->
+                output_string oc o.oc_line;
+                if o.oc_hit then incr hits else incr misses;
+                match o.oc_status with
+                | "ok" -> if not o.oc_correct then incr incorrect
+                | "check-failed" -> incr check_failed
+                | _ -> incr errors)
+              outs;
+            (* flush per chunk: a crash or budget cut leaves a valid
+               JSONL prefix in manifest order *)
+            flush oc;
+            run_n := !run_n + List.length chunk
+          end)
+        (chunks specs));
+  {
+    bt_total = total;
+    bt_run = !run_n;
+    bt_hits = !hits;
+    bt_misses = !misses;
+    bt_incorrect = !incorrect;
+    bt_check_failed = !check_failed;
+    bt_errors = !errors;
+    bt_wall_s = Unix.gettimeofday () -. t0;
+    bt_budget_exhausted = !cut;
+  }
+
+let fill_metrics (reg : MR.t) (s : summary) : unit =
+  let count name help v =
+    MR.inc reg ~by:(float_of_int v) name;
+    MR.help reg name help
+  in
+  count "darm_batch_kernels_total" "Manifest entries processed" s.bt_run;
+  count "darm_batch_cache_hits_total" "Result-cache hits" s.bt_hits;
+  count "darm_batch_cache_misses_total" "Result-cache misses (computed)"
+    s.bt_misses;
+  count "darm_batch_incorrect_total"
+    "Kernels whose melded output mismatched the baseline" s.bt_incorrect;
+  count "darm_batch_check_failed_total"
+    "Checker-rejected kernels (never simulated)" s.bt_check_failed;
+  count "darm_batch_errors_total" "Crashed or invalid manifest entries"
+    s.bt_errors;
+  MR.set reg "darm_batch_cache_hit_rate" (hit_rate s);
+  MR.help reg "darm_batch_cache_hit_rate"
+    "Hits over processed entries, 0..1";
+  MR.set reg "darm_batch_kernels_per_sec" (kernels_per_sec s);
+  MR.help reg "darm_batch_kernels_per_sec"
+    "Batch throughput over the whole run";
+  MR.set reg "darm_batch_wall_seconds" s.bt_wall_s;
+  MR.help reg "darm_batch_wall_seconds" "Wall-clock of the batch run"
+
+let summary_to_string (s : summary) : string =
+  Printf.sprintf
+    "batch: %d/%d kernel(s), %d hit(s) / %d miss(es), hit-rate %.1f%%, %.1f \
+     kernels/s, %d incorrect, %d check-failed, %d error(s)%s"
+    s.bt_run s.bt_total s.bt_hits s.bt_misses
+    (hit_rate s *. 100.)
+    (kernels_per_sec s) s.bt_incorrect s.bt_check_failed s.bt_errors
+    (if s.bt_budget_exhausted then " [budget exhausted]" else "")

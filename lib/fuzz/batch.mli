@@ -1,0 +1,124 @@
+(** Fleet-scale batch driver: stream a JSONL manifest of kernel specs
+    through the melding pipeline and the simulator, backed by the
+    content-addressed {!Darm_harness.Result_cache}.
+
+    This is the ROADMAP's "compile-and-simulate at fleet scale" axis:
+    [darm_opt batch] turns the one-kernel CLI into a throughput engine
+    that melds, checks and simulates tens of thousands of kernels —
+    registry benchmarks and/or {!Gen}-generated fuzz subjects — within
+    a fixed wall-clock budget, with bounded in-flight memory and
+    deterministic output.
+
+    {b Determinism.}  The manifest is processed in fixed-size chunks
+    ({!chunk_size}, independent of the pool size) over the
+    {!Darm_harness.Parallel_sweep} domain pool; each chunk's results
+    are appended to the output file in manifest order before the next
+    chunk starts, so at most one chunk of payloads is in memory at a
+    time, a crashed or budget-cut run leaves a valid JSONL prefix, and
+    the emitted order is the manifest order at any [--jobs] count.
+    Result payloads carry one wall-clock field ([pass_ms]); every other
+    byte is deterministic, and a run that hits the cache replays the
+    stored bytes verbatim — so a warm run's output is byte-identical to
+    the cold run that populated the cache, whatever either run's job
+    count.
+
+    {b Budget.}  As in {!Oracle.run_seeds}, the deadline is only
+    checked between chunks: no new chunk starts past it, so a generous
+    budget never changes the outcome and a tight one cuts the manifest
+    at a deterministic chunk boundary. *)
+
+(** {2 Manifest} *)
+
+(** ["darm-manifest-v1"] — one spec object per line (doc/fleet.md). *)
+val manifest_schema : string
+
+(** ["darm-batchres-v1"] — the result payload schema; also the cache's
+    validation schema ({!Darm_harness.Result_cache.default_schema}). *)
+val payload_schema : string
+
+type spec =
+  | Registry of {
+      rs_tag : string;  (** registry kernel tag, e.g. ["BIT"] *)
+      rs_block_size : int option;  (** default: the kernel's first *)
+      rs_n : int option;  (** default: the kernel's [default_n] *)
+      rs_seed : int;  (** input seed (default 2022) *)
+    }
+  | Fuzz of {
+      fz_seed : int;  (** generator seed *)
+      fz_block_size : int;
+      fz_smoke : bool;  (** {!Gen.smoke_cfg} vs {!Gen.default_cfg} *)
+      fz_features : string;  (** {!Gen.features_of_string} spec *)
+    }
+
+(** Stable display name: the kernel tag, or [fuzz_<seed>]. *)
+val spec_name : spec -> string
+
+val spec_to_json : spec -> Darm_obs.Json.t
+
+(** Parse one manifest line's object; validates the feature spec and
+    the block-size/array-size precondition of fuzz subjects. *)
+val spec_of_json : Darm_obs.Json.t -> (spec, string) result
+
+(** All specs of a JSONL manifest, in file order.  Blank lines are
+    skipped; a parse error carries [path:line:] with the 1-based line
+    number. *)
+val read_manifest : string -> (spec list, string) result
+
+(** Write a fuzz manifest of [count] consecutive seeds (atomic,
+    binary).  Defaults: [seed_start 0], [block_size 64], [smoke true],
+    [features "all"]. *)
+val write_fuzz_manifest :
+  path:string ->
+  count:int ->
+  ?seed_start:int ->
+  ?block_size:int ->
+  ?smoke:bool ->
+  ?features:string ->
+  unit ->
+  unit
+
+(** {2 Running} *)
+
+(** Specs per deterministic chunk (64): the bound on in-flight results
+    and the granularity of both output flushing and the budget check. *)
+val chunk_size : int
+
+type summary = {
+  bt_total : int;  (** manifest entries *)
+  bt_run : int;  (** entries processed (= total unless budget-cut) *)
+  bt_hits : int;  (** served from the result cache *)
+  bt_misses : int;  (** computed (and stored, when a cache is open) *)
+  bt_incorrect : int;  (** melded output mismatched the baseline *)
+  bt_check_failed : int;  (** checker-rejected, never simulated *)
+  bt_errors : int;  (** crashed or invalid specs (never cached) *)
+  bt_wall_s : float;
+  bt_budget_exhausted : bool;
+}
+
+val hit_rate : summary -> float
+val kernels_per_sec : summary -> float
+
+(** The history-record form ({!Darm_harness.History.of_batch}). *)
+val to_batch_stats : summary -> Darm_harness.History.batch
+
+(** [run ~out specs] streams [specs] through the pipeline and appends
+    one [darm-batchres-v1] JSON line per processed spec to [out]
+    (truncated at start, appended chunk-by-chunk, binary).  [cache]
+    (optional) serves hits and absorbs misses; corrupt or truncated
+    cache entries are recomputed, never fatal.  [budget_s] bounds
+    wall-clock as described above. *)
+val run :
+  ?jobs:int ->
+  ?budget_s:float ->
+  ?cache:Darm_harness.Result_cache.t ->
+  out:string ->
+  spec list ->
+  summary
+
+(** Export a run's throughput counters into a metrics registry
+    ([darm_batch_*] families). *)
+val fill_metrics : Darm_obs.Metrics_registry.t -> summary -> unit
+
+(** One deterministic summary line (the CLI's last stdout line):
+    [batch: R/T kernel(s), H hit(s) / M miss(es), hit-rate P%, ...]. *)
+val summary_to_string : summary -> string

@@ -43,22 +43,18 @@ let summary ?wall_s (results : E.result list) : Json.t =
     @ match wall_s with None -> [] | Some s -> [ ("wall_s", Json.Float s) ])
 
 (** Write the summary and validate it by re-reading and re-parsing the
-    file; raises [Failure] on an unwritable or corrupt result. *)
+    written bytes; raises [Failure] on an unwritable or corrupt result.
+    The write is binary and atomic (temp file + rename): a crash
+    mid-write can never leave a torn [BENCH_darm.json] for the
+    validator — or a later [bench-diff] — to reject. *)
 let write ?(path = default_path) ?wall_s (results : E.result list) : unit =
   let contents = Json.to_string (summary ?wall_s results) ^ "\n" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents);
-  let ic = open_in path in
-  let written =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+  let validate written =
+    match Json.parse written with
+    | Error msg -> failwith (Printf.sprintf "%s: invalid JSON: %s" path msg)
+    | Ok j -> (
+        match Json.member "results" j with
+        | Some (Json.List (_ :: _)) -> ()
+        | _ -> failwith (Printf.sprintf "%s: missing or empty results" path))
   in
-  match Json.parse written with
-  | Error msg -> failwith (Printf.sprintf "%s: invalid JSON: %s" path msg)
-  | Ok j -> (
-      match Json.member "results" j with
-      | Some (Json.List (_ :: _)) -> ()
-      | _ -> failwith (Printf.sprintf "%s: missing or empty results" path))
+  Darm_obs.Fsio.write_atomic ~validate ~path contents

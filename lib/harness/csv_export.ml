@@ -6,11 +6,18 @@ module Registry = Darm_kernels.Registry
 module Metrics = Darm_sim.Metrics
 module E = Experiment
 
+(* binary so the cmp-based byte-identity guarantee holds on any
+   platform, atomic so a crashed export never leaves a torn figure *)
 let write_file (path : string) (header : string) (rows : string list) : unit =
-  let oc = open_out path in
-  output_string oc (header ^ "\n");
-  List.iter (fun r -> output_string oc (r ^ "\n")) rows;
-  close_out oc
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b r;
+      Buffer.add_char b '\n')
+    rows;
+  Darm_obs.Fsio.write_atomic ~path (Buffer.contents b)
 
 let result_row (r : E.result) : string =
   Printf.sprintf "%s,%d,%s,%d,%d,%d,%.4f,%.2f,%.2f,%d,%d,%d,%d,%d,%d,%d"

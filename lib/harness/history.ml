@@ -41,18 +41,45 @@ let entry_speedup (e : entry) : float =
   if e.e_opt_cycles = 0 then 0.
   else float_of_int e.e_base_cycles /. float_of_int e.e_opt_cycles
 
+type batch = {
+  b_kernels : int;
+  b_hits : int;
+  b_misses : int;
+  b_incorrect : int;
+  b_wall_s : float;
+}
+
+let batch_hit_rate (b : batch) : float =
+  let looked_up = b.b_hits + b.b_misses in
+  if looked_up = 0 then 0.
+  else float_of_int b.b_hits /. float_of_int looked_up
+
+let batch_kernels_per_sec (b : batch) : float =
+  if b.b_wall_s <= 0. then 0. else float_of_int b.b_kernels /. b.b_wall_s
+
 type record = {
   r_time : float;
   r_env : env;
   r_wall_s : float option;
   r_entries : entry list;
+  r_batch : batch option;
 }
+
+let of_batch ?jobs ~time (b : batch) : record =
+  {
+    r_time = time;
+    r_env = current_env ?jobs ();
+    r_wall_s = Some b.b_wall_s;
+    r_entries = [];
+    r_batch = Some b;
+  }
 
 let of_results ?wall_s ?jobs ~time (results : E.result list) : record =
   {
     r_time = time;
     r_env = current_env ?jobs ();
     r_wall_s = wall_s;
+    r_batch = None;
     r_entries =
       List.map
         (fun (r : E.result) ->
@@ -95,6 +122,19 @@ let entry_to_json (e : entry) : J.t =
       ("correct", J.Bool e.e_correct);
     ]
 
+let batch_to_json (b : batch) : J.t =
+  J.Obj
+    [
+      ("kernels", J.Int b.b_kernels);
+      ("cache_hits", J.Int b.b_hits);
+      ("cache_misses", J.Int b.b_misses);
+      ("incorrect", J.Int b.b_incorrect);
+      ("wall_s", J.Float b.b_wall_s);
+      (* derived, for greppability; the loader recomputes them *)
+      ("hit_rate", J.Float (batch_hit_rate b));
+      ("kernels_per_sec", J.Float (batch_kernels_per_sec b));
+    ]
+
 let record_to_json (r : record) : J.t =
   J.Obj
     ([
@@ -105,6 +145,9 @@ let record_to_json (r : record) : J.t =
     @ (match r.r_wall_s with
       | None -> []
       | Some s -> [ ("wall_s", J.Float s) ])
+    @ (match r.r_batch with
+      | None -> []
+      | Some b -> [ ("batch", batch_to_json b) ])
     @ [ ("results", J.List (List.map entry_to_json r.r_entries)) ])
 
 (* tolerant field accessors: ints may have been written as floats *)
@@ -161,6 +204,14 @@ let entry_of_json (j : J.t) : (entry, string) result =
       e_correct;
     }
 
+let batch_of_json (j : J.t) : (batch, string) result =
+  let* b_kernels = get_int j "kernels" in
+  let* b_hits = get_int j "cache_hits" in
+  let* b_misses = get_int j "cache_misses" in
+  let* b_incorrect = get_int j "incorrect" in
+  let* b_wall_s = get_float j "wall_s" in
+  Ok { b_kernels; b_hits; b_misses; b_incorrect; b_wall_s }
+
 let record_of_json (j : J.t) : (record, string) result =
   let* s = get_str j "schema" in
   if s <> schema then
@@ -179,6 +230,11 @@ let record_of_json (j : J.t) : (record, string) result =
       | Some (J.Int i) -> Some (float_of_int i)
       | _ -> None
     in
+    let* r_batch =
+      match J.member "batch" j with
+      | None -> Ok None
+      | Some bj -> Result.map Option.some (batch_of_json bj)
+    in
     let* entries =
       match J.member "results" j with
       | Some (J.List l) ->
@@ -191,10 +247,11 @@ let record_of_json (j : J.t) : (record, string) result =
           |> Result.map List.rev
       | _ -> Error "missing list field \"results\""
     in
-    Ok { r_time; r_env; r_wall_s; r_entries = entries }
+    Ok { r_time; r_env; r_wall_s; r_batch; r_entries = entries }
 
 let append ?(path = default_path) (r : record) : unit =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  (* Open_binary: the history's determinism contract is cmp-able bytes *)
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (J.to_string (record_to_json r) ^ "\n"))
@@ -236,6 +293,7 @@ type thresholds = {
   max_cycle_growth : float;
   pass_ms_factor : float;
   pass_ms_slack : float;
+  min_kps_ratio : float;
 }
 
 let default_thresholds =
@@ -244,6 +302,7 @@ let default_thresholds =
     max_cycle_growth = 0.02;
     pass_ms_factor = 10.;
     pass_ms_slack = 100.;
+    min_kps_ratio = 0.1;
   }
 
 type diff = {
@@ -336,7 +395,35 @@ let diff ?(thresholds = default_thresholds) ~(baseline : record)
     else if drop < -.thresholds.max_geomean_drop then
       note "geomean speedup improved %.3fx -> %.3fx" g_base g_cand
   end;
-  if compared = [] then regress "no common points between the two records";
+  (* batch throughput gate: wall-clock and machine-dependent, so the
+     ratio threshold is generous; hit-rate changes are informational *)
+  (match (baseline.r_batch, candidate.r_batch) with
+  | Some bb, Some cb ->
+      let kb = batch_kernels_per_sec bb and kc = batch_kernels_per_sec cb in
+      if kb > 0. && kc > 0. && kc < thresholds.min_kps_ratio *. kb then
+        regress
+          "batch throughput dropped %.1f -> %.1f kernels/sec (below %.0f%% \
+           of baseline)"
+          kb kc
+          (thresholds.min_kps_ratio *. 100.)
+      else if kb > 0. && kc > kb then
+        note "batch throughput improved %.1f -> %.1f kernels/sec" kb kc;
+      note "batch cache hit-rate %.1f%% -> %.1f%%"
+        (batch_hit_rate bb *. 100.)
+        (batch_hit_rate cb *. 100.);
+      if cb.b_incorrect > bb.b_incorrect then
+        regress "batch incorrect kernels grew %d -> %d" bb.b_incorrect
+          cb.b_incorrect
+  | _ -> ());
+  (* two entry-less batch records legitimately share no experiment
+     points: they compare on throughput above instead *)
+  let batch_only =
+    baseline.r_entries = [] && candidate.r_entries = []
+    && baseline.r_batch <> None
+    && candidate.r_batch <> None
+  in
+  if compared = [] && not batch_only then
+    regress "no common points between the two records";
   {
     d_regressions = List.rev !regressions;
     d_notes = List.rev !notes;

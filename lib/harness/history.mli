@@ -48,15 +48,37 @@ type entry = {
     file); 0 when the optimized run retired zero cycles. *)
 val entry_speedup : entry -> float
 
+(** Aggregate throughput stats of one [darm_opt batch] run — the
+    "millions of users" axis of the trajectory.  Batch records carry no
+    per-kernel entries (a 100k-kernel sweep would dwarf the history);
+    instead the sentinel gates on cache hit-rate and kernels/sec. *)
+type batch = {
+  b_kernels : int;  (** manifest entries actually processed *)
+  b_hits : int;  (** result-cache hits *)
+  b_misses : int;  (** result-cache misses (computed kernels) *)
+  b_incorrect : int;  (** kernels whose melded output mismatched *)
+  b_wall_s : float;  (** wall-clock of the whole batch run *)
+}
+
+(** [hits / (hits + misses)]; 0 when nothing ran. *)
+val batch_hit_rate : batch -> float
+
+(** [kernels / wall_s]; 0 when the wall-clock is degenerate. *)
+val batch_kernels_per_sec : batch -> float
+
 type record = {
   r_time : float;  (** unix seconds at append time *)
   r_env : env;
   r_wall_s : float option;  (** harness wall-clock, when known *)
   r_entries : entry list;
+  r_batch : batch option;  (** present on [darm_opt batch] records *)
 }
 
 val of_results :
   ?wall_s:float -> ?jobs:int -> time:float -> Experiment.result list -> record
+
+(** An entry-less record carrying batch throughput stats. *)
+val of_batch : ?jobs:int -> time:float -> batch -> record
 
 val record_to_json : record -> Darm_obs.Json.t
 
@@ -85,6 +107,11 @@ type thresholds = {
       (** candidate [pass_ms] beyond [factor * base + slack] is a
           regression; wall-clock, so generous (default 10.0) *)
   pass_ms_slack : float;  (** absolute ms slack (default 100.0) *)
+  min_kps_ratio : float;
+      (** when both records carry {!batch} stats, candidate
+          kernels/sec below [ratio * baseline] is a throughput
+          regression; wall-clock and machine-dependent, so very
+          generous (default 0.1 = a 10x slowdown) *)
 }
 
 val default_thresholds : thresholds
@@ -104,7 +131,11 @@ type diff = {
     the baseline.  Points are keyed by (kernel, block size, transform);
     only keys present in both are compared (coverage differences become
     notes).  Speedups and geomeans are recomputed from cycles.
-    Correctness flips and zero-cycle entries are always regressions. *)
+    Correctness flips and zero-cycle entries are always regressions.
+    When both records carry {!batch} stats the sentinel additionally
+    gates batch throughput (kernels/sec, threshold [min_kps_ratio]) and
+    new incorrect kernels; two entry-less batch records compare on
+    throughput alone instead of tripping the no-common-points gate. *)
 val diff : ?thresholds:thresholds -> baseline:record -> record -> diff
 
 val diff_ok : diff -> bool

@@ -32,14 +32,20 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
     if jobs = 1 then List.map f xs
     else begin
       let results : 'b option array = Array.make n None in
-      let errors : exn option array = Array.make n None in
+      let errors : (exn * Printexc.raw_backtrace) option array =
+        Array.make n None
+      in
       let next = Atomic.make 0 in
       let worker () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
             (try results.(i) <- Some (f tasks.(i))
-             with e -> errors.(i) <- Some e);
+             with e ->
+               (* capture the backtrace at the catch site so the
+                  deferred re-raise below still points at the failing
+                  task, not at the pool plumbing *)
+               errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
             loop ()
           end
         in
@@ -50,7 +56,11 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
       List.iter Domain.join domains;
       (* re-raise the error of the lowest failed index, so a failing
          sweep reports the same task regardless of the domain count *)
-      Array.iter (function Some e -> raise e | None -> ()) errors;
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        errors;
       Array.to_list
         (Array.map
            (function Some v -> v | None -> assert false)

@@ -4,7 +4,10 @@
     [List.map f xs] for any [jobs], so figures and CSV exports are
     byte-identical regardless of parallelism.  If any application
     raises, the exception of the lowest-index failing task is re-raised
-    after all domains are joined. *)
+    after all domains are joined, with the backtrace captured at the
+    original raise site ({!Printexc.raise_with_backtrace}), so a
+    failing sweep reports the same task — and the same stack — at any
+    job count. *)
 
 (** Pool size: [DARM_JOBS] from the environment if set (must be a
     positive integer), otherwise {!Domain.recommended_domain_count}. *)

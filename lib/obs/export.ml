@@ -153,14 +153,8 @@ let validate (format : format) (path : string) (contents : string) : unit =
 
 let write_file ~(format : format) ~(path : string) (t : Trace.t) : unit =
   let contents = match format with Jsonl -> to_jsonl t | Chrome -> to_chrome t in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents);
-  let ic = open_in path in
-  let written =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  validate format path written
+  (* binary + temp-file + rename: the byte-identity guarantee must
+     survive any platform's text mode, and a failed write (including a
+     failed validation of the re-read bytes) must leave a pre-existing
+     trace file untouched rather than torn *)
+  Fsio.write_atomic ~validate:(validate format path) ~path contents

@@ -32,5 +32,9 @@ val events_of_jsonl : string -> (Trace.event list, string) result
 (** Serialize to [path] and then re-read and re-parse the written file,
     raising [Failure] if the bytes on disk do not parse back to a
     non-empty event list — a malformed trace fails the run that wrote
-    it instead of the later analysis that loads it. *)
+    it instead of the later analysis that loads it.  The write is
+    binary and atomic ({!Fsio.write_atomic}): the bytes land in a
+    sibling temp file and are renamed over [path] only after they
+    validate, so a crash or a failed validation never leaves a torn
+    trace behind. *)
 val write_file : format:format -> path:string -> Trace.t -> unit

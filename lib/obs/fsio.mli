@@ -1,0 +1,27 @@
+(** Binary, atomic file output shared by every sink that promises
+    byte-identical or crash-safe files.
+
+    Two properties every writer in this tree wants and none should
+    re-implement:
+
+    - {b binary mode} — the determinism story of the trace, bench and
+      CSV sinks is "[cmp] the files"; a text-mode channel would rewrite
+      ['\n'] on some platforms and silently break it;
+    - {b atomicity} — the bench summary and metrics snapshots are
+      overwritten in place by every run; a crash mid-write must never
+      leave a torn file for the validator (or CI) to choke on, so the
+      bytes go to a sibling temp file first and [Sys.rename] into
+      place only once complete (and validated). *)
+
+(** [write_atomic ?validate ~path contents] writes [contents] to a
+    fresh temp file in [path]'s directory, optionally re-reads the
+    written bytes and passes them to [validate] (which must raise on a
+    bad file), then renames the temp file onto [path].  On any failure
+    the temp file is removed and [path] is left untouched — in
+    particular a previous version of the file survives a failed
+    write. *)
+val write_atomic :
+  ?validate:(string -> unit) -> path:string -> string -> unit
+
+(** Whole file as bytes ([open_in_bin]). *)
+val read_file : string -> string

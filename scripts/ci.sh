@@ -93,6 +93,35 @@ fi
 grep -q 'checker:barrier-divergence' /tmp/darm_fuzz_inject.txt
 rm -f /tmp/darm_fuzz_inject.txt
 
+# fleet-scale batch sweep (doc/fleet.md): a smoke fuzz manifest swept
+# cold (jobs 1, empty cache) then warm (jobs 4) — the warm run must be
+# served ~entirely from the result cache and replay byte-identical
+# results, the history must gain batch throughput records the sentinel
+# accepts, and a synthetically inflated wall-clock must trip the
+# kernels/sec gate
+batch_dir=$(mktemp -d /tmp/darm_batch.XXXXXX)
+dune exec bin/darm_opt.exe -- batch --gen-fuzz 64 -m "$batch_dir/m.jsonl"
+dune exec bin/darm_opt.exe -- batch -m "$batch_dir/m.jsonl" \
+  -o "$batch_dir/cold.jsonl" --cache-dir "$batch_dir/cache" --jobs 1
+dune exec bin/darm_opt.exe -- batch -m "$batch_dir/m.jsonl" \
+  -o "$batch_dir/warm.jsonl" --cache-dir "$batch_dir/cache" --jobs 4 \
+  | tee "$batch_dir/warm.txt"
+grep -q 'hit-rate 100.0%' "$batch_dir/warm.txt"
+cmp "$batch_dir/cold.jsonl" "$batch_dir/warm.jsonl"
+test "$(wc -l < "$batch_dir/cold.jsonl")" -eq 64
+grep -q '"schema":"darm-batchres-v1"' "$batch_dir/cold.jsonl"
+grep -q '"batch"' BENCH_history.jsonl
+dune exec bin/darm_opt.exe -- bench-diff
+sed 's/"wall_s":[0-9.]*/"wall_s":999999/g' BENCH_history.jsonl \
+  > "$batch_dir/hist_slow.jsonl"
+if dune exec bin/darm_opt.exe -- bench-diff \
+    --history "$batch_dir/hist_slow.jsonl" \
+    --baseline-history BENCH_history.jsonl; then
+  echo "ci: bench-diff sentinel failed to fire on batch throughput collapse" >&2
+  rm -rf "$batch_dir"; exit 1
+fi
+rm -rf "$batch_dir"
+
 # observability: profile one kernel end to end and validate the trace
 trace=$(mktemp /tmp/darm_trace.XXXXXX.json)
 trap 'rm -f "$trace"' EXIT

@@ -303,6 +303,7 @@ let record entries =
     r_env = History.current_env ~jobs:1 ();
     r_wall_s = Some 1.5;
     r_entries = entries;
+    r_batch = None;
   }
 
 let test_history_json_round_trip () =

@@ -49,6 +49,32 @@ let test_lowest_index_error_wins () =
             4 v)
     [ 1; 4 ]
 
+let test_error_backtrace_preserved () =
+  (* the pool's deferred re-raise must carry the backtrace captured at
+     the failing task, not a fresh (empty) one from the plumbing; the
+     recording flag is set inside the task because worker domains do
+     not inherit the caller's *)
+  List.iter
+    (fun jobs ->
+      match
+        PS.map ~jobs
+          (fun x ->
+            Printexc.record_backtrace true;
+            if x mod 2 = 0 then raise (Boom x) else x)
+          [ 1; 3; 4; 5; 6; 8 ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom v ->
+          let bt = Printexc.get_raw_backtrace () in
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d first failing task" jobs)
+            4 v;
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d backtrace survives the pool" jobs)
+            true
+            (Printexc.raw_backtrace_length bt > 0))
+    [ 1; 4 ]
+
 (* ------------------------------------------------------------------ *)
 
 (* a fresh transform instance bypasses the experiment result cache, so
@@ -140,6 +166,8 @@ let suites =
           test_run_all_order;
         Alcotest.test_case "lowest-index error wins" `Quick
           test_lowest_index_error_wins;
+        Alcotest.test_case "error backtrace preserved" `Quick
+          test_error_backtrace_preserved;
         Alcotest.test_case "sweep_many jobs=1 = jobs=4" `Quick
           test_sweep_many_deterministic;
         Alcotest.test_case "fig7/fig8 csv bytes jobs-independent" `Slow
