@@ -144,16 +144,50 @@ let () =
   (* machine-readable summary: written and validated whenever any
      experiment points were collected (full run, fig7/fig8, --smoke) *)
   if !bench_results <> [] then begin
-    let wall_s = Unix.gettimeofday () -. t_start in
-    H.Bench_json.write ~wall_s !bench_results;
+    H.Bench_json.write
+      ~wall_s:(Unix.gettimeofday () -. t_start)
+      !bench_results;
     Printf.printf "\nbench: wrote %s (%d points, geomean %.3fx)\n"
       H.Bench_json.default_path
       (List.length !bench_results)
       (H.Experiment.geomean (List.map H.Experiment.speedup !bench_results));
-    (* append the same points to the env-fingerprinted history, the
-       input of the [darm_opt bench-diff] regression sentinel *)
+    (* re-run the collected matrix under the hierarchical memory model:
+       both model variants land in ONE history record (flat and hier
+       entries distinguished by their mem_model key), so bench-diff
+       gates the hierarchical geomean alongside the flat one *)
+    let hier_points =
+      List.sort_uniq compare
+        (List.map
+           (fun (r : H.Experiment.result) ->
+             (r.H.Experiment.tag, r.H.Experiment.block_size))
+           !bench_results)
+    in
+    let hier_mm =
+      Darm_sim.Simulator.Hier Darm_sim.Simulator.default_hier_params
+    in
+    let hier_results =
+      H.Experiment.run_many
+        (List.filter_map
+           (fun (tag, bs) ->
+             Registry.find tag
+             |> Option.map (fun k () ->
+                    H.Experiment.run ~mem_model:hier_mm k ~block_size:bs))
+           hier_points)
+    in
+    gate (H.Experiment.all_correct hier_results);
+    Printf.printf "bench: hier model re-run (%d points, geomean %.3fx)\n"
+      (List.length hier_results)
+      (H.Experiment.geomean (List.map H.Experiment.speedup hier_results));
+    let wall_s = Unix.gettimeofday () -. t_start in
     let record =
-      H.History.of_results ~wall_s ~time:(Unix.time ()) !bench_results
+      {
+        (H.History.of_results ~wall_s ~mem_model:"flat+hier"
+           ~time:(Unix.time ()) !bench_results)
+        with
+        H.History.r_entries =
+          H.History.entries_of_results ~mem_model:"flat" !bench_results
+          @ H.History.entries_of_results ~mem_model:"hier" hier_results;
+      }
     in
     H.History.append record;
     Printf.printf "bench: appended run to %s\n" H.History.default_path

@@ -52,6 +52,25 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
+let mem_model_arg =
+  let doc =
+    "Memory model: flat (per-opcode latencies, the default) or hier \
+     (coalescing/L1/LDS-conflict/MSHR hierarchy with per-site attribution; \
+     see doc/observability.md)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("flat", Darm_sim.Simulator.Flat);
+             ( "hier",
+               Darm_sim.Simulator.Hier Darm_sim.Simulator.default_hier_params
+             );
+           ])
+        Darm_sim.Simulator.Flat
+    & info [ "mem-model" ] ~docv:"MODEL" ~doc)
+
 let format_arg =
   let doc = "Trace output format: chrome (Perfetto / chrome://tracing) or \
              jsonl (one event object per line)." in
@@ -160,18 +179,19 @@ let meld_cmd =
       $ dump_before $ dump_after)
 
 let simulate_cmd =
-  let run tag block_size n seed pass trace_out format =
+  let run tag block_size n seed pass trace_out format mem_model =
     let kernel = find_kernel tag in
     let r, trace =
       match trace_out with
       | None ->
-          (E.run ~transform:(transform_of_name pass) ~seed ?n kernel
-             ~block_size,
+          (E.run ~transform:(transform_of_name pass) ~seed ?n ~mem_model
+             kernel ~block_size,
            None)
       | Some path ->
           let transform = obs_transform_of_name pass in
           let tr, r =
-            Profile.run_point ~seed ?n ~transform kernel ~block_size
+            Profile.run_point ~seed ?n ~mem_model ~transform kernel
+              ~block_size
           in
           (r, Some (path, tr))
     in
@@ -198,7 +218,7 @@ let simulate_cmd =
           structured execution trace.")
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg
-      $ trace_out_arg $ format_arg)
+      $ trace_out_arg $ format_arg $ mem_model_arg)
 
 let print_sweep_table (kernel : Kernel.t) (results : E.result list) : unit =
   Printf.printf "%-8s %8s %12s %12s %9s %9s %8s\n" "bench" "bs" "base cyc"
@@ -214,7 +234,7 @@ let print_sweep_table (kernel : Kernel.t) (results : E.result list) : unit =
     kernel.Kernel.block_sizes results
 
 let sweep_cmd =
-  let run tag n seed pass jobs trace_out format =
+  let run tag n seed pass jobs trace_out format mem_model =
     let kernel = find_kernel tag in
     let results =
       match trace_out with
@@ -223,12 +243,12 @@ let sweep_cmd =
           E.run_many ?jobs
             (List.map
                (fun block_size () ->
-                 E.run ~transform:t ~seed ?n kernel ~block_size)
+                 E.run ~transform:t ~seed ?n ~mem_model kernel ~block_size)
                kernel.Kernel.block_sizes)
       | Some path ->
           let transform = obs_transform_of_name pass in
           let trace, results =
-            Profile.sweep ?jobs ~seed ?n ~transform kernel
+            Profile.sweep ?jobs ~seed ?n ~mem_model ~transform kernel
           in
           write_trace ~format ~path trace;
           results
@@ -244,7 +264,7 @@ let sweep_cmd =
           (byte-identical for any --jobs count).")
     Term.(
       const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg $ jobs_arg
-      $ trace_out_arg $ format_arg)
+      $ trace_out_arg $ format_arg $ mem_model_arg)
 
 let profile_cmd =
   let out_arg =
@@ -719,7 +739,7 @@ let report_cmd =
              of a single one.")
   in
   let fmt_arg =
-    let doc = "Output format: text, json (darm-report-v1) or markdown." in
+    let doc = "Output format: text, json (darm-report-v2) or markdown." in
     Arg.(
       value
       & opt (enum [ ("text", `Text); ("json", `Json); ("markdown", `Md) ])
@@ -749,7 +769,8 @@ let report_cmd =
             "Metrics snapshot format: prom (Prometheus text exposition) or \
              json (darm-metrics-v1).")
   in
-  let run tag block_size n seed jobs all fmt json metrics_out metrics_fmt =
+  let run tag block_size n seed jobs all fmt json metrics_out metrics_fmt
+      mem_model =
     let fmt = if json then `Json else fmt in
     let points =
       if all then
@@ -762,7 +783,7 @@ let report_cmd =
           Registry.all
       else [ (find_kernel tag, block_size) ]
     in
-    let reports = Report.compute_many ?jobs ~seed ?n points in
+    let reports = Report.compute_many ?jobs ~seed ?n ~mem_model points in
     (match fmt with
     | `Json -> (
         match reports with
@@ -805,12 +826,16 @@ let report_cmd =
          "Divergence attribution: run a kernel (or all of them) \
           baseline-vs-DARM and join the simulator's per-branch divergence \
           counters with the pass's meld provenance into a \
-          cycles-saved-per-meld table.  Per-meld rows plus an explicit \
-          residual row sum exactly to the total cycle delta.  Output is \
+          cycles-saved-per-meld table, plus the per-access-site memory \
+          table (coalescing, L1, conflicts, stalls under --mem-model \
+          hier).  Per-meld rows plus an explicit residual row sum exactly \
+          to the total cycle delta, and per-site memory deltas close the \
+          same identity through the non-memory residual.  Output is \
           byte-identical for any --jobs count.")
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ jobs_arg
-      $ all_flag $ fmt_arg $ json_flag $ metrics_out_arg $ metrics_fmt_arg)
+      $ all_flag $ fmt_arg $ json_flag $ metrics_out_arg $ metrics_fmt_arg
+      $ mem_model_arg)
 
 let batch_cmd =
   let module B = Darm_fuzz.Batch in
@@ -979,7 +1004,7 @@ let batch_cmd =
 let bench_diff_cmd =
   let module History = Darm_harness.History in
   let history_arg =
-    let doc = "Candidate history file (JSONL, darm-bench-hist-v1); the \
+    let doc = "Candidate history file (JSONL, darm-bench-hist-v2); the \
                candidate is its last record." in
     Arg.(
       value

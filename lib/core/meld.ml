@@ -672,4 +672,61 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
                   match repair d with Some v' -> v' | None -> v)
               | _ -> v)
             u.operands);
+  (* -------- pass 7: pointer type repair --------
+     Operand substitution can widen a melded pointer definition to flat
+     (a select over mixed-space operands joins to Flat, and geps follow
+     their base).  A phi copied with its original concrete-space type —
+     in particular an unpredication phi from an {e earlier} meld whose
+     sides this meld just merged — would then "narrow" the widened
+     value, which the verifier rejects.  Repair only instructions the
+     widening made invalid, propagating to a fixpoint; valid types are
+     never touched, so unaffected kernels keep their exact latencies. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    iter_instrs fn (fun i ->
+        match i.op with
+        | Op.Phi -> (
+            match i.ty with
+            | Types.Ptr rs when not (Types.addrspace_equal rs Types.Flat) ->
+                let narrows =
+                  Array.exists
+                    (fun v ->
+                      match v with
+                      | Undef _ -> false
+                      | _ -> (
+                          match value_ty v with
+                          | Types.Ptr vs ->
+                              not (Types.addrspace_equal rs vs)
+                          | _ -> false))
+                    i.operands
+                in
+                if narrows then begin
+                  i.ty <- Types.Ptr Types.Flat;
+                  i.operands <-
+                    Array.map
+                      (function Undef _ -> Undef i.ty | v -> v)
+                      i.operands;
+                  changed := true
+                end
+            | _ -> ())
+        | Op.Gep -> (
+            match value_ty i.operands.(0), i.ty with
+            | Types.Ptr base, Types.Ptr rs
+              when not (Types.addrspace_equal base rs) ->
+                i.ty <- Types.Ptr base;
+                changed := true
+            | _ -> ())
+        | Op.Select -> (
+            match i.ty, value_ty i.operands.(1), value_ty i.operands.(2) with
+            | Types.Ptr rs, Types.Ptr a, Types.Ptr b
+              when (not (Types.addrspace_equal rs Types.Flat))
+                   && not
+                        (Types.addrspace_equal rs a
+                        && Types.addrspace_equal rs b) ->
+                i.ty <- Types.Ptr (Types.join_ptr a b);
+                changed := true
+            | _ -> ())
+        | _ -> ())
+  done;
   m0

@@ -222,7 +222,7 @@ let report_invariants subject ~stage:(_ : string) ~(stats : Pass.stats)
       Report.build ~kernel:subject.sb_name ~block_size:subject.sb_block_size
         ~seed:subject.sb_input_seed ~n:subject.sb_n ~correct:true
         ~rewrites:stats.Pass.melds_applied ~pass_ms:0. ~base ~opt
-        ~melds:stats.Pass.melds
+        ~melds:stats.Pass.melds ()
     in
     let saved =
       List.fold_left (fun acc row -> acc + Report.meld_saved row) 0

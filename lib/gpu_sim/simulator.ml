@@ -37,10 +37,53 @@ open Darm_ir
 open Darm_ir.Ssa
 open Memory
 
+(** Parameters of the hierarchical memory model.  The cache line equals
+    the 32-cell coalescing segment, so the L1 is indexed by segment
+    number; capacity = [l1_sets * l1_ways] lines. *)
+type hier_params = {
+  l1_sets : int;  (** direct set count (power of two not required) *)
+  l1_ways : int;  (** associativity, LRU replacement *)
+  l1_hit_lat : int;  (** charged when every touched segment is resident *)
+  l1_miss_lat : int;
+      (** charged when any segment misses; also the slot occupancy time
+          of the in-flight (MSHR) tracker *)
+  txn_cycles : int;
+      (** serialization cost of each coalesced segment beyond the
+          first — the latency face of the transaction counter *)
+  lds_conflict_cycles : int;
+      (** cycles per extra LDS serialization phase (bank conflicts) *)
+  mshr : int;
+      (** bounded in-flight segment requests; a miss with every slot
+          busy stalls issue until the earliest completes *)
+}
+
+let default_hier_params : hier_params =
+  {
+    l1_sets = 64;
+    l1_ways = 4;
+    l1_hit_lat = 28;
+    l1_miss_lat = 180;
+    txn_cycles = 4;
+    lds_conflict_cycles = 2;
+    mshr = 32;
+  }
+
+(** Memory model selector: [Flat] charges every access its static
+    {!Darm_analysis.Latency} value — the original behaviour,
+    bit-for-bit; [Hier] routes global traffic through coalescing, the
+    L1 and the MSHR tracker and serializes LDS bank conflicts, so the
+    charged latency depends on the dynamic access pattern. *)
+type mem_model = Flat | Hier of hier_params
+
 type config = {
   warp_size : int;
   latency : Darm_analysis.Latency.config;
   max_cycles_per_warp : int;  (** runaway-loop guard *)
+  mem_model : mem_model;
+      (** memory subsystem model; [Flat] (the default) keeps per-opcode
+          latencies, [Hier] makes coalescing/L1/LDS behaviour
+          latency-bearing.  Per-site attribution ({!Metrics.site_stats})
+          is collected under both. *)
   trace : (string -> unit) option;
       (** legacy string-trace shim, kept for [darm_opt trace]: called
           once per executed basic block with
@@ -62,6 +105,7 @@ let default_config : config =
     warp_size = 64;
     latency = Darm_analysis.Latency.default;
     max_cycles_per_warp = 400_000_000;
+    mem_model = Flat;
     trace = None;
     obs = None;
     obs_pid = 1;
@@ -126,6 +170,9 @@ type dinstr = {
   d_mem : mem_class;  (** static pointer class of a memory access *)
   d_ptr : int;  (** pointer operand index for load/store, -1 otherwise *)
   d_term : bool;  (** memoized [Op.is_terminator] *)
+  d_site : int;
+      (** dense static access-site index for load/store ([fctx.sites]
+          maps it to the stable "<block>#<k>" id), -1 otherwise *)
   d_ops : dop array;
   d_succ : int array;  (** dense successor block indices *)
   d_imm : int;  (** [Alloc_shared]: offset into shared memory *)
@@ -150,6 +197,10 @@ type fctx = {
   nslots : int;  (** register-file height: one slot per instruction *)
   max_phis : int;
   shared_size : int;
+  sites : string array;
+      (** static access-site ids, indexed by [d_site]: "<block>#<k>"
+          with [k] the instruction's index among the block's non-phi
+          instructions — stable across runs like branch ids *)
 }
 
 let prepare (cfg : config) (fn : func) : fctx =
@@ -183,7 +234,9 @@ let prepare (cfg : config) (fn : func) : fctx =
     | Param p -> Dparam p.pindex
     | Instr i -> Dslot (Hashtbl.find slot_of i.id)
   in
-  let decode_instr (i : instr) : dinstr =
+  let sites_rev = ref [] in
+  let nsites = ref 0 in
+  let decode_instr ~(bname : string) ~(k : int) (i : instr) : dinstr =
     let d_mem, d_ptr =
       if Op.is_memory i.op then begin
         let pi = if i.op = Op.Store then 1 else 0 in
@@ -196,6 +249,15 @@ let prepare (cfg : config) (fn : func) : fctx =
       end
       else (Mc_none, -1)
     in
+    let d_site =
+      if d_mem <> Mc_none then begin
+        let s = !nsites in
+        sites_rev := Printf.sprintf "%s#%d" bname k :: !sites_rev;
+        incr nsites;
+        s
+      end
+      else -1
+    in
     {
       d_op = i.op;
       d_slot = Hashtbl.find slot_of i.id;
@@ -204,6 +266,7 @@ let prepare (cfg : config) (fn : func) : fctx =
       d_mem;
       d_ptr;
       d_term = Op.is_terminator i.op;
+      d_site;
       d_ops = Array.map dop_of i.operands;
       d_succ = Array.map (fun b -> Hashtbl.find bidx b.bid) i.blocks;
       d_imm =
@@ -231,7 +294,10 @@ let prepare (cfg : config) (fn : func) : fctx =
            (phis b))
     in
     let db_code =
-      Array.of_list (List.map decode_instr (non_phis b))
+      Array.of_list
+        (List.mapi
+           (fun k i -> decode_instr ~bname:b.bname ~k i)
+           (non_phis b))
     in
     let db_ipdom =
       match Darm_analysis.Domtree.idom pdt b with
@@ -246,7 +312,14 @@ let prepare (cfg : config) (fn : func) : fctx =
       (fun acc db -> max acc (Array.length db.db_phis))
       0 dblocks
   in
-  { fn; dblocks; nslots = !nslots; max_phis; shared_size = !off }
+  {
+    fn;
+    dblocks;
+    nslots = !nslots;
+    max_phis;
+    shared_size = !off;
+    sites = Array.of_list (List.rev !sites_rev);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Warp state *)
@@ -276,6 +349,36 @@ type warp = {
   mutable status : warp_status;
 }
 
+(** Mutable state of the hierarchical memory model.  Reset at every
+    thread-block boundary — blocks are scheduled independently, so
+    neither cache contents nor in-flight requests survive a block
+    swap. *)
+type hier_state = {
+  hp : hier_params;
+  l1_tags : int array;
+      (** resident segment per line, [set * ways + way]; -1 = invalid *)
+  l1_lru : int array;  (** last-touch tick per line (LRU victim = min) *)
+  mutable l1_tick : int;
+  mshr_ready : int array;
+      (** cycle at which each in-flight slot frees; clocked by
+          [metrics.cycles] *)
+}
+
+let make_hier_state (hp : hier_params) : hier_state =
+  {
+    hp;
+    l1_tags = Array.make (max 1 (hp.l1_sets * hp.l1_ways)) (-1);
+    l1_lru = Array.make (max 1 (hp.l1_sets * hp.l1_ways)) 0;
+    l1_tick = 0;
+    mshr_ready = Array.make (max 1 hp.mshr) 0;
+  }
+
+let reset_hier_state (h : hier_state) : unit =
+  Array.fill h.l1_tags 0 (Array.length h.l1_tags) (-1);
+  Array.fill h.l1_lru 0 (Array.length h.l1_lru) 0;
+  h.l1_tick <- 0;
+  Array.fill h.mshr_ready 0 (Array.length h.mshr_ready) 0
+
 type launch_ctx = {
   cfg : config;
   fctx : fctx;
@@ -298,6 +401,19 @@ type launch_ctx = {
   br_cycles : int array;  (** issue cycles inside the branch's arms *)
   br_lost : int array;  (** idle-lane cycles inside the arms *)
   br_reconv : int array;  (** arm completions at the IPDOM *)
+  (* per-site memory attribution, indexed by [d_site]; folded into
+     [metrics.mem_sites] (keyed by the stable "<block>#<k>" site id) at
+     the end of the launch, mirroring the branch arrays above. *)
+  ms_issues : int array;
+  ms_accesses : int array;
+  ms_transactions : int array;
+  ms_l1_hits : int array;
+  ms_l1_misses : int array;
+  ms_bank_conflicts : int array;
+  ms_bank_conflict_cycles : int array;
+  ms_stall_cycles : int array;
+  ms_cycles : int array;
+  hier : hier_state option;  (** [Some] iff [cfg.mem_model] is [Hier] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -399,6 +515,11 @@ let account (ctx : launch_ctx) (d : dinstr) (fr : frame) : unit =
     m.alu_issues <- m.alu_issues + 1;
     m.alu_active_lanes <- m.alu_active_lanes + popcount mask
   end;
+  if d.d_site >= 0 then begin
+    ctx.ms_issues.(d.d_site) <- ctx.ms_issues.(d.d_site) + 1;
+    ctx.ms_cycles.(d.d_site) <- ctx.ms_cycles.(d.d_site) + d.d_lat;
+    m.mem_cycles <- m.mem_cycles + d.d_lat
+  end;
   match d.d_mem with
   | Mc_none -> ()
   | Mc_global -> m.mem_global <- m.mem_global + 1
@@ -456,16 +577,185 @@ let account_transactions (ctx : launch_ctx) (w : warp) (d : dinstr)
         done;
         if !cnt > !worst then worst := !cnt
       done;
-      if !worst > 1 then
+      if !worst > 1 then begin
         ctx.metrics.bank_conflicts <-
           ctx.metrics.bank_conflicts + (!worst - 1);
+        ctx.ms_bank_conflicts.(d.d_site) <-
+          ctx.ms_bank_conflicts.(d.d_site) + (!worst - 1)
+      end;
       phase := !phase + 32
     done;
     if !nseg > 0 then begin
       ctx.metrics.global_transactions <-
         ctx.metrics.global_transactions + !nseg;
-      ctx.metrics.global_accesses <- ctx.metrics.global_accesses + 1
+      ctx.metrics.global_accesses <- ctx.metrics.global_accesses + 1;
+      ctx.ms_transactions.(d.d_site) <-
+        ctx.ms_transactions.(d.d_site) + !nseg;
+      ctx.ms_accesses.(d.d_site) <- ctx.ms_accesses.(d.d_site) + 1
     end
+  end
+
+(* Hierarchical accounting for one memory issue: a combined pass that
+   replaces [account] + [account_transactions] when [cfg.mem_model] is
+   [Hier].  The coalescing/bank scan is identical to
+   [account_transactions] (those counters stay model-independent); on
+   top of it the L1 probe decides the charged global latency, each
+   coalesced segment beyond the first serializes at [txn_cycles], LDS
+   conflict phases cost [lds_conflict_cycles] each, and a miss finding
+   every MSHR slot busy stalls issue until the earliest in-flight
+   request completes.  The charged issue latency is the slower of the
+   global and LDS paths ([d_lat] when the access generated no traffic at
+   all), plus any stall. *)
+let account_mem_hier (ctx : launch_ctx) (w : warp) (frame : frame)
+    (d : dinstr) (h : hier_state) : unit =
+  let m = ctx.metrics in
+  let hp = h.hp in
+  let mask = frame.mask in
+  let ptr = d.d_ops.(d.d_ptr) in
+  let segs = ctx.seg_scratch in
+  let nseg = ref 0 in
+  let conflict_phases = ref 0 in
+  let shared_seen = ref false in
+  let phase = ref 0 in
+  while !phase < ctx.cfg.warp_size do
+    let bo = ctx.bank_scratch in
+    let bn = ref 0 in
+    for lane = !phase to min (ctx.cfg.warp_size - 1) (!phase + 31) do
+      if mask.(lane) then
+        match eval_dop ctx w lane ptr with
+        | Rptr (Sp_global, off) ->
+            let seg = off / 32 in
+            let dup = ref false in
+            for k = 0 to !nseg - 1 do
+              if segs.(k) = seg then dup := true
+            done;
+            if not !dup then begin
+              segs.(!nseg) <- seg;
+              incr nseg
+            end
+        | Rptr (Sp_shared, off) ->
+            shared_seen := true;
+            bo.(!bn) <- off;
+            incr bn
+        | _ -> ()
+    done;
+    let worst = ref 0 in
+    for b = 0 to 31 do
+      let cnt = ref 0 in
+      for i = 0 to !bn - 1 do
+        if bo.(i) land 31 = b then begin
+          let first = ref true in
+          for j = 0 to i - 1 do
+            if bo.(j) = bo.(i) then first := false
+          done;
+          if !first then incr cnt
+        end
+      done;
+      if !cnt > !worst then worst := !cnt
+    done;
+    if !worst > 1 then begin
+      m.bank_conflicts <- m.bank_conflicts + (!worst - 1);
+      ctx.ms_bank_conflicts.(d.d_site) <-
+        ctx.ms_bank_conflicts.(d.d_site) + (!worst - 1);
+      conflict_phases := !conflict_phases + (!worst - 1)
+    end;
+    phase := !phase + 32
+  done;
+  (* L1: one probe per coalesced segment; the access counts as a hit
+     only when every segment is resident, so [l1_hits + l1_misses]
+     counts accesses, not segments. *)
+  let all_hit = ref true in
+  for s = 0 to !nseg - 1 do
+    let seg = segs.(s) in
+    let base = seg mod hp.l1_sets * hp.l1_ways in
+    let way = ref (-1) in
+    for wy = 0 to hp.l1_ways - 1 do
+      if h.l1_tags.(base + wy) = seg then way := wy
+    done;
+    h.l1_tick <- h.l1_tick + 1;
+    if !way >= 0 then h.l1_lru.(base + !way) <- h.l1_tick
+    else begin
+      all_hit := false;
+      let victim = ref 0 in
+      for wy = 1 to hp.l1_ways - 1 do
+        if h.l1_lru.(base + wy) < h.l1_lru.(base + !victim) then
+          victim := wy
+      done;
+      h.l1_tags.(base + !victim) <- seg;
+      h.l1_lru.(base + !victim) <- h.l1_tick
+    end
+  done;
+  let glat =
+    if !nseg = 0 then 0
+    else
+      (if !all_hit then hp.l1_hit_lat else hp.l1_miss_lat)
+      + (hp.txn_cycles * (!nseg - 1))
+  in
+  (* MSHR: a missing access occupies the earliest-free slot for its
+     global latency; when no slot is free at issue, the warp stalls. *)
+  let stall = ref 0 in
+  if !nseg > 0 && not !all_hit then begin
+    let slot = ref 0 in
+    for k = 1 to Array.length h.mshr_ready - 1 do
+      if h.mshr_ready.(k) < h.mshr_ready.(!slot) then slot := k
+    done;
+    if h.mshr_ready.(!slot) > m.cycles then
+      stall := h.mshr_ready.(!slot) - m.cycles;
+    h.mshr_ready.(!slot) <- m.cycles + !stall + glat
+  end;
+  let bc_cycles = !conflict_phases * hp.lds_conflict_cycles in
+  let slat = (if !shared_seen then d.d_lat else 0) + bc_cycles in
+  let lat = max glat slat in
+  let lat = if lat = 0 then d.d_lat else lat in
+  let charged = !stall + lat in
+  m.cycles <- m.cycles + charged;
+  m.instructions <- m.instructions + 1;
+  if frame.origin >= 0 then begin
+    ctx.br_cycles.(frame.origin) <- ctx.br_cycles.(frame.origin) + charged;
+    ctx.br_lost.(frame.origin) <-
+      ctx.br_lost.(frame.origin) + (frame.f_lost * charged)
+  end;
+  (match d.d_mem with
+  | Mc_none -> ()
+  | Mc_global -> m.mem_global <- m.mem_global + 1
+  | Mc_shared -> m.mem_shared <- m.mem_shared + 1
+  | Mc_flat -> m.mem_flat <- m.mem_flat + 1);
+  m.mem_cycles <- m.mem_cycles + charged;
+  ctx.ms_issues.(d.d_site) <- ctx.ms_issues.(d.d_site) + 1;
+  ctx.ms_cycles.(d.d_site) <- ctx.ms_cycles.(d.d_site) + charged;
+  if !stall > 0 then begin
+    m.mem_stall_cycles <- m.mem_stall_cycles + !stall;
+    ctx.ms_stall_cycles.(d.d_site) <-
+      ctx.ms_stall_cycles.(d.d_site) + !stall
+  end;
+  if bc_cycles > 0 then begin
+    m.bank_conflict_cycles <- m.bank_conflict_cycles + bc_cycles;
+    ctx.ms_bank_conflict_cycles.(d.d_site) <-
+      ctx.ms_bank_conflict_cycles.(d.d_site) + bc_cycles
+  end;
+  if !nseg > 0 then begin
+    m.global_transactions <- m.global_transactions + !nseg;
+    m.global_accesses <- m.global_accesses + 1;
+    ctx.ms_transactions.(d.d_site) <- ctx.ms_transactions.(d.d_site) + !nseg;
+    ctx.ms_accesses.(d.d_site) <- ctx.ms_accesses.(d.d_site) + 1;
+    if !all_hit then begin
+      m.l1_hits <- m.l1_hits + 1;
+      ctx.ms_l1_hits.(d.d_site) <- ctx.ms_l1_hits.(d.d_site) + 1
+    end
+    else begin
+      m.l1_misses <- m.l1_misses + 1;
+      ctx.ms_l1_misses.(d.d_site) <- ctx.ms_l1_misses.(d.d_site) + 1
+    end;
+    match ctx.cfg.obs with
+    | None -> ()
+    | Some tr ->
+        let inflight = ref 0 in
+        for k = 0 to Array.length h.mshr_ready - 1 do
+          if h.mshr_ready.(k) > m.cycles then incr inflight
+        done;
+        Tr.counter tr ~cat:"sim" ~pid:ctx.cfg.obs_pid ~tid:0 ~ts:m.cycles
+          "mem.inflight"
+          (float_of_int !inflight)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -512,7 +802,11 @@ exception Poison
     error and traps. *)
 let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (d : dinstr) :
     unit =
-  account ctx d frame;
+  (match ctx.hier with
+  | Some h when d.d_mem <> Mc_none -> account_mem_hier ctx w frame d h
+  | _ ->
+      account ctx d frame;
+      if d.d_mem <> Mc_none then account_transactions ctx w d frame.mask);
   let fail_context msg =
     let i = d.d_orig in
     errf "%s (instr %d, op %s, block %s)" msg i.id (Op.to_string i.op)
@@ -572,12 +866,10 @@ let exec_instr (ctx : launch_ctx) (w : warp) (frame : frame) (d : dinstr) :
           if as_bool "select" (opv 0 l) then eval_dop ctx w l d.d_ops.(1)
           else eval_dop ctx w l d.d_ops.(2))
   | Op.Load ->
-      account_transactions ctx w d mask;
       per_lane (fun l ->
           let sp, off = as_ptr "load" (opv_strict 0 l) in
           Memory.read (mem_for ctx sp) off)
   | Op.Store ->
-      account_transactions ctx w d mask;
       for lane = 0 to ctx.cfg.warp_size - 1 do
         if mask.(lane) then begin
           let v = eval_dop ctx w lane d.d_ops.(0) in
@@ -794,8 +1086,27 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
   let br_cycles = Array.make nblocks 0 in
   let br_lost = Array.make nblocks 0 in
   let br_reconv = Array.make nblocks 0 in
+  let nsites = Array.length fctx.sites in
+  let msa () = Array.make (max 1 nsites) 0 in
+  let ms_issues = msa () in
+  let ms_accesses = msa () in
+  let ms_transactions = msa () in
+  let ms_l1_hits = msa () in
+  let ms_l1_misses = msa () in
+  let ms_bank_conflicts = msa () in
+  let ms_bank_conflict_cycles = msa () in
+  let ms_stall_cycles = msa () in
+  let ms_cycles = msa () in
+  let hier =
+    match config.mem_model with
+    | Flat -> None
+    | Hier hp -> Some (make_hier_state hp)
+  in
   for block_idx = 0 to launch.grid_dim - 1 do
     let cycles_before = metrics.cycles in
+    (match hier with
+    | Some h -> reset_hier_state h
+    | None -> ());
     (match config.obs with
     | None -> ()
     | Some tr ->
@@ -824,6 +1135,16 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
         br_cycles;
         br_lost;
         br_reconv;
+        ms_issues;
+        ms_accesses;
+        ms_transactions;
+        ms_l1_hits;
+        ms_l1_misses;
+        ms_bank_conflicts;
+        ms_bank_conflict_cycles;
+        ms_stall_cycles;
+        ms_cycles;
+        hier;
       }
     in
     let nwarps = (launch.block_dim + ws - 1) / ws in
@@ -873,7 +1194,12 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
           "block";
         Tr.counter tr ~cat:"sim" ~pid:config.obs_pid ~tid:0 ~ts:metrics.cycles
           "block.cycles"
-          (float_of_int (metrics.cycles - cycles_before))
+          (float_of_int (metrics.cycles - cycles_before));
+        (* cumulative L1 hit rate, one sample per block boundary *)
+        if hier <> None then
+          Tr.counter tr ~cat:"sim" ~pid:config.obs_pid ~tid:0
+            ~ts:metrics.cycles "mem.l1_hit_rate"
+            (Metrics.l1_hit_rate metrics)
   done;
   (* fold the dense attribution arrays into the metrics, keyed by the
      stable static branch id (the branch block's name) *)
@@ -886,6 +1212,26 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
         s.Metrics.br_lost_lane_cycles + br_lost.(bi);
       s.Metrics.br_reconvergences <-
         s.Metrics.br_reconvergences + br_reconv.(bi)
+    end
+  done;
+  (* likewise for the per-site memory attribution, keyed by the stable
+     "<block>#<k>" access-site id *)
+  for si = 0 to nsites - 1 do
+    if ms_issues.(si) > 0 then begin
+      let s = Metrics.touch_site metrics fctx.sites.(si) in
+      s.Metrics.ms_issues <- s.Metrics.ms_issues + ms_issues.(si);
+      s.Metrics.ms_accesses <- s.Metrics.ms_accesses + ms_accesses.(si);
+      s.Metrics.ms_transactions <-
+        s.Metrics.ms_transactions + ms_transactions.(si);
+      s.Metrics.ms_l1_hits <- s.Metrics.ms_l1_hits + ms_l1_hits.(si);
+      s.Metrics.ms_l1_misses <- s.Metrics.ms_l1_misses + ms_l1_misses.(si);
+      s.Metrics.ms_bank_conflicts <-
+        s.Metrics.ms_bank_conflicts + ms_bank_conflicts.(si);
+      s.Metrics.ms_bank_conflict_cycles <-
+        s.Metrics.ms_bank_conflict_cycles + ms_bank_conflict_cycles.(si);
+      s.Metrics.ms_stall_cycles <-
+        s.Metrics.ms_stall_cycles + ms_stall_cycles.(si);
+      s.Metrics.ms_cycles <- s.Metrics.ms_cycles + ms_cycles.(si)
     end
   done;
   metrics

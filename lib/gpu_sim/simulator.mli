@@ -21,10 +21,44 @@
 
 open Darm_ir
 
+(** Parameters of the hierarchical memory model.  The cache line equals
+    the 32-cell coalescing segment, so the L1 is indexed by segment
+    number; capacity = [l1_sets * l1_ways] lines.  All state resets at
+    thread-block boundaries. *)
+type hier_params = {
+  l1_sets : int;  (** set count (a power of two is not required) *)
+  l1_ways : int;  (** associativity, LRU replacement *)
+  l1_hit_lat : int;  (** charged when every touched segment is resident *)
+  l1_miss_lat : int;
+      (** charged when any segment misses; also the slot occupancy time
+          of the in-flight (MSHR) tracker *)
+  txn_cycles : int;
+      (** serialization cost of each coalesced segment beyond the
+          first — the latency face of the transaction counter *)
+  lds_conflict_cycles : int;
+      (** cycles per extra LDS serialization phase (bank conflicts) *)
+  mshr : int;
+      (** bounded in-flight segment requests; a miss with every slot
+          busy stalls issue until the earliest completes *)
+}
+
+(** 64 sets x 4 ways, 28/180-cycle hit/miss, 4 cycles per extra
+    segment, 2 per LDS conflict phase, 32 MSHR slots. *)
+val default_hier_params : hier_params
+
+(** Memory model selector: [Flat] charges every access its static
+    {!Darm_analysis.Latency} value — bit-for-bit the original
+    behaviour; [Hier] routes global traffic through coalescing, the L1
+    and the MSHR tracker and serializes LDS bank conflicts, so the
+    charged latency depends on the dynamic access pattern.  Per-site
+    attribution ({!Metrics.site_stats}) is collected under both. *)
+type mem_model = Flat | Hier of hier_params
+
 type config = {
   warp_size : int;  (** 64 = an AMD wavefront *)
   latency : Darm_analysis.Latency.config;
   max_cycles_per_warp : int;  (** runaway-loop guard *)
+  mem_model : mem_model;  (** default [Flat] *)
   trace : (string -> unit) option;
       (** legacy string-trace compatibility shim (kept for
           [darm_opt trace]): called once per executed basic block with
@@ -70,7 +104,16 @@ type launch = { grid_dim : int; block_dim : int }
     name) with its split count, the issue cycles spent inside its arms,
     the idle-lane cycles those splits wasted, and its reconvergence
     count.  Attribution is always on — it costs two array increments
-    per issue — and deterministic like every other counter. *)
+    per issue — and deterministic like every other counter.
+
+    Memory behaviour is attributed the same way
+    ({!Metrics.site_stats}): every load/store is keyed by its static
+    access site ["<block>#<k>"] with issues, global accesses and
+    coalesced transactions, and — under [Hier] — L1 hits/misses,
+    bank-conflict cycles and MSHR stall cycles.  Under [Hier] with
+    [obs] set the timeline additionally carries [mem.inflight] samples
+    (per global access) and a cumulative [mem.l1_hit_rate] sample per
+    block boundary on tid 0. *)
 val run :
   ?config:config ->
   Ssa.func ->

@@ -67,13 +67,18 @@ val run_instance : ?config:Sim.config -> Kernel.instance -> Metrics.t
     [experiment] span carrying kernel/block-size/transform attributes,
     and both simulations emit their divergence timelines into the
     buffer (baseline on pid 1, transformed on pid 2).  Observed runs
-    bypass the memoization caches so the events are always emitted. *)
+    bypass the memoization caches so the events are always emitted.
+
+    [mem_model] selects the memory model for both simulations (folded
+    into [sim]); [Hier] runs bypass the memoization caches, which hold
+    default-model results only. *)
 val run :
   ?transform:transform ->
   ?seed:int ->
   ?n:int ->
   ?sim:Sim.config ->
   ?obs:Darm_obs.Trace.t ->
+  ?mem_model:Sim.mem_model ->
   Kernel.t ->
   block_size:int ->
   result
@@ -84,6 +89,7 @@ val sweep :
   ?transform:transform ->
   ?seed:int ->
   ?n:int ->
+  ?mem_model:Sim.mem_model ->
   Kernel.t ->
   result list
 
@@ -95,6 +101,7 @@ val sweep_many :
   ?transform:transform ->
   ?seed:int ->
   ?n:int ->
+  ?mem_model:Sim.mem_model ->
   Kernel.t list ->
   result list
 

@@ -5,7 +5,12 @@ module J = Darm_obs.Json
 module Metrics = Darm_sim.Metrics
 module E = Experiment
 
-let schema = "darm-bench-hist-v1"
+let schema = "darm-bench-hist-v2"
+
+(* previous version, still parsed for one version window (the
+   version-bump policy in doc/schemas.md): v1 lines carry no
+   mem_model fields, which default to "flat" on load *)
+let schema_v1 = "darm-bench-hist-v1"
 
 let default_path = "BENCH_history.jsonl"
 
@@ -15,21 +20,26 @@ type env = {
   word_size : int;
   warp_size : int;
   jobs : int;
+  mem_model : string;
+      (** memory model(s) the run covered: "flat", "hier" or
+          "flat+hier" — part of the v2 fingerprint *)
 }
 
-let current_env ?jobs () : env =
+let current_env ?jobs ?(mem_model = "flat") () : env =
   {
     ocaml_version = Sys.ocaml_version;
     os_type = Sys.os_type;
     word_size = Sys.word_size;
     warp_size = E.sim_config.E.Sim.warp_size;
     jobs = (match jobs with Some j -> j | None -> Parallel_sweep.default_jobs ());
+    mem_model;
   }
 
 type entry = {
   e_kernel : string;
   e_block_size : int;
   e_transform : string;
+  e_mem_model : string;  (** "flat" or "hier"; part of the point key *)
   e_rewrites : int;
   e_base_cycles : int;
   e_opt_cycles : int;
@@ -74,26 +84,31 @@ let of_batch ?jobs ~time (b : batch) : record =
     r_batch = Some b;
   }
 
-let of_results ?wall_s ?jobs ~time (results : E.result list) : record =
+let entries_of_results ?(mem_model = "flat") (results : E.result list) :
+    entry list =
+  List.map
+    (fun (r : E.result) ->
+      {
+        e_kernel = r.E.tag;
+        e_block_size = r.E.block_size;
+        e_transform = r.E.transform_name;
+        e_mem_model = mem_model;
+        e_rewrites = r.E.rewrites;
+        e_base_cycles = r.E.base.Metrics.cycles;
+        e_opt_cycles = r.E.opt.Metrics.cycles;
+        e_pass_ms = r.E.t_ms;
+        e_correct = r.E.correct;
+      })
+    results
+
+let of_results ?wall_s ?jobs ?mem_model ~time (results : E.result list) :
+    record =
   {
     r_time = time;
-    r_env = current_env ?jobs ();
+    r_env = current_env ?jobs ?mem_model ();
     r_wall_s = wall_s;
     r_batch = None;
-    r_entries =
-      List.map
-        (fun (r : E.result) ->
-          {
-            e_kernel = r.E.tag;
-            e_block_size = r.E.block_size;
-            e_transform = r.E.transform_name;
-            e_rewrites = r.E.rewrites;
-            e_base_cycles = r.E.base.Metrics.cycles;
-            e_opt_cycles = r.E.opt.Metrics.cycles;
-            e_pass_ms = r.E.t_ms;
-            e_correct = r.E.correct;
-          })
-        results;
+    r_entries = entries_of_results ?mem_model results;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +122,7 @@ let env_to_json (e : env) : J.t =
       ("word_size", J.Int e.word_size);
       ("warp_size", J.Int e.warp_size);
       ("jobs", J.Int e.jobs);
+      ("mem_model", J.Str e.mem_model);
     ]
 
 let entry_to_json (e : entry) : J.t =
@@ -115,6 +131,7 @@ let entry_to_json (e : entry) : J.t =
       ("kernel", J.Str e.e_kernel);
       ("block_size", J.Int e.e_block_size);
       ("transform", J.Str e.e_transform);
+      ("mem_model", J.Str e.e_mem_model);
       ("rewrites", J.Int e.e_rewrites);
       ("base_cycles", J.Int e.e_base_cycles);
       ("opt_cycles", J.Int e.e_opt_cycles);
@@ -168,6 +185,10 @@ let get_float j k =
   | Some (J.Int i) -> Ok (float_of_int i)
   | _ -> Error (Printf.sprintf "missing number field %S" k)
 
+(* a string field absent from pre-v2 lines *)
+let get_str_default j k ~default =
+  match J.member k j with Some (J.Str s) -> s | _ -> default
+
 let get_bool j k =
   match J.member k j with
   | Some (J.Bool b) -> Ok b
@@ -181,12 +202,14 @@ let env_of_json (j : J.t) : (env, string) result =
   let* word_size = get_int j "word_size" in
   let* warp_size = get_int j "warp_size" in
   let* jobs = get_int j "jobs" in
-  Ok { ocaml_version; os_type; word_size; warp_size; jobs }
+  let mem_model = get_str_default j "mem_model" ~default:"flat" in
+  Ok { ocaml_version; os_type; word_size; warp_size; jobs; mem_model }
 
 let entry_of_json (j : J.t) : (entry, string) result =
   let* e_kernel = get_str j "kernel" in
   let* e_block_size = get_int j "block_size" in
   let* e_transform = get_str j "transform" in
+  let e_mem_model = get_str_default j "mem_model" ~default:"flat" in
   let* e_rewrites = get_int j "rewrites" in
   let* e_base_cycles = get_int j "base_cycles" in
   let* e_opt_cycles = get_int j "opt_cycles" in
@@ -197,6 +220,7 @@ let entry_of_json (j : J.t) : (entry, string) result =
       e_kernel;
       e_block_size;
       e_transform;
+      e_mem_model;
       e_rewrites;
       e_base_cycles;
       e_opt_cycles;
@@ -214,7 +238,7 @@ let batch_of_json (j : J.t) : (batch, string) result =
 
 let record_of_json (j : J.t) : (record, string) result =
   let* s = get_str j "schema" in
-  if s <> schema then
+  if s <> schema && s <> schema_v1 then
     Error (Printf.sprintf "schema mismatch: expected %S, got %S" schema s)
   else
     let* r_time = get_float j "time" in
@@ -313,9 +337,9 @@ type diff = {
   d_compared : int;
 }
 
-let key (e : entry) = (e.e_kernel, e.e_block_size, e.e_transform)
+let key (e : entry) = (e.e_kernel, e.e_block_size, e.e_transform, e.e_mem_model)
 
-let key_str (k, bs, t) = Printf.sprintf "%s/bs%d/%s" k bs t
+let key_str (k, bs, t, mm) = Printf.sprintf "%s/bs%d/%s/%s" k bs t mm
 
 let diff ?(thresholds = default_thresholds) ~(baseline : record)
     (candidate : record) : diff =
@@ -331,6 +355,8 @@ let diff ?(thresholds = default_thresholds) ~(baseline : record)
       ce.ocaml_version;
   if be.word_size <> ce.word_size then
     note "env: word_size changed %d -> %d" be.word_size ce.word_size;
+  if be.mem_model <> ce.mem_model then
+    note "env: mem_model coverage changed %s -> %s" be.mem_model ce.mem_model;
   let base_tbl = Hashtbl.create 32 in
   List.iter (fun e -> Hashtbl.replace base_tbl (key e) e) baseline.r_entries;
   let compared = ref [] in

@@ -2,7 +2,7 @@
 
     Every bench run appends one env-fingerprinted record to a JSONL
     file ([BENCH_history.jsonl] by default, one JSON document per
-    line, schema [darm-bench-hist-v1] — see doc/schemas.md), so the
+    line, schema [darm-bench-hist-v2] — see doc/schemas.md), so the
     performance trajectory across commits survives the overwrite of
     [BENCH_darm.json].  {!diff} compares two records under configurable
     noise thresholds and is the engine of [darm_opt bench-diff] — the
@@ -13,7 +13,8 @@
     wall-clock and needs generous slack. *)
 
 val schema : string
-(** ["darm-bench-hist-v1"]. *)
+(** ["darm-bench-hist-v2"] — v2 added the memory-model fingerprint
+    ([env.mem_model], per-entry [mem_model]). *)
 
 val default_path : string
 (** ["BENCH_history.jsonl"]. *)
@@ -26,17 +27,21 @@ type env = {
   word_size : int;
   warp_size : int;
   jobs : int;  (** domain-pool size the run used *)
+  mem_model : string;
+      (** memory model(s) the run covered: "flat", "hier" or
+          "flat+hier" *)
 }
 
 (** Fingerprint of the current process ([jobs] defaults to
-    {!Parallel_sweep.default_jobs}). *)
-val current_env : ?jobs:int -> unit -> env
+    {!Parallel_sweep.default_jobs}, [mem_model] to "flat"). *)
+val current_env : ?jobs:int -> ?mem_model:string -> unit -> env
 
 (** One experiment point, flattened to the serialized fields. *)
 type entry = {
   e_kernel : string;
   e_block_size : int;
   e_transform : string;
+  e_mem_model : string;  (** "flat" or "hier"; part of the point key *)
   e_rewrites : int;
   e_base_cycles : int;
   e_opt_cycles : int;
@@ -74,15 +79,27 @@ type record = {
   r_batch : batch option;  (** present on [darm_opt batch] records *)
 }
 
+(** Flatten results into entries tagged with [mem_model] (default
+    "flat") — for composing multi-model records by hand. *)
+val entries_of_results :
+  ?mem_model:string -> Experiment.result list -> entry list
+
 val of_results :
-  ?wall_s:float -> ?jobs:int -> time:float -> Experiment.result list -> record
+  ?wall_s:float ->
+  ?jobs:int ->
+  ?mem_model:string ->
+  time:float ->
+  Experiment.result list ->
+  record
 
 (** An entry-less record carrying batch throughput stats. *)
 val of_batch : ?jobs:int -> time:float -> batch -> record
 
 val record_to_json : record -> Darm_obs.Json.t
 
-(** Parse one history line; checks the [schema] key. *)
+(** Parse one history line; checks the [schema] key.  Accepts
+    [darm-bench-hist-v1] lines for one version window — their missing
+    [mem_model] fields default to ["flat"]. *)
 val record_of_json : Darm_obs.Json.t -> (record, string) result
 
 (** Append one line to the history file (creating it if needed). *)
@@ -128,7 +145,7 @@ type diff = {
 }
 
 (** [diff ~baseline candidate] compares the candidate record against
-    the baseline.  Points are keyed by (kernel, block size, transform);
+    the baseline.  Points are keyed by (kernel, block size, transform, mem model);
     only keys present in both are compared (coverage differences become
     notes).  Speedups and geomeans are recomputed from cycles.
     Correctness flips and zero-cycle entries are always regressions.

@@ -26,10 +26,13 @@ val darm_obs_transform : ?config:Pass.config -> Trace.t -> E.transform
     (they do not go through the melding driver). *)
 val transform_named : string -> (Trace.t -> E.transform, string) result
 
-(** Profile a single (kernel, block size) point into a fresh buffer. *)
+(** Profile a single (kernel, block size) point into a fresh buffer.
+    [mem_model] selects the simulator's memory model (default
+    [Flat]). *)
 val run_point :
   ?seed:int ->
   ?n:int ->
+  ?mem_model:Darm_sim.Simulator.mem_model ->
   transform:(Trace.t -> E.transform) ->
   Kernel.t ->
   block_size:int ->
@@ -46,6 +49,7 @@ val sweep :
   ?jobs:int ->
   ?seed:int ->
   ?n:int ->
+  ?mem_model:Darm_sim.Simulator.mem_model ->
   ?transform:(Trace.t -> E.transform) ->
   Kernel.t ->
   Trace.t * E.result list

@@ -7,7 +7,7 @@ module Metrics = Darm_sim.Metrics
 module Pass = Darm_core.Pass
 module J = Darm_obs.Json
 
-let schema = "darm-report-v1"
+let schema = "darm-report-v2"
 
 type branch_join = {
   bj_id : string;
@@ -29,6 +29,12 @@ type meld_row = {
 
 let meld_saved (r : meld_row) : int = r.mr_base_cycles - r.mr_opt_cycles
 
+type mem_join = {
+  mj_id : string;
+  mj_base : Metrics.mem_site_stat option;
+  mj_opt : Metrics.mem_site_stat option;
+}
+
 type t = {
   rp_kernel : string;
   rp_block_size : int;
@@ -37,10 +43,12 @@ type t = {
   rp_correct : bool;
   rp_rewrites : int;
   rp_pass_ms : float;
+  rp_mem_model : string;  (** "flat" or "hier" *)
   rp_base : Metrics.t;
   rp_opt : Metrics.t;
   rp_melds : meld_row list;
   rp_branches : branch_join list;
+  rp_mem_sites : mem_join list;  (** sorted by site id *)
 }
 
 let delta (t : t) : int = t.rp_base.Metrics.cycles - t.rp_opt.Metrics.cycles
@@ -51,13 +59,29 @@ let residual (t : t) : int =
 let no_divergence (t : t) : bool =
   t.rp_base.Metrics.divergent_branches = 0 && t.rp_melds = []
 
+(* memory attribution: per-site issue-cycle deltas sum to the global
+   memory-cycle delta by construction (the simulator attributes every
+   memory issue to a site), and the non-memory residual closes the
+   second identity against the total delta *)
+
+let mem_site_saved (mj : mem_join) : int =
+  let c = Option.fold ~none:0 ~some:(fun s -> s.Metrics.ms_cycles) in
+  c mj.mj_base - c mj.mj_opt
+
+let mem_delta (t : t) : int =
+  t.rp_base.Metrics.mem_cycles - t.rp_opt.Metrics.mem_cycles
+
+let mem_residual (t : t) : int = delta t - mem_delta t
+
+let no_memory (t : t) : bool = t.rp_mem_sites = []
+
 (* ------------------------------------------------------------------ *)
 (* Assembly: claim branches to melds (first application wins), join
    the two runs' per-branch counters. *)
 
-let build ~kernel ~block_size ~seed ~n ~correct ~rewrites ~pass_ms
-    ~(base : Metrics.t) ~(opt : Metrics.t)
-    ~(melds : Pass.meld_record list) : t =
+let build ?(mem_model = "flat") ~kernel ~block_size ~seed ~n ~correct
+    ~rewrites ~pass_ms ~(base : Metrics.t) ~(opt : Metrics.t)
+    ~(melds : Pass.meld_record list) () : t =
   let stat_of m id = Hashtbl.find_opt m.Metrics.branches id in
   let claimed_by : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let meld_rows =
@@ -112,6 +136,21 @@ let build ~kernel ~block_size ~seed ~n ~correct ~rewrites ~pass_ms
              bj_meld = Hashtbl.find_opt claimed_by id;
            })
   in
+  let site_of m id = Hashtbl.find_opt m.Metrics.mem_sites id in
+  let site_ids = Hashtbl.create 16 in
+  let note_sites m =
+    Hashtbl.iter
+      (fun id _ -> Hashtbl.replace site_ids id ())
+      m.Metrics.mem_sites
+  in
+  note_sites base;
+  note_sites opt;
+  let mem_sites =
+    Hashtbl.fold (fun id () acc -> id :: acc) site_ids []
+    |> List.sort String.compare
+    |> List.map (fun id ->
+           { mj_id = id; mj_base = site_of base id; mj_opt = site_of opt id })
+  in
   {
     rp_kernel = kernel;
     rp_block_size = block_size;
@@ -120,13 +159,15 @@ let build ~kernel ~block_size ~seed ~n ~correct ~rewrites ~pass_ms
     rp_correct = correct;
     rp_rewrites = rewrites;
     rp_pass_ms = pass_ms;
+    rp_mem_model = mem_model;
     rp_base = base;
     rp_opt = opt;
     rp_melds = meld_rows;
     rp_branches = branches;
+    rp_mem_sites = mem_sites;
   }
 
-let compute ?(config = Pass.default_config) ?(seed = 2022) ?n
+let compute ?(config = Pass.default_config) ?(seed = 2022) ?n ?mem_model
     (kernel : Kernel.t) ~(block_size : int) : t =
   let n = Option.value ~default:kernel.Kernel.default_n n in
   let stats_ref = ref None in
@@ -142,19 +183,24 @@ let compute ?(config = Pass.default_config) ?(seed = 2022) ?n
           st.Pass.melds_applied);
     }
   in
-  let r = Experiment.run ~transform ~seed ~n kernel ~block_size in
+  let r = Experiment.run ~transform ~seed ~n ?mem_model kernel ~block_size in
   let melds =
     match !stats_ref with Some st -> st.Pass.melds | None -> []
   in
-  build ~kernel:r.Experiment.tag ~block_size ~seed ~n
+  let mm_name =
+    match mem_model with
+    | None | Some Darm_sim.Simulator.Flat -> "flat"
+    | Some (Darm_sim.Simulator.Hier _) -> "hier"
+  in
+  build ~mem_model:mm_name ~kernel:r.Experiment.tag ~block_size ~seed ~n
     ~correct:r.Experiment.correct ~rewrites:r.Experiment.rewrites
     ~pass_ms:r.Experiment.t_ms ~base:r.Experiment.base
-    ~opt:r.Experiment.opt ~melds
+    ~opt:r.Experiment.opt ~melds ()
 
-let compute_many ?jobs ?config ?seed ?n (points : (Kernel.t * int) list) :
-    t list =
+let compute_many ?jobs ?config ?seed ?n ?mem_model
+    (points : (Kernel.t * int) list) : t list =
   Parallel_sweep.map ?jobs
-    (fun (k, bs) -> compute ?config ?seed ?n k ~block_size:bs)
+    (fun (k, bs) -> compute ?config ?seed ?n ?mem_model k ~block_size:bs)
     points
 
 (* ------------------------------------------------------------------ *)
@@ -226,6 +272,53 @@ let to_text (t : t) : string =
         unclaimed
     end
   end;
+  line "memory (%s model): base %d mem cycles -> opt %d  (delta %d)"
+    t.rp_mem_model t.rp_base.Metrics.mem_cycles t.rp_opt.Metrics.mem_cycles
+    (mem_delta t);
+  if no_memory t then
+    line "  no memory traffic: neither run issued a load or store."
+  else begin
+    line
+      "per-site memory attribution (base -> opt; txn/acc = transactions \
+       per access):";
+    line "  %-18s %11s %13s %11s %9s %9s %16s %8s" "site" "accesses"
+      "txn/acc" "L1 hit" "conf cyc" "stall cyc" "cycles" "saved";
+    let g f = Option.fold ~none:0 ~some:f in
+    let coal = Option.fold ~none:0. ~some:Metrics.site_coalescing in
+    let hitp o =
+      match o with
+      | None -> "-"
+      | Some s ->
+          let acc = s.Metrics.ms_accesses in
+          if acc = 0 then "-"
+          else
+            Printf.sprintf "%.0f%%"
+              (100. *. float_of_int s.Metrics.ms_l1_hits /. float_of_int acc)
+    in
+    List.iter
+      (fun mj ->
+        let b = mj.mj_base and o = mj.mj_opt in
+        line "  %-18s %5d>%-5d %6.2f>%-6.2f %5s>%-5s %4d>%-4d %4d>%-4d \
+              %7d>%-8d %8d"
+          mj.mj_id
+          (g (fun s -> s.Metrics.ms_accesses) b)
+          (g (fun s -> s.Metrics.ms_accesses) o)
+          (coal b) (coal o) (hitp b) (hitp o)
+          (g (fun s -> s.Metrics.ms_bank_conflict_cycles) b)
+          (g (fun s -> s.Metrics.ms_bank_conflict_cycles) o)
+          (g (fun s -> s.Metrics.ms_stall_cycles) b)
+          (g (fun s -> s.Metrics.ms_stall_cycles) o)
+          (g (fun s -> s.Metrics.ms_cycles) b)
+          (g (fun s -> s.Metrics.ms_cycles) o)
+          (mem_site_saved mj))
+      t.rp_mem_sites;
+    let attributed =
+      List.fold_left (fun a mj -> a + mem_site_saved mj) 0 t.rp_mem_sites
+    in
+    line "  sum: %d site-attributed + %d non-memory residual = %d = total \
+          delta"
+      attributed (mem_residual t) (delta t)
+  end;
   Buffer.contents b
 
 let to_markdown (t : t) : string =
@@ -256,6 +349,46 @@ let to_markdown (t : t) : string =
     line "| | residual | | | | | | %d |" (residual t);
     line "| | **total** | | | | | | **%d** |" (delta t)
   end;
+  if not (no_memory t) then begin
+    line "";
+    line "memory (%s model), base -> opt:" t.rp_mem_model;
+    line "";
+    line "| site | accesses | txn/access | L1 hit %% | conflict cyc | \
+          stall cyc | cycles | saved |";
+    line "|------|----------|------------|----------|--------------|\
+          -----------|--------|-------|";
+    let g f = Option.fold ~none:0 ~some:f in
+    let coal = Option.fold ~none:0. ~some:Metrics.site_coalescing in
+    let hitp = function
+      | None -> "-"
+      | Some s ->
+          if s.Metrics.ms_accesses = 0 then "-"
+          else
+            Printf.sprintf "%.0f"
+              (100.
+              *. float_of_int s.Metrics.ms_l1_hits
+              /. float_of_int s.Metrics.ms_accesses)
+    in
+    List.iter
+      (fun mj ->
+        let b = mj.mj_base and o = mj.mj_opt in
+        line "| `%s` | %d → %d | %.2f → %.2f | %s → %s | %d → %d | \
+              %d → %d | %d → %d | %d |"
+          mj.mj_id
+          (g (fun s -> s.Metrics.ms_accesses) b)
+          (g (fun s -> s.Metrics.ms_accesses) o)
+          (coal b) (coal o) (hitp b) (hitp o)
+          (g (fun s -> s.Metrics.ms_bank_conflict_cycles) b)
+          (g (fun s -> s.Metrics.ms_bank_conflict_cycles) o)
+          (g (fun s -> s.Metrics.ms_stall_cycles) b)
+          (g (fun s -> s.Metrics.ms_stall_cycles) o)
+          (g (fun s -> s.Metrics.ms_cycles) b)
+          (g (fun s -> s.Metrics.ms_cycles) o)
+          (mem_site_saved mj))
+      t.rp_mem_sites;
+    line "| | | | | | non-memory residual | | %d |" (mem_residual t);
+    line "| | | | | | **total** | | **%d** |" (delta t)
+  end;
   Buffer.contents b
 
 let json_branch_stat (s : Metrics.branch_stat) : J.t =
@@ -265,6 +398,21 @@ let json_branch_stat (s : Metrics.branch_stat) : J.t =
       ("divergent_cycles", J.Int s.Metrics.br_cycles);
       ("lost_lane_cycles", J.Int s.Metrics.br_lost_lane_cycles);
       ("reconvergences", J.Int s.Metrics.br_reconvergences);
+    ]
+
+let json_site_stat (s : Metrics.mem_site_stat) : J.t =
+  J.Obj
+    [
+      ("issues", J.Int s.Metrics.ms_issues);
+      ("accesses", J.Int s.Metrics.ms_accesses);
+      ("transactions", J.Int s.Metrics.ms_transactions);
+      ("coalescing", J.Float (Metrics.site_coalescing s));
+      ("l1_hits", J.Int s.Metrics.ms_l1_hits);
+      ("l1_misses", J.Int s.Metrics.ms_l1_misses);
+      ("bank_conflicts", J.Int s.Metrics.ms_bank_conflicts);
+      ("bank_conflict_cycles", J.Int s.Metrics.ms_bank_conflict_cycles);
+      ("stall_cycles", J.Int s.Metrics.ms_stall_cycles);
+      ("cycles", J.Int s.Metrics.ms_cycles);
     ]
 
 let json_body (t : t) : (string * J.t) list =
@@ -306,6 +454,25 @@ let json_body (t : t) : (string * J.t) list =
                ])
            t.rp_melds) );
     ("residual_cycles", J.Int (residual t));
+    ("mem_model", J.Str t.rp_mem_model);
+    ("base_mem_cycles", J.Int t.rp_base.Metrics.mem_cycles);
+    ("opt_mem_cycles", J.Int t.rp_opt.Metrics.mem_cycles);
+    ("mem_cycles_delta", J.Int (mem_delta t));
+    ("mem_residual_cycles", J.Int (mem_residual t));
+    ( "mem_sites",
+      J.List
+        (List.map
+           (fun mj ->
+             J.Obj
+               ([ ("id", J.Str mj.mj_id) ]
+               @ (match mj.mj_base with
+                 | None -> []
+                 | Some s -> [ ("base", json_site_stat s) ])
+               @
+               match mj.mj_opt with
+               | None -> []
+               | Some s -> [ ("opt", json_site_stat s) ]))
+           t.rp_mem_sites) );
     ( "branches",
       J.List
         (List.map

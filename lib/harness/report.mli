@@ -28,8 +28,9 @@ module Metrics = Darm_sim.Metrics
 module Pass = Darm_core.Pass
 
 val schema : string
-(** ["darm-report-v1"] — the [schema] key of the JSON rendering (see
-    doc/schemas.md). *)
+(** ["darm-report-v2"] — the [schema] key of the JSON rendering (see
+    doc/schemas.md).  v2 added the memory section ([mem_model],
+    [mem_sites], the memory cycle deltas). *)
 
 (** One static branch id joined across the two runs.  [None] means the
     branch never split a warp in that run (melded away, newly created,
@@ -61,6 +62,15 @@ type meld_row = {
     meld eliminated. *)
 val meld_saved : meld_row -> int
 
+(** One static memory access site ("<block>#<k>") joined across the two
+    runs.  [None] means the run never issued that load/store (melded
+    away, newly created, or dead). *)
+type mem_join = {
+  mj_id : string;
+  mj_base : Metrics.mem_site_stat option;
+  mj_opt : Metrics.mem_site_stat option;
+}
+
 type t = {
   rp_kernel : string;
   rp_block_size : int;
@@ -69,10 +79,12 @@ type t = {
   rp_correct : bool;
   rp_rewrites : int;  (** melds applied by the pass *)
   rp_pass_ms : float;  (** wall-clock ms inside the pass pipeline *)
+  rp_mem_model : string;  (** "flat" or "hier" *)
   rp_base : Metrics.t;
   rp_opt : Metrics.t;
   rp_melds : meld_row list;  (** in application order *)
   rp_branches : branch_join list;  (** sorted by branch id *)
+  rp_mem_sites : mem_join list;  (** sorted by site id *)
 }
 
 (** Total cycle delta, [base - opt]; positive = the pass helped. *)
@@ -88,10 +100,33 @@ val residual : t -> int
     table. *)
 val no_divergence : t -> bool
 
+(** {2 Memory attribution} — the per-access-site analogue of the
+    per-meld table, with its own exact-sum discipline: the per-site
+    cycle deltas sum to [mem_delta] by construction (the simulator
+    attributes every memory issue to a site), and
+    [mem_delta + mem_residual = delta] closes the identity against the
+    total. *)
+
+(** Memory issue cycles this site gained or lost, [base - opt]. *)
+val mem_site_saved : mem_join -> int
+
+(** Global memory-cycle delta, [base.mem_cycles - opt.mem_cycles]. *)
+val mem_delta : t -> int
+
+(** [delta - mem_delta]: the non-memory share of the total cycle
+    delta. *)
+val mem_residual : t -> int
+
+(** True when neither run issued a load or store. *)
+val no_memory : t -> bool
+
 (** Assemble a report from raw pieces (exposed so the tests can build
     synthetic inputs without running kernels).  Claims branches to
-    melds and builds the joined branch table. *)
+    melds, builds the joined branch table and the joined per-site
+    memory table.  [mem_model] is a display/schema tag only (default
+    "flat"); the site counters come from the two metrics records. *)
 val build :
+  ?mem_model:string ->
   kernel:string ->
   block_size:int ->
   seed:int ->
@@ -102,15 +137,18 @@ val build :
   base:Metrics.t ->
   opt:Metrics.t ->
   melds:Pass.meld_record list ->
+  unit ->
   t
 
 (** Run [kernel] baseline-vs-DARM at [block_size] (capturing the pass's
     provenance) and assemble the attribution report.  Deterministic:
-    identical inputs produce identical reports. *)
+    identical inputs produce identical reports.  [mem_model] selects
+    the simulator's memory model for both runs (default [Flat]). *)
 val compute :
   ?config:Pass.config ->
   ?seed:int ->
   ?n:int ->
+  ?mem_model:Darm_sim.Simulator.mem_model ->
   Kernel.t ->
   block_size:int ->
   t
@@ -123,6 +161,7 @@ val compute_many :
   ?config:Pass.config ->
   ?seed:int ->
   ?n:int ->
+  ?mem_model:Darm_sim.Simulator.mem_model ->
   (Kernel.t * int) list ->
   t list
 

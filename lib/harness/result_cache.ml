@@ -45,9 +45,20 @@ let payload_valid t (bytes : string) : bool =
 
 let find t ~key : string option =
   let path = entry_path t ~key in
+  (* Sys_error: missing/unreadable.  End_of_file: the file shrank
+     between the length probe and the read (a concurrent truncation) —
+     both are misses, never crashes. *)
   match Fsio.read_file path with
-  | exception Sys_error _ -> None
-  | bytes -> if payload_valid t bytes then Some bytes else None
+  | exception (Sys_error _ | End_of_file) -> None
+  | bytes ->
+      if payload_valid t bytes then Some bytes
+      else begin
+        (* corrupt, truncated or wrong-schema bytes: evict the poison
+           file so the next store rewrites it, instead of re-parsing
+           the same garbage on every lookup forever *)
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+      end
 
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin

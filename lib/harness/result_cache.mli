@@ -48,8 +48,11 @@ val key : t -> string list -> string
 val entry_path : t -> key:string -> string
 
 (** The stored payload bytes, or [None] when the entry is missing or
-    fails validation (unreadable, truncated, not JSON, or its
-    ["schema"] field differs from the cache's).  Never raises. *)
+    fails validation (unreadable, truncated mid-read by a concurrent
+    writer, not JSON, or its ["schema"] field differs from the
+    cache's).  An entry whose bytes fail validation is also evicted
+    (best-effort [Sys.remove]) so a poison file is recomputed once,
+    not re-parsed on every lookup.  Never raises. *)
 val find : t -> key:string -> string option
 
 (** Atomically store a payload (newline-terminated JSON line).  Raises

@@ -19,8 +19,13 @@ test -s BENCH_darm.json
 grep -q '"schema":"darm-bench-v1"' BENCH_darm.json
 grep -q '"geomean_speedup"' BENCH_darm.json
 test -s BENCH_history.jsonl
-grep -q '"schema":"darm-bench-hist-v1"' BENCH_history.jsonl
+grep -q '"schema":"darm-bench-hist-v2"' BENCH_history.jsonl
 test "$(wc -l < BENCH_history.jsonl)" -eq 2
+# every record covers both memory models; flat and hier entries are
+# both present and keyed apart
+grep -q '"mem_model":"flat+hier"' BENCH_history.jsonl
+grep -q '"mem_model":"flat"' BENCH_history.jsonl
+grep -q '"mem_model":"hier"' BENCH_history.jsonl
 
 # regression sentinel: the history must schema-validate, an identical
 # re-run must pass the diff, and a synthetically inflated candidate
@@ -37,6 +42,22 @@ if dune exec bin/darm_opt.exe -- bench-diff \
 fi
 rm -f "$hist_inflated"
 
+# the sentinel gates the hierarchical trajectory independently:
+# inflating ONLY the hier entries' opt_cycles must also trip it
+hist_hier_inflated=$(mktemp /tmp/darm_hist_hier_inflated.XXXXXX.jsonl)
+sed 's/\("mem_model":"hier",[^{}]*"opt_cycles":[0-9]*\)/\10/g' \
+  BENCH_history.jsonl > "$hist_hier_inflated"
+if cmp -s BENCH_history.jsonl "$hist_hier_inflated"; then
+  echo "ci: hier-entry inflation sed matched nothing" >&2
+  rm -f "$hist_hier_inflated"; exit 1
+fi
+if dune exec bin/darm_opt.exe -- bench-diff \
+    --history "$hist_hier_inflated" --baseline-history BENCH_history.jsonl; then
+  echo "ci: bench-diff sentinel failed to fire on hier-only inflation" >&2
+  rm -f "$hist_hier_inflated"; exit 1
+fi
+rm -f "$hist_hier_inflated"
+
 # divergence attribution: the report must be byte-identical for any
 # --jobs count, and must join melds with per-branch counters
 dune exec bin/darm_opt.exe -- report --all -j 1 > /tmp/darm_report_j1.txt
@@ -45,9 +66,36 @@ cmp /tmp/darm_report_j1.txt /tmp/darm_report_j4.txt
 grep -q 'per-meld attribution' /tmp/darm_report_j1.txt
 dune exec bin/darm_opt.exe -- report --kernel BIT --block-size 64 --json \
   > /tmp/darm_report_bit.json
-grep -q '"schema":"darm-report-v1"' /tmp/darm_report_bit.json
+grep -q '"schema":"darm-report-v2"' /tmp/darm_report_bit.json
 grep -q '"cycles_saved"' /tmp/darm_report_bit.json
 rm -f /tmp/darm_report_j1.txt /tmp/darm_report_j4.txt /tmp/darm_report_bit.json
+
+# memory-model observability: the default model is flat and spelling
+# it out changes nothing; the hierarchical model must classify every
+# access (per-site table + exact-sum residual line), stay byte-identical
+# across --jobs, and export its schema'd counters
+dune exec bin/darm_opt.exe -- report --all --mem-model flat -j 4 \
+  > /tmp/darm_report_flat.txt
+dune exec bin/darm_opt.exe -- report --all -j 4 > /tmp/darm_report_dflt.txt
+cmp /tmp/darm_report_dflt.txt /tmp/darm_report_flat.txt
+dune exec bin/darm_opt.exe -- report --all --mem-model hier -j 1 \
+  > /tmp/darm_report_hier_j1.txt
+dune exec bin/darm_opt.exe -- report --all --mem-model hier -j 4 \
+  > /tmp/darm_report_hier_j4.txt
+cmp /tmp/darm_report_hier_j1.txt /tmp/darm_report_hier_j4.txt
+grep -q 'memory (hier model)' /tmp/darm_report_hier_j1.txt
+grep -q 'non-memory residual' /tmp/darm_report_hier_j1.txt
+dune exec bin/darm_opt.exe -- report --kernel BIT --block-size 64 \
+  --mem-model hier --json > /tmp/darm_report_bit_hier.json
+grep -q '"mem_model":"hier"' /tmp/darm_report_bit_hier.json
+grep -q '"mem_sites"' /tmp/darm_report_bit_hier.json
+dune exec bin/darm_opt.exe -- report --kernel BIT --block-size 64 \
+  --mem-model hier --metrics-out /tmp/darm_metrics_hier.json
+grep -q 'sim_l1_hits_total' /tmp/darm_metrics_hier.json
+grep -q 'sim_site_cycles_total' /tmp/darm_metrics_hier.json
+rm -f /tmp/darm_report_flat.txt /tmp/darm_report_dflt.txt \
+  /tmp/darm_report_hier_j1.txt /tmp/darm_report_hier_j4.txt \
+  /tmp/darm_report_bit_hier.json /tmp/darm_metrics_hier.json
 
 # sanity checkers: every registry kernel must be diagnostic-clean both
 # before and after melding (non-zero exit on any error diagnostic), and

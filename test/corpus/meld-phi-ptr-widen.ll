@@ -1,0 +1,2334 @@
+; darm-corpus-v1 name=meld-phi-ptr-widen seed=111 input_seed=111 block_size=64 n=128 expect=pass
+; note: regression: operand substitution widened a melded pointer to flat (select over mixed-space operands), but an unpredication phi from an earlier meld kept its concrete-space type and narrowed the widened value, crashing the verifier; fixed by the widen-only pointer type repair fixpoint (meld pass 7)
+kernel @fuzz_111(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = thread.idx
+  %2 = block.dim
+  %3 = block.idx
+  %4 = mul %3, %2
+  %5 = add %4, %1
+  %6 = and %5, 127
+  %7 = gep %b, %6
+  %8 = block.dim
+  %9 = sdiv 128, %8
+  %10 = smax %9, 1
+  br while.head
+while.head:
+  %11 = phi i32 [%21, while.body], [0, entry]
+  %12 = icmp slt %11, %10
+  condbr %12, while.body, while.end
+while.body:
+  %13 = mul %11, %8
+  %14 = add %1, %13
+  %15 = and %14, 127
+  %16 = gep %0, %15
+  %17 = gep %a, %15
+  %18 = load i32, %17
+  %19 = mul %15, 3
+  %20 = add %19, %18
+  store %20, %16
+  %21 = add %11, 1
+  br while.head
+while.end:
+  syncthreads
+  %22 = and %5, 127
+  %23 = gep %a, %22
+  %24 = load i32, %23
+  %25 = and %24, 127
+  %26 = gep %a, %25
+  %27 = load i32, %26
+  %28 = add 75, %1
+  %29 = add 16, %5
+  %30 = icmp sle %28, %29
+  %31 = select %30, %27, %5
+  %32 = and %31, 3
+  %33 = icmp eq %32, 0
+  condbr %33, if.then, if.else
+if.then:
+  %34 = load i32, %7
+  %35 = smax 30, %5
+  %36 = icmp sgt %35, %24
+  %37 = select %36, %5, %34
+  %38 = icmp sgt %37, 13
+  %39 = select %38, %5, %24
+  %40 = and %1, 127
+  %41 = gep %0, %40
+  %42 = load i32, %41
+  %43 = and %42, %1
+  %44 = and %24, 127
+  %45 = gep %0, %44
+  %46 = load i32, %45
+  %47 = smax %46, 55
+  %48 = smin %1, 75
+  %49 = icmp sgt %47, %48
+  %50 = select %49, %43, %39
+  %51 = and %50, 127
+  %52 = gep %a, %51
+  %53 = load i32, %52
+  %54 = smax %53, %5
+  %55 = load i32, %7
+  %56 = xor 20, %1
+  %57 = icmp slt %55, %56
+  %58 = select %57, 39, 30
+  %59 = and %54, 3
+  %60 = icmp eq %59, 3
+  condbr %60, if.then.1, if.else.1
+if.else:
+  %61 = icmp eq %32, 1
+  condbr %61, if.then.17, if.else.16
+if.end:
+  %62 = phi i32 [%389, if.end.17], [%259, if.end.9]
+  %63 = phi i32 [%390, if.end.17], [%260, if.end.9]
+  %64 = phi i32 [%391, if.end.17], [%261, if.end.9]
+  %65 = phi i32 [%392, if.end.17], [%262, if.end.9]
+  %66 = smin 61, %62
+  %67 = and %66, 3
+  %68 = icmp eq %67, 0
+  condbr %68, if.then.37, if.else.33
+if.then.1:
+  %69 = and 75, 127
+  %70 = gep %a, %69
+  %71 = load i32, %70
+  %72 = xor %71, %50
+  %73 = and %72, 3
+  %74 = icmp eq %73, 0
+  condbr %74, if.then.2, if.else.2
+if.else.1:
+  %75 = xor %1, 2
+  %76 = and %75, 3
+  %77 = add %76, 1
+  br while.head.1
+if.end.1:
+  %78 = phi i32 [%225, if.end.6], [%178, if.end.5]
+  %79 = phi i32 [%226, if.end.6], [%179, if.end.5]
+  %80 = phi i32 [%227, if.end.6], [%180, if.end.5]
+  %81 = phi i32 [%228, if.end.6], [%93, if.end.5]
+  %82 = add 43, 7
+  %83 = and %82, 3
+  %84 = icmp eq %83, 0
+  condbr %84, if.then.9, if.else.9
+if.then.2:
+  %85 = and %5, 75
+  %86 = mul %85, 7
+  %87 = and 50, %86
+  %88 = add 8, %5
+  %89 = sub %88, %87
+  %90 = sub %89, 47
+  %91 = smax 30, %90
+  store %91, %7
+  br if.end.2
+if.else.2:
+  %92 = icmp eq %73, 1
+  condbr %92, if.then.3, if.else.3
+if.end.2:
+  %93 = phi i32 [%153, if.end.3], [%86, if.then.2]
+  %94 = phi i32 [%1, if.end.3], [%89, if.then.2]
+  %95 = sub %1, %93
+  %96 = mul %95, 5
+  store %96, %7
+  %97 = mul %1, 1
+  %98 = and %5, 127
+  %99 = gep %a, %98
+  %100 = load i32, %99
+  %101 = smin %93, %1
+  %102 = and %50, 127
+  %103 = gep %a, %102
+  %104 = load i32, %103
+  %105 = icmp slt %101, %104
+  %106 = select %105, %5, 1
+  %107 = xor %50, %1
+  %108 = and %106, 3
+  %109 = icmp eq %108, 3
+  %110 = select %109, %1, %100
+  %111 = load i32, %7
+  %112 = xor 36, %5
+  %113 = smin %5, 39
+  %114 = and %112, 3
+  %115 = icmp eq %114, 2
+  %116 = select %115, %111, 14
+  %117 = icmp sgt %110, %116
+  %118 = select %117, %1, %5
+  %119 = icmp sle %97, %118
+  condbr %119, if.then.5, if.else.5
+if.then.3:
+  %120 = and %1, 127
+  %121 = gep %a, %120
+  %122 = load i32, %121
+  %123 = and 75, 127
+  %124 = gep %0, %123
+  %125 = load i32, %124
+  %126 = smax %125, %122
+  %127 = and %5, 2
+  %128 = and %126, 3
+  %129 = icmp eq %128, 3
+  %130 = select %129, %1, %5
+  %131 = smax %1, %5
+  %132 = icmp sgt %130, %131
+  %133 = select %132, %50, %5
+  %134 = load i32, %7
+  %135 = load i32, %7
+  %136 = smin %135, %134
+  %137 = add %136, %133
+  store %137, %7
+  %138 = and %1, 127
+  %139 = gep %0, %138
+  %140 = load i32, %139
+  %141 = xor %140, %1
+  %142 = add 29, 23
+  %143 = load i32, %7
+  %144 = smin 57, %143
+  %145 = smax %5, 53
+  %146 = icmp sgt %144, %145
+  %147 = select %146, 33, %1
+  %148 = smax 40, %5
+  %149 = and %147, 3
+  %150 = icmp eq %149, 0
+  %151 = select %150, %142, %141
+  br if.end.3
+if.else.3:
+  %152 = icmp eq %73, 2
+  condbr %152, if.then.4, if.else.4
+if.end.3:
+  %153 = phi i32 [75, if.end.4], [%151, if.then.3]
+  br if.end.2
+if.then.4:
+  %154 = and %5, 49
+  %155 = load i32, %7
+  %156 = smin 31, %155
+  %157 = smin %156, %154
+  store %157, %7
+  br if.end.4
+if.else.4:
+  store %5, %7
+  br if.end.4
+if.end.4:
+  br if.end.3
+if.then.5:
+  %158 = smin %94, %5
+  %159 = xor %5, %94
+  %160 = smin %159, %158
+  %161 = xor %5, %5
+  %162 = and %1, %1
+  %163 = smax %162, %161
+  br if.end.5
+if.else.5:
+  %164 = and %50, 127
+  %165 = gep %a, %164
+  %166 = load i32, %165
+  %167 = xor %166, %50
+  %168 = sub %50, %5
+  %169 = smax %168, %167
+  %170 = and %94, 127
+  %171 = gep %0, %170
+  %172 = load i32, %171
+  %173 = smax %172, %50
+  %174 = xor %173, %1
+  %175 = smax 37, %1
+  %176 = smin %169, %50
+  %177 = and %176, %175
+  store %177, %7
+  br if.end.5
+if.end.5:
+  %178 = phi i32 [%50, if.else.5], [%5, if.then.5]
+  %179 = phi i32 [%169, if.else.5], [%163, if.then.5]
+  %180 = phi i32 [%174, if.else.5], [%94, if.then.5]
+  br if.end.1
+while.head.1:
+  %181 = phi i32 [%202, while.body.1], [0, if.else.1]
+  %182 = phi i32 [%189, while.body.1], [%5, if.else.1]
+  %183 = phi i32 [%195, while.body.1], [75, if.else.1]
+  %184 = icmp slt %181, %77
+  condbr %184, while.body.1, while.end.1
+while.body.1:
+  %185 = xor %50, %181
+  %186 = load i32, %7
+  %187 = add %5, %186
+  %188 = smax 18, %5
+  %189 = xor %188, %187
+  %190 = and %1, 127
+  %191 = gep %0, %190
+  %192 = load i32, %191
+  %193 = xor %1, %192
+  %194 = sub 40, %1
+  %195 = sub %194, %193
+  %196 = xor %1, %5
+  %197 = and %1, 127
+  %198 = gep %a, %197
+  %199 = load i32, %198
+  %200 = and %199, %195
+  %201 = xor %200, %196
+  store %201, %7
+  %202 = add %181, 1
+  br while.head.1
+while.end.1:
+  %203 = load i32, %7
+  %204 = and %203, %5
+  %205 = and %204, 3
+  %206 = icmp eq %205, 0
+  condbr %206, if.then.6, if.else.6
+if.then.6:
+  %207 = smax 35, %182
+  %208 = sub %50, %5
+  %209 = and %183, 127
+  %210 = gep %a, %209
+  %211 = load i32, %210
+  %212 = smax %211, %5
+  %213 = xor %5, %1
+  %214 = icmp sle %212, %213
+  %215 = select %214, %208, %207
+  %216 = smax 15, %1
+  %217 = and %1, %216
+  %218 = and %217, 127
+  %219 = gep %0, %218
+  %220 = load i32, %219
+  %221 = add %220, %50
+  %222 = and %182, %5
+  %223 = xor %222, %221
+  br if.end.6
+if.else.6:
+  %224 = icmp eq %205, 1
+  condbr %224, if.then.7, if.else.7
+if.end.6:
+  %225 = phi i32 [%232, if.end.7], [%50, if.then.6]
+  %226 = phi i32 [%233, if.end.7], [%182, if.then.6]
+  %227 = phi i32 [%1, if.end.7], [%223, if.then.6]
+  %228 = phi i32 [%183, if.end.7], [%215, if.then.6]
+  br if.end.1
+if.then.7:
+  %229 = sub %1, %1
+  %230 = mul %229, 1
+  store %230, %7
+  br if.end.7
+if.else.7:
+  %231 = icmp eq %205, 2
+  condbr %231, if.then.8, if.else.8
+if.end.7:
+  %232 = phi i32 [%248, if.end.8], [%50, if.then.7]
+  %233 = phi i32 [%249, if.end.8], [%182, if.then.7]
+  br if.end.6
+if.then.8:
+  %234 = add 16, 0
+  %235 = sub %234, 41
+  %236 = and %1, 127
+  %237 = gep %a, %236
+  %238 = load i32, %237
+  %239 = mul %238, 7
+  %240 = and %1, 127
+  %241 = gep %0, %240
+  %242 = load i32, %241
+  %243 = and %242, %1
+  %244 = sub %243, %239
+  store %244, %7
+  %245 = load i32, %7
+  %246 = xor %245, %5
+  %247 = smin %246, 49
+  store %247, %7
+  br if.end.8
+if.else.8:
+  br if.end.8
+if.end.8:
+  %248 = phi i32 [60, if.else.8], [%50, if.then.8]
+  %249 = phi i32 [%182, if.else.8], [%235, if.then.8]
+  br if.end.7
+if.then.9:
+  %250 = and %79, 127
+  %251 = gep %0, %250
+  %252 = load i32, %251
+  %253 = smax 9, %252
+  %254 = icmp sgt %253, %5
+  %255 = select %254, %78, %5
+  %256 = add %80, 56
+  %257 = icmp sle %255, %256
+  condbr %257, if.then.10, if.end.10
+if.else.9:
+  %258 = icmp eq %83, 1
+  condbr %258, if.then.11, if.else.10
+if.end.9:
+  %259 = phi i32 [%284, if.end.11], [%78, if.end.10]
+  %260 = phi i32 [%285, if.end.11], [%81, if.end.10]
+  %261 = phi i32 [%286, if.end.11], [%79, if.end.10]
+  %262 = phi i32 [%287, if.end.11], [%80, if.end.10]
+  br if.end
+if.then.10:
+  %263 = and %80, 127
+  %264 = gep %0, %263
+  %265 = load i32, %264
+  %266 = and %79, 127
+  %267 = gep %0, %266
+  %268 = load i32, %267
+  %269 = smin %78, %1
+  %270 = load i32, %7
+  %271 = mul %270, 1
+  %272 = icmp sgt %269, %271
+  %273 = select %272, 26, 34
+  %274 = add %1, 50
+  %275 = and %273, 3
+  %276 = icmp eq %275, 2
+  %277 = select %276, %268, %265
+  %278 = mul %277, 5
+  store %278, %7
+  br if.end.10
+if.end.10:
+  br if.end.9
+if.then.11:
+  %279 = load i32, %7
+  %280 = sub %279, %5
+  %281 = and %280, 3
+  %282 = icmp eq %281, 0
+  condbr %282, if.then.12, if.else.11
+if.else.10:
+  %283 = icmp eq %83, 2
+  condbr %283, if.then.15, if.else.14
+if.end.11:
+  %284 = phi i32 [%78, if.end.15], [%308, if.end.12]
+  %285 = phi i32 [%81, if.end.15], [%302, if.end.12]
+  %286 = phi i32 [%349, if.end.15], [%301, if.end.12]
+  %287 = phi i32 [%350, if.end.15], [%300, if.end.12]
+  br if.end.9
+if.then.12:
+  %288 = sub %5, 63
+  %289 = smax %5, %79
+  %290 = smin %289, %288
+  %291 = and %81, 127
+  %292 = gep %0, %291
+  %293 = load i32, %292
+  %294 = and %1, 20
+  %295 = sub 30, %81
+  %296 = icmp slt %294, %295
+  %297 = select %296, %5, %293
+  %298 = add %5, %297
+  store %298, %7
+  br if.end.12
+if.else.11:
+  %299 = icmp eq %281, 1
+  condbr %299, if.then.13, if.else.12
+if.end.12:
+  %300 = phi i32 [%319, if.end.13], [%80, if.then.12]
+  %301 = phi i32 [%79, if.end.13], [%290, if.then.12]
+  %302 = phi i32 [%320, if.end.13], [%81, if.then.12]
+  %303 = add %1, %300
+  %304 = add %301, %1
+  %305 = add %1, %5
+  %306 = mul %78, 7
+  %307 = icmp slt %305, %306
+  %308 = select %307, %304, %303
+  br if.end.11
+if.then.13:
+  %309 = and %78, 127
+  %310 = gep %a, %309
+  %311 = load i32, %310
+  %312 = load i32, %7
+  %313 = smax %312, %311
+  %314 = mul %1, 6
+  %315 = icmp sgt %314, %1
+  %316 = select %315, %5, %81
+  %317 = add %316, %313
+  br if.end.13
+if.else.12:
+  %318 = icmp eq %281, 2
+  condbr %318, if.then.14, if.else.13
+if.end.13:
+  %319 = phi i32 [%80, if.end.14], [%317, if.then.13]
+  %320 = phi i32 [%339, if.end.14], [%81, if.then.13]
+  br if.end.12
+if.then.14:
+  %321 = and 45, 38
+  %322 = and %5, %321
+  %323 = add 39, 29
+  %324 = xor %322, 9
+  %325 = sub %324, %323
+  store %325, %7
+  store %5, %7
+  br if.end.14
+if.else.13:
+  %326 = and %81, 127
+  %327 = gep %0, %326
+  %328 = load i32, %327
+  store %328, %7
+  %329 = and %81, 127
+  %330 = gep %a, %329
+  %331 = load i32, %330
+  %332 = add %331, %78
+  %333 = icmp slt %1, %332
+  %334 = select %333, %1, %5
+  %335 = xor 15, 37
+  %336 = icmp sle %334, %335
+  %337 = select %336, %5, %1
+  %338 = smin %337, 47
+  store %338, %7
+  br if.end.14
+if.end.14:
+  %339 = phi i32 [%81, if.else.13], [%322, if.then.14]
+  br if.end.13
+if.then.15:
+  %340 = load i32, %7
+  %341 = sub %340, 22
+  %342 = load i32, %7
+  %343 = sub %342, 57
+  %344 = sub %343, %341
+  br if.end.15
+if.else.14:
+  %345 = load i32, %7
+  %346 = smin %345, %1
+  %347 = and %1, 3
+  %348 = icmp eq %347, 2
+  condbr %348, if.then.16, if.else.15
+if.end.15:
+  %349 = phi i32 [%363, while.end.3], [%344, if.then.15]
+  %350 = phi i32 [%371, while.end.3], [%80, if.then.15]
+  br if.end.11
+if.then.16:
+  %351 = mul %81, 3
+  %352 = smin %79, 40
+  %353 = sub %352, %351
+  store %353, %7
+  br if.end.16
+if.else.15:
+  %354 = smax %1, %5
+  %355 = add %354, %5
+  %356 = add 24, 6
+  %357 = xor %1, %356
+  store %357, %7
+  br if.end.16
+if.end.16:
+  %358 = phi i32 [%355, if.else.15], [%79, if.then.16]
+  %359 = xor %1, 1
+  %360 = and %359, 3
+  %361 = add %360, 1
+  br while.head.2
+while.head.2:
+  %362 = phi i32 [%369, while.body.2], [0, if.end.16]
+  %363 = phi i32 [%365, while.body.2], [%358, if.end.16]
+  %364 = icmp slt %362, %361
+  condbr %364, while.body.2, while.end.2
+while.body.2:
+  %365 = xor %80, %362
+  %366 = sub 25, 61
+  %367 = mul %5, 2
+  %368 = xor %367, %366
+  store %368, %7
+  %369 = add %362, 1
+  br while.head.2
+while.end.2:
+  br while.head.3
+while.head.3:
+  %370 = phi i32 [%382, while.body.3], [0, while.end.2]
+  %371 = phi i32 [%373, while.body.3], [%80, while.end.2]
+  %372 = icmp slt %370, 2
+  condbr %372, while.body.3, while.end.3
+while.body.3:
+  %373 = add %78, %370
+  %374 = load i32, %7
+  %375 = and %373, 127
+  %376 = gep %a, %375
+  %377 = load i32, %376
+  %378 = and %377, %374
+  %379 = load i32, %7
+  %380 = sub %379, 57
+  %381 = smax %380, %378
+  store %381, %7
+  %382 = add %370, 1
+  br while.head.3
+while.end.3:
+  br if.end.15
+if.then.17:
+  %383 = smax %5, %5
+  %384 = mul %383, 1
+  store %384, %7
+  %385 = xor %1, 7
+  %386 = and %385, 3
+  %387 = add %386, 1
+  br while.head.4
+if.else.16:
+  %388 = icmp eq %32, 2
+  condbr %388, if.then.19, if.else.17
+if.end.17:
+  %389 = phi i32 [%431, if.end.19], [%24, while.end.5]
+  %390 = phi i32 [%432, if.end.19], [%400, while.end.5]
+  %391 = phi i32 [%433, if.end.19], [%395, while.end.5]
+  %392 = phi i32 [%434, if.end.19], [%394, while.end.5]
+  br if.end
+while.head.4:
+  %393 = phi i32 [%398, while.body.4], [0, if.then.17]
+  %394 = phi i32 [%5, while.body.4], [%1, if.then.17]
+  %395 = phi i32 [%397, while.body.4], [%5, if.then.17]
+  %396 = icmp slt %393, %387
+  condbr %396, while.body.4, while.end.4
+while.body.4:
+  %397 = xor 75, %393
+  %398 = add %393, 1
+  br while.head.4
+while.end.4:
+  br while.head.5
+while.head.5:
+  %399 = phi i32 [%422, if.end.18], [0, while.end.4]
+  %400 = phi i32 [%421, if.end.18], [75, while.end.4]
+  %401 = icmp slt %399, 2
+  condbr %401, while.body.5, while.end.5
+while.body.5:
+  %402 = add %400, %399
+  %403 = and %395, 127
+  %404 = gep %0, %403
+  %405 = load i32, %404
+  %406 = sub %1, %405
+  %407 = add %5, %5
+  %408 = icmp slt %406, %407
+  condbr %408, if.then.18, if.end.18
+while.end.5:
+  br if.end.17
+if.then.18:
+  %409 = and %395, 127
+  %410 = gep %a, %409
+  %411 = load i32, %410
+  %412 = add 17, %5
+  %413 = smax %395, %1
+  %414 = and %412, 3
+  %415 = icmp eq %414, 0
+  %416 = select %415, %24, %411
+  %417 = add %5, %394
+  %418 = sub %417, %416
+  %419 = mul 8, 6
+  %420 = smax %419, 32
+  store %420, %7
+  br if.end.18
+if.end.18:
+  %421 = phi i32 [%418, if.then.18], [%402, while.body.5]
+  %422 = add %399, 1
+  br while.head.5
+if.then.19:
+  %423 = smin %5, %5
+  %424 = smin 39, %5
+  %425 = and %423, 3
+  %426 = icmp eq %425, 1
+  condbr %426, if.then.20, if.else.18
+if.else.17:
+  %427 = smin 47, 23
+  %428 = smax %5, 75
+  %429 = and %427, 3
+  %430 = icmp eq %429, 1
+  condbr %430, if.then.33, if.end.33
+if.end.19:
+  %431 = phi i32 [%764, if.end.33], [%553, if.end.23]
+  %432 = phi i32 [%765, if.end.33], [%554, if.end.23]
+  %433 = phi i32 [%766, if.end.33], [%552, if.end.23]
+  %434 = phi i32 [%1, if.end.33], [%555, if.end.23]
+  br if.end.17
+if.then.20:
+  %435 = load i32, %7
+  %436 = load i32, %7
+  %437 = icmp sgt %436, %1
+  condbr %437, if.then.21, if.end.21
+if.else.18:
+  %438 = smax %1, %1
+  %439 = and %1, 127
+  %440 = gep %0, %439
+  %441 = load i32, %440
+  %442 = xor %1, %441
+  %443 = and %438, 3
+  %444 = icmp eq %443, 1
+  %445 = select %444, 46, 52
+  %446 = sub 51, 53
+  %447 = add %446, %445
+  store %447, %7
+  %448 = and %24, 127
+  %449 = gep %a, %448
+  %450 = load i32, %449
+  %451 = smin %5, %450
+  %452 = smax %24, 48
+  %453 = mul %5, 2
+  %454 = smin 4, %5
+  %455 = icmp sgt %453, %454
+  %456 = select %455, %452, %451
+  br if.end.20
+if.end.20:
+  %457 = phi i32 [75, if.end.21], [%456, if.else.18]
+  %458 = phi i32 [%470, if.end.21], [%24, if.else.18]
+  %459 = icmp sle 27, 26
+  condbr %459, if.then.22, if.else.19
+if.then.21:
+  %460 = sub %5, %5
+  %461 = load i32, %7
+  %462 = and %5, 127
+  %463 = gep %a, %462
+  %464 = load i32, %463
+  %465 = sub %464, %461
+  %466 = smax 44, %5
+  %467 = and %465, 3
+  %468 = icmp eq %467, 0
+  %469 = select %468, %460, 75
+  br if.end.21
+if.end.21:
+  %470 = phi i32 [%469, if.then.21], [%435, if.then.20]
+  br if.end.20
+if.then.22:
+  %471 = xor %1, 5
+  %472 = and %471, 3
+  %473 = add %472, 1
+  br while.head.6
+if.else.19:
+  %474 = xor %1, 5
+  %475 = and %474, 3
+  %476 = add %475, 1
+  br while.head.8
+if.end.22:
+  %477 = phi i32 [%5, while.end.8], [%507, while.end.7]
+  %478 = phi i32 [%457, while.end.8], [%508, while.end.7]
+  %479 = phi i32 [%458, while.end.8], [%488, while.end.7]
+  %480 = phi i32 [%542, while.end.8], [%1, while.end.7]
+  %481 = and %478, 127
+  %482 = gep %a, %481
+  %483 = load i32, %482
+  %484 = xor %483, %477
+  %485 = smax 8, %477
+  %486 = icmp sgt %484, %485
+  condbr %486, if.then.23, if.else.20
+while.head.6:
+  %487 = phi i32 [%505, while.body.6], [0, if.then.22]
+  %488 = phi i32 [%504, while.body.6], [%458, if.then.22]
+  %489 = icmp slt %487, %473
+  condbr %489, while.body.6, while.end.6
+while.body.6:
+  %490 = xor %488, %487
+  %491 = add %1, %5
+  %492 = smin 44, %1
+  %493 = sub %5, 39
+  %494 = and 18, 3
+  %495 = icmp eq %494, 1
+  %496 = select %495, %492, %491
+  store %496, %7
+  %497 = mul %5, 7
+  %498 = xor %1, %457
+  %499 = smin %498, %497
+  %500 = and %1, 127
+  %501 = gep %a, %500
+  %502 = load i32, %501
+  %503 = add %5, %502
+  %504 = mul %503, 3
+  %505 = add %487, 1
+  br while.head.6
+while.end.6:
+  br while.head.7
+while.head.7:
+  %506 = phi i32 [%533, while.body.7], [0, while.end.6]
+  %507 = phi i32 [%532, while.body.7], [%5, while.end.6]
+  %508 = phi i32 [%510, while.body.7], [%457, while.end.6]
+  %509 = icmp slt %506, 2
+  condbr %509, while.body.7, while.end.7
+while.body.7:
+  %510 = add %507, %506
+  %511 = sub %1, 32
+  %512 = and %1, 127
+  %513 = gep %0, %512
+  %514 = load i32, %513
+  %515 = and %514, %511
+  store %515, %7
+  %516 = and %1, 127
+  %517 = gep %a, %516
+  %518 = load i32, %517
+  %519 = and %488, 127
+  %520 = gep %a, %519
+  %521 = load i32, %520
+  %522 = sub %521, 34
+  %523 = and %507, 127
+  %524 = gep %0, %523
+  %525 = load i32, %524
+  %526 = and %510, 127
+  %527 = gep %0, %526
+  %528 = load i32, %527
+  %529 = smin %528, %525
+  %530 = icmp slt %522, %529
+  %531 = select %530, %1, %488
+  %532 = add %531, %518
+  %533 = add %506, 1
+  br while.head.7
+while.end.7:
+  %534 = smin %1, %488
+  %535 = and %508, 127
+  %536 = gep %a, %535
+  %537 = load i32, %536
+  %538 = load i32, %7
+  %539 = add %538, %537
+  %540 = sub %539, %534
+  store %540, %7
+  br if.end.22
+while.head.8:
+  %541 = phi i32 [%545, while.body.8], [0, if.else.19]
+  %542 = phi i32 [%544, while.body.8], [%1, if.else.19]
+  %543 = icmp slt %541, %476
+  condbr %543, while.body.8, while.end.8
+while.body.8:
+  %544 = xor %458, %541
+  store %5, %7
+  %545 = add %541, 1
+  br while.head.8
+while.end.8:
+  br if.end.22
+if.then.23:
+  %546 = add %479, %478
+  %547 = and %546, 3
+  %548 = icmp eq %547, 0
+  condbr %548, if.then.24, if.else.21
+if.else.20:
+  %549 = sub %5, 41
+  %550 = and %549, 3
+  %551 = icmp eq %550, 0
+  condbr %551, if.then.30, if.else.27
+if.end.23:
+  %552 = phi i32 [%740, while.end.11], [%637, if.end.27]
+  %553 = phi i32 [%741, while.end.11], [%479, if.end.27]
+  %554 = phi i32 [%689, while.end.11], [%638, if.end.27]
+  %555 = phi i32 [%480, while.end.11], [%564, if.end.27]
+  %556 = and %552, 127
+  %557 = gep %0, %556
+  %558 = load i32, %557
+  %559 = smin %5, %558
+  %560 = mul %559, 4
+  store %560, %7
+  br if.end.19
+if.then.24:
+  %561 = mul %5, 5
+  %562 = sub %561, 13
+  store %562, %7
+  br if.end.24
+if.else.21:
+  %563 = icmp eq %547, 1
+  condbr %563, if.then.25, if.else.22
+if.end.24:
+  %564 = phi i32 [%583, if.end.25], [%480, if.then.24]
+  %565 = phi i32 [%584, if.end.25], [%478, if.then.24]
+  %566 = xor %1, 6
+  %567 = and %566, 3
+  %568 = add %567, 1
+  br while.head.9
+if.then.25:
+  %569 = add 46, %1
+  %570 = smax %479, %5
+  %571 = add %570, %569
+  store %571, %7
+  %572 = sub %1, %5
+  %573 = sub %1, 56
+  %574 = xor %573, %572
+  store %574, %7
+  %575 = load i32, %7
+  %576 = mul %575, 3
+  %577 = and %479, 127
+  %578 = gep %0, %577
+  %579 = load i32, %578
+  %580 = add %478, %579
+  %581 = add %580, %576
+  br if.end.25
+if.else.22:
+  %582 = icmp eq %547, 2
+  condbr %582, if.then.26, if.else.23
+if.end.25:
+  %583 = phi i32 [%622, if.end.26], [%480, if.then.25]
+  %584 = phi i32 [%623, if.end.26], [%581, if.then.25]
+  br if.end.24
+if.then.26:
+  %585 = add %1, %477
+  %586 = load i32, %7
+  %587 = and %586, %478
+  %588 = add %587, %585
+  %589 = and %5, 35
+  %590 = and %588, 127
+  %591 = gep %0, %590
+  %592 = load i32, %591
+  %593 = add %479, %5
+  %594 = and %588, 127
+  %595 = gep %a, %594
+  %596 = load i32, %595
+  %597 = xor %596, %478
+  %598 = icmp slt %593, %597
+  %599 = select %598, 14, %592
+  %600 = smax %599, %589
+  store %600, %7
+  %601 = mul %5, 4
+  %602 = and %478, 127
+  %603 = gep %a, %602
+  %604 = load i32, %603
+  %605 = xor %477, %604
+  %606 = sub %605, %601
+  store %606, %7
+  br if.end.26
+if.else.23:
+  %607 = load i32, %7
+  %608 = add %478, %607
+  %609 = load i32, %7
+  %610 = smax %609, 45
+  %611 = add %610, %608
+  %612 = smin %1, %5
+  %613 = load i32, %7
+  %614 = smin 45, %613
+  %615 = and %477, 127
+  %616 = gep %a, %615
+  %617 = load i32, %616
+  %618 = smax %617, %477
+  %619 = and %618, 3
+  %620 = icmp eq %619, 2
+  %621 = select %620, %614, %612
+  store %621, %7
+  br if.end.26
+if.end.26:
+  %622 = phi i32 [%480, if.else.23], [%588, if.then.26]
+  %623 = phi i32 [%611, if.else.23], [%478, if.then.26]
+  br if.end.25
+while.head.9:
+  %624 = phi i32 [%630, while.body.9], [0, if.end.24]
+  %625 = phi i32 [%627, while.body.9], [%565, if.end.24]
+  %626 = icmp slt %624, %568
+  condbr %626, while.body.9, while.end.9
+while.body.9:
+  %627 = xor %564, %624
+  %628 = xor %1, %5
+  %629 = mul %628, 1
+  store %629, %7
+  %630 = add %624, 1
+  br while.head.9
+while.end.9:
+  %631 = and %564, 3
+  %632 = icmp eq %631, 0
+  condbr %632, if.then.27, if.else.24
+if.then.27:
+  %633 = smax %5, 54
+  %634 = and %477, 61
+  %635 = smax %634, %633
+  store %635, %7
+  br if.end.27
+if.else.24:
+  %636 = icmp eq %631, 1
+  condbr %636, if.then.28, if.else.25
+if.end.27:
+  %637 = phi i32 [%650, if.end.28], [%477, if.then.27]
+  %638 = phi i32 [%651, if.end.28], [%625, if.then.27]
+  br if.end.23
+if.then.28:
+  %639 = and %564, 127
+  %640 = gep %a, %639
+  %641 = load i32, %640
+  %642 = add %641, %625
+  %643 = mul %479, 4
+  %644 = xor %643, %642
+  store %644, %7
+  store %564, %7
+  %645 = load i32, %7
+  %646 = xor %5, %645
+  %647 = mul %564, 3
+  %648 = xor %647, %646
+  store %648, %7
+  br if.end.28
+if.else.25:
+  %649 = icmp eq %631, 2
+  condbr %649, if.then.29, if.else.26
+if.end.28:
+  %650 = phi i32 [%671, if.end.29], [%477, if.then.28]
+  %651 = phi i32 [%672, if.end.29], [%625, if.then.28]
+  br if.end.27
+if.then.29:
+  %652 = add %1, %625
+  %653 = and %564, 127
+  %654 = gep %a, %653
+  %655 = load i32, %654
+  %656 = add %655, 61
+  %657 = and %5, %477
+  %658 = load i32, %7
+  %659 = add 9, %658
+  %660 = icmp slt %657, %659
+  %661 = select %660, %656, %652
+  store %661, %7
+  %662 = xor %5, %5
+  %663 = xor %479, %5
+  %664 = smax %663, %662
+  br if.end.29
+if.else.26:
+  %665 = mul %5, 4
+  %666 = and %564, 127
+  %667 = gep %0, %666
+  %668 = load i32, %667
+  %669 = smax %668, 2
+  %670 = mul %669, 7
+  store %670, %7
+  br if.end.29
+if.end.29:
+  %671 = phi i32 [%665, if.else.26], [%5, if.then.29]
+  %672 = phi i32 [%625, if.else.26], [%664, if.then.29]
+  br if.end.28
+if.then.30:
+  %673 = and %479, 127
+  %674 = gep %0, %673
+  %675 = load i32, %674
+  %676 = smax %477, %5
+  %677 = icmp sle %676, %478
+  %678 = select %677, %675, 8
+  %679 = add %5, %1
+  %680 = icmp slt %678, %679
+  %681 = select %680, 11, %5
+  %682 = and %681, 40
+  %683 = and %479, 127
+  %684 = gep %a, %683
+  %685 = load i32, %684
+  %686 = smax %685, %5
+  %687 = xor 5, %686
+  store %687, %7
+  br if.end.30
+if.else.27:
+  %688 = icmp eq %550, 1
+  condbr %688, if.then.31, if.else.28
+if.end.30:
+  %689 = phi i32 [%478, if.end.31], [%682, if.then.30]
+  %690 = phi i32 [%705, if.end.31], [%477, if.then.30]
+  %691 = phi i32 [%706, if.end.31], [%479, if.then.30]
+  %692 = xor %1, 7
+  %693 = and %692, 3
+  %694 = add %693, 1
+  br while.head.10
+if.then.31:
+  %695 = smin %1, %1
+  %696 = mul 20, 3
+  %697 = add %696, %695
+  store %697, %7
+  %698 = mul %5, 3
+  %699 = smax %1, %5
+  %700 = smin %699, %698
+  store %700, %7
+  %701 = smax %1, %1
+  %702 = smin %1, %478
+  %703 = and %702, %701
+  store %703, %7
+  br if.end.31
+if.else.28:
+  %704 = icmp eq %550, 2
+  condbr %704, if.then.32, if.else.29
+if.end.31:
+  %705 = phi i32 [%729, if.end.32], [%477, if.then.31]
+  %706 = phi i32 [%730, if.end.32], [%479, if.then.31]
+  br if.end.30
+if.then.32:
+  %707 = add 22, %1
+  %708 = and %480, 127
+  %709 = gep %0, %708
+  %710 = load i32, %709
+  %711 = load i32, %7
+  %712 = and %477, 127
+  %713 = gep %a, %712
+  %714 = load i32, %713
+  %715 = smin %5, %714
+  %716 = xor 23, %5
+  %717 = icmp slt %715, %716
+  %718 = select %717, %711, %710
+  %719 = smax 50, %1
+  %720 = smax 48, 38
+  %721 = icmp slt %719, %720
+  %722 = select %721, %718, %707
+  store %722, %7
+  br if.end.32
+if.else.29:
+  %723 = sub %1, %5
+  %724 = mul %723, 3
+  store %724, %7
+  %725 = add %479, %5
+  %726 = sub %479, %725
+  %727 = sub %1, 13
+  %728 = smax %727, %5
+  br if.end.32
+if.end.32:
+  %729 = phi i32 [%726, if.else.29], [%477, if.then.32]
+  %730 = phi i32 [%728, if.else.29], [%479, if.then.32]
+  br if.end.31
+while.head.10:
+  %731 = phi i32 [%738, while.body.10], [0, if.end.30]
+  %732 = phi i32 [%734, while.body.10], [%690, if.end.30]
+  %733 = icmp slt %731, %694
+  condbr %733, while.body.10, while.end.10
+while.body.10:
+  %734 = xor %480, %731
+  %735 = sub %5, %480
+  %736 = and %1, %5
+  %737 = smax %736, %735
+  store %737, %7
+  %738 = add %731, 1
+  br while.head.10
+while.end.10:
+  br while.head.11
+while.head.11:
+  %739 = phi i32 [%760, while.body.11], [0, while.end.10]
+  %740 = phi i32 [%759, while.body.11], [%732, while.end.10]
+  %741 = phi i32 [%757, while.body.11], [%691, while.end.10]
+  %742 = icmp slt %739, 3
+  condbr %742, while.body.11, while.end.11
+while.body.11:
+  %743 = add %480, %739
+  %744 = and %743, 127
+  %745 = gep %a, %744
+  %746 = load i32, %745
+  %747 = smax %746, %5
+  %748 = and %743, 127
+  %749 = gep %a, %748
+  %750 = load i32, %749
+  %751 = load i32, %7
+  %752 = smax %751, %750
+  %753 = smax %752, %747
+  %754 = smin %5, %480
+  %755 = load i32, %7
+  %756 = add %753, %755
+  %757 = add %756, %754
+  %758 = add %689, %5
+  %759 = mul %758, 2
+  %760 = add %739, 1
+  br while.head.11
+while.end.11:
+  br if.end.23
+if.then.33:
+  %761 = smin 5, 0
+  %762 = and %761, 3
+  %763 = icmp eq %762, 0
+  condbr %763, if.then.34, if.else.30
+if.end.33:
+  %764 = phi i32 [%832, while.end.12], [%24, if.else.17]
+  %765 = phi i32 [%775, while.end.12], [75, if.else.17]
+  %766 = phi i32 [%773, while.end.12], [%5, if.else.17]
+  br if.end.19
+if.then.34:
+  %767 = sub %24, %1
+  %768 = mul %767, 4
+  store %768, %7
+  %769 = sub 12, %1
+  %770 = add 29, %5
+  %771 = smax %770, %769
+  br if.end.34
+if.else.30:
+  %772 = icmp eq %762, 1
+  condbr %772, if.then.35, if.else.31
+if.end.34:
+  %773 = phi i32 [%799, if.end.35], [%5, if.then.34]
+  %774 = phi i32 [%800, if.end.35], [%24, if.then.34]
+  %775 = phi i32 [75, if.end.35], [%771, if.then.34]
+  br while.head.12
+if.then.35:
+  %776 = smin 49, %1
+  %777 = smax 43, %1
+  %778 = and %1, 12
+  %779 = and 75, 127
+  %780 = gep %0, %779
+  %781 = load i32, %780
+  %782 = mul %781, 5
+  %783 = and %778, 3
+  %784 = icmp eq %783, 1
+  %785 = select %784, 75, 33
+  %786 = icmp sgt %777, %785
+  %787 = select %786, %776, %5
+  store %787, %7
+  %788 = load i32, %7
+  %789 = sub %788, 75
+  %790 = mul %5, 3
+  %791 = sub %790, %789
+  %792 = smin 41, %5
+  %793 = and %24, 127
+  %794 = gep %a, %793
+  %795 = load i32, %794
+  %796 = add %795, 48
+  %797 = sub %796, %792
+  br if.end.35
+if.else.31:
+  %798 = icmp eq %762, 2
+  condbr %798, if.then.36, if.else.32
+if.end.35:
+  %799 = phi i32 [%829, if.end.36], [%791, if.then.35]
+  %800 = phi i32 [%830, if.end.36], [%797, if.then.35]
+  br if.end.34
+if.then.36:
+  %801 = and %24, 127
+  %802 = gep %a, %801
+  %803 = load i32, %802
+  %804 = xor %24, %803
+  %805 = and %5, 127
+  %806 = gep %0, %805
+  %807 = load i32, %806
+  %808 = and %5, %807
+  %809 = smax 75, %5
+  %810 = sub %24, %5
+  %811 = and %809, 3
+  %812 = icmp eq %811, 2
+  %813 = select %812, %808, %804
+  br if.end.36
+if.else.32:
+  %814 = and 75, 127
+  %815 = gep %0, %814
+  %816 = load i32, %815
+  %817 = add %816, %1
+  %818 = load i32, %7
+  %819 = mul %818, 1
+  %820 = smin %819, %817
+  %821 = mul %1, 3
+  %822 = mul 26, 5
+  %823 = icmp sgt %821, %822
+  %824 = select %823, 75, %1
+  %825 = xor %5, 61
+  %826 = icmp slt %824, %825
+  %827 = select %826, %820, %1
+  %828 = mul %827, 5
+  br if.end.36
+if.end.36:
+  %829 = phi i32 [%828, if.else.32], [%5, if.then.36]
+  %830 = phi i32 [%24, if.else.32], [%813, if.then.36]
+  br if.end.35
+while.head.12:
+  %831 = phi i32 [%845, while.body.12], [0, if.end.34]
+  %832 = phi i32 [%834, while.body.12], [%774, if.end.34]
+  %833 = icmp slt %831, 1
+  condbr %833, while.body.12, while.end.12
+while.body.12:
+  %834 = add %1, %831
+  %835 = load i32, %7
+  %836 = mul %835, 3
+  %837 = and %773, 127
+  %838 = gep %0, %837
+  %839 = load i32, %838
+  %840 = smax %5, 43
+  %841 = mul %1, 1
+  %842 = icmp sle %840, %841
+  %843 = select %842, 33, %839
+  %844 = smax %843, %836
+  store %844, %7
+  %845 = add %831, 1
+  br while.head.12
+while.end.12:
+  br if.end.33
+if.then.37:
+  %846 = xor %1, 20
+  %847 = mul 48, 3
+  %848 = icmp sle %846, %847
+  condbr %848, if.then.38, if.else.34
+if.else.33:
+  %849 = icmp eq %67, 1
+  condbr %849, if.then.49, if.else.39
+if.end.37:
+  %850 = phi i32 [%1211, if.end.49], [%1046, if.end.46]
+  %851 = phi i32 [%1212, if.end.49], [%1047, if.end.46]
+  %852 = phi i32 [%1213, if.end.49], [%1048, if.end.46]
+  %853 = phi i32 [%1214, if.end.49], [%1049, if.end.46]
+  %854 = and %850, 127
+  %855 = gep %0, %854
+  %856 = load i32, %855
+  %857 = sub %856, %1
+  %858 = and %850, 127
+  %859 = gep %0, %858
+  %860 = load i32, %859
+  %861 = xor %860, %1
+  %862 = and %861, %857
+  %863 = and %1, 127
+  syncthreads
+  %864 = gep %0, %863
+  store %862, %864
+  syncthreads
+  %865 = smin 2, 38
+  %866 = and %851, 127
+  %867 = gep %a, %866
+  %868 = load i32, %867
+  %869 = and 28, 28
+  %870 = and %852, 127
+  %871 = gep %a, %870
+  %872 = load i32, %871
+  %873 = add %872, %850
+  %874 = icmp slt %869, %873
+  %875 = select %874, %1, %868
+  %876 = and %865, 3
+  %877 = icmp eq %876, 3
+  condbr %877, if.then.64, if.else.51
+if.then.38:
+  %878 = xor %1, %5
+  %879 = add %1, %1
+  %880 = and %878, 3
+  %881 = icmp eq %880, 1
+  condbr %881, if.then.39, if.else.35
+if.else.34:
+  %882 = xor %1, 5
+  %883 = and %882, 3
+  %884 = add %883, 1
+  br while.head.13
+if.end.38:
+  %885 = phi i32 [%65, if.end.41], [%915, if.end.40]
+  %886 = phi i32 [%922, if.end.41], [%63, if.end.40]
+  %887 = add %1, 12
+  %888 = smin %5, %1
+  %889 = icmp sle %888, 42
+  %890 = select %889, 31, 19
+  %891 = icmp sgt %887, %890
+  condbr %891, if.then.42, if.else.36
+if.then.39:
+  %892 = mul %1, 4
+  %893 = smin %63, 17
+  %894 = sub %893, %892
+  store %894, %7
+  br if.end.39
+if.else.35:
+  %895 = and %64, 127
+  %896 = gep %a, %895
+  %897 = load i32, %896
+  %898 = smin %897, %5
+  %899 = mul 54, 6
+  %900 = and %899, %898
+  store %900, %7
+  %901 = and %1, %5
+  %902 = and %63, 127
+  %903 = gep %0, %902
+  %904 = load i32, %903
+  %905 = smax %62, %904
+  %906 = and %905, %901
+  store %906, %7
+  br if.end.39
+if.end.39:
+  %907 = mul %62, 6
+  %908 = and %62, 127
+  %909 = gep %0, %908
+  %910 = load i32, %909
+  %911 = sub %910, %1
+  %912 = icmp sle %907, %911
+  condbr %912, if.then.40, if.end.40
+if.then.40:
+  %913 = and 59, %5
+  %914 = mul %913, 7
+  br if.end.40
+if.end.40:
+  %915 = phi i32 [%914, if.then.40], [%65, if.end.39]
+  %916 = xor %63, %1
+  %917 = and %63, 127
+  %918 = gep %a, %917
+  %919 = load i32, %918
+  %920 = smax %919, %916
+  store %920, %7
+  br if.end.38
+while.head.13:
+  %921 = phi i32 [%934, while.body.13], [0, if.else.34]
+  %922 = phi i32 [%924, while.body.13], [%63, if.else.34]
+  %923 = icmp slt %921, %884
+  condbr %923, while.body.13, while.end.13
+while.body.13:
+  %924 = xor %64, %921
+  %925 = smin %5, %1
+  %926 = and %65, 127
+  %927 = gep %0, %926
+  %928 = load i32, %927
+  %929 = and %62, 127
+  %930 = gep %a, %929
+  %931 = load i32, %930
+  %932 = add %931, %928
+  %933 = and %932, %925
+  store %933, %7
+  %934 = add %921, 1
+  br while.head.13
+while.end.13:
+  %935 = and %62, 127
+  %936 = gep %0, %935
+  %937 = load i32, %936
+  %938 = and %937, %64
+  %939 = add %1, %64
+  %940 = xor %1, 46
+  %941 = and %939, 3
+  %942 = icmp eq %941, 1
+  %943 = select %942, %62, 9
+  %944 = sub %943, %938
+  store %944, %7
+  %945 = and %922, 127
+  %946 = gep %a, %945
+  %947 = load i32, %946
+  %948 = sub %5, %1
+  %949 = icmp slt %947, %948
+  condbr %949, if.then.41, if.end.41
+if.then.41:
+  %950 = and 58, %922
+  %951 = smax %5, %62
+  %952 = and %65, 127
+  %953 = gep %a, %952
+  %954 = load i32, %953
+  %955 = sub 23, %954
+  %956 = and %65, 127
+  %957 = gep %a, %956
+  %958 = load i32, %957
+  %959 = mul %958, 2
+  %960 = and %955, 3
+  %961 = icmp eq %960, 0
+  %962 = select %961, %5, 13
+  %963 = add 39, %65
+  %964 = icmp sle %962, %963
+  %965 = select %964, %951, %950
+  store %965, %7
+  br if.end.41
+if.end.41:
+  br if.end.38
+if.then.42:
+  %966 = and %886, %885
+  %967 = load i32, %7
+  %968 = and %1, %967
+  %969 = icmp sle %966, %968
+  %970 = select %969, %5, 3
+  %971 = icmp sle 12, %970
+  condbr %971, if.then.43, if.end.43
+if.else.36:
+  %972 = smin 36, %1
+  %973 = and %5, %1
+  %974 = smin %973, %972
+  %975 = mul 27, 6
+  %976 = mul %5, 7
+  %977 = icmp sgt %975, %976
+  condbr %977, if.then.44, if.end.44
+if.end.42:
+  %978 = phi i32 [%1012, if.end.45], [%62, if.end.43]
+  %979 = phi i32 [%885, if.end.45], [%1001, if.end.43]
+  %980 = phi i32 [%1041, if.end.45], [%1002, if.end.43]
+  %981 = phi i32 [%1042, if.end.45], [%886, if.end.43]
+  %982 = load i32, %7
+  %983 = smax %982, %1
+  %984 = and 59, 3
+  %985 = icmp eq %984, 2
+  condbr %985, if.then.46, if.else.37
+if.then.43:
+  %986 = xor 43, %5
+  %987 = smax %1, %5
+  %988 = add %987, %986
+  %989 = and %62, 127
+  %990 = gep %a, %989
+  %991 = load i32, %990
+  %992 = and 19, %991
+  %993 = and %988, 127
+  %994 = gep %0, %993
+  %995 = load i32, %994
+  %996 = and %988, 127
+  %997 = gep %0, %996
+  %998 = load i32, %997
+  %999 = sub %998, %995
+  %1000 = xor %999, %992
+  br if.end.43
+if.end.43:
+  %1001 = phi i32 [%1000, if.then.43], [%885, if.then.42]
+  %1002 = phi i32 [%988, if.then.43], [%64, if.then.42]
+  br if.end.42
+if.then.44:
+  %1003 = xor 12, %1
+  %1004 = xor 62, %886
+  %1005 = xor %1004, %1003
+  %1006 = smin %1, %885
+  %1007 = and %64, 127
+  %1008 = gep %0, %1007
+  %1009 = load i32, %1008
+  %1010 = xor %64, %1009
+  %1011 = sub %1010, %1006
+  br if.end.44
+if.end.44:
+  %1012 = phi i32 [%1005, if.then.44], [%974, if.else.36]
+  %1013 = phi i32 [%1011, if.then.44], [%886, if.else.36]
+  %1014 = smax %1, %64
+  %1015 = and %1012, 127
+  %1016 = gep %0, %1015
+  %1017 = load i32, %1016
+  %1018 = and %885, 127
+  %1019 = gep %0, %1018
+  %1020 = load i32, %1019
+  %1021 = and %1020, %1017
+  %1022 = mul %5, 3
+  %1023 = icmp slt %1021, %1022
+  %1024 = select %1023, 45, %1
+  %1025 = icmp slt %1014, %1024
+  condbr %1025, if.then.45, if.end.45
+if.then.45:
+  %1026 = mul %1013, 2
+  %1027 = sub %1, %5
+  %1028 = icmp sgt %1026, %1027
+  %1029 = select %1028, %5, %885
+  %1030 = mul %1029, 4
+  %1031 = mul %1, 6
+  store %1031, %7
+  %1032 = and %885, 127
+  %1033 = gep %0, %1032
+  %1034 = load i32, %1033
+  %1035 = add %1034, %885
+  %1036 = and %1012, 127
+  %1037 = gep %0, %1036
+  %1038 = load i32, %1037
+  %1039 = mul %1038, 1
+  %1040 = smax %1039, %1035
+  br if.end.45
+if.end.45:
+  %1041 = phi i32 [%1040, if.then.45], [%64, if.end.44]
+  %1042 = phi i32 [%1030, if.then.45], [%1013, if.end.44]
+  br if.end.42
+if.then.46:
+  %1043 = xor %1, 7
+  %1044 = and %1043, 3
+  %1045 = add %1044, 1
+  br while.head.14
+if.else.37:
+  br while.head.16
+if.end.46:
+  %1046 = phi i32 [%1154, if.end.48], [%1150, if.end.47]
+  %1047 = phi i32 [%1197, if.end.48], [%1151, if.end.47]
+  %1048 = phi i32 [%981, if.end.48], [%1052, if.end.47]
+  %1049 = phi i32 [%978, if.end.48], [%1152, if.end.47]
+  br if.end.37
+while.head.14:
+  %1050 = phi i32 [%1077, while.body.14], [0, if.then.46]
+  %1051 = phi i32 [%1076, while.body.14], [%978, if.then.46]
+  %1052 = phi i32 [%1061, while.body.14], [%981, if.then.46]
+  %1053 = icmp slt %1050, %1045
+  condbr %1053, while.body.14, while.end.14
+while.body.14:
+  %1054 = xor %980, %1050
+  %1055 = mul %1, 5
+  %1056 = xor 31, 18
+  %1057 = icmp slt %1055, %1056
+  %1058 = select %1057, %979, 1
+  %1059 = load i32, %7
+  %1060 = add %1059, %1051
+  %1061 = xor %1060, %1058
+  %1062 = and %1061, 127
+  %1063 = gep %a, %1062
+  %1064 = load i32, %1063
+  %1065 = sub %5, %1064
+  %1066 = sub %1051, %5
+  %1067 = mul %980, 3
+  %1068 = and %1061, 127
+  %1069 = gep %0, %1068
+  %1070 = load i32, %1069
+  %1071 = smin %1061, %1070
+  %1072 = icmp sgt %1067, %1071
+  %1073 = select %1072, %1066, %1065
+  store %1073, %7
+  %1074 = sub 53, %980
+  %1075 = sub %5, %1061
+  %1076 = add %1075, %1074
+  %1077 = add %1050, 1
+  br while.head.14
+while.end.14:
+  %1078 = xor %1, 4
+  %1079 = and %1078, 3
+  %1080 = add %1079, 1
+  br while.head.15
+while.head.15:
+  %1081 = phi i32 [%1099, while.body.15], [0, while.end.14]
+  %1082 = phi i32 [%1085, while.body.15], [%980, while.end.14]
+  %1083 = phi i32 [%1098, while.body.15], [%1051, while.end.14]
+  %1084 = icmp slt %1081, %1080
+  condbr %1084, while.body.15, while.end.15
+while.body.15:
+  %1085 = xor %1082, %1081
+  %1086 = sub %1085, %1083
+  %1087 = and %1083, 127
+  %1088 = gep %a, %1087
+  %1089 = load i32, %1088
+  %1090 = add 26, %5
+  %1091 = load i32, %7
+  %1092 = add %1052, %1091
+  %1093 = and %1090, 3
+  %1094 = icmp eq %1093, 3
+  %1095 = select %1094, %1089, %1083
+  %1096 = icmp sle %1086, %1095
+  %1097 = select %1096, %5, %1
+  %1098 = mul %1097, 1
+  %1099 = add %1081, 1
+  br while.head.15
+while.end.15:
+  %1100 = add %1082, %5
+  %1101 = and %1083, 127
+  %1102 = gep %0, %1101
+  %1103 = load i32, %1102
+  %1104 = add %1103, 22
+  %1105 = and %1100, 3
+  %1106 = icmp eq %1105, 1
+  condbr %1106, if.then.47, if.else.38
+if.then.47:
+  %1107 = and %1, %5
+  %1108 = sub %5, %1
+  %1109 = xor %1108, %1107
+  store %1109, %7
+  %1110 = and %1052, 127
+  %1111 = gep %0, %1110
+  %1112 = load i32, %1111
+  %1113 = mul %1, 4
+  %1114 = icmp slt %5, %1113
+  %1115 = select %1114, %1112, %1
+  %1116 = add %1083, %1082
+  %1117 = icmp slt %1115, %1116
+  %1118 = select %1117, %979, 3
+  %1119 = load i32, %7
+  %1120 = sub %1119, 5
+  %1121 = smin %1120, %1118
+  %1122 = mul %1052, 1
+  %1123 = and %1083, 127
+  %1124 = gep %0, %1123
+  %1125 = load i32, %1124
+  %1126 = and %1083, 127
+  %1127 = gep %0, %1126
+  %1128 = load i32, %1127
+  %1129 = smax 26, %1128
+  %1130 = and %1052, 3
+  %1131 = icmp eq %1130, 3
+  %1132 = select %1131, %1121, %1125
+  %1133 = icmp sle %1122, %1132
+  %1134 = select %1133, %1083, 25
+  %1135 = xor 17, 6
+  %1136 = icmp sle %1134, %1135
+  %1137 = select %1136, %1121, %1052
+  %1138 = smin %1137, 11
+  br if.end.47
+if.else.38:
+  %1139 = and %1083, 127
+  %1140 = gep %0, %1139
+  %1141 = load i32, %1140
+  %1142 = add %1, %1
+  %1143 = and %1052, 127
+  %1144 = gep %a, %1143
+  %1145 = load i32, %1144
+  %1146 = sub %1145, %1052
+  %1147 = icmp sgt %1142, %1146
+  %1148 = select %1147, %1, %979
+  %1149 = and %1148, %1141
+  br if.end.47
+if.end.47:
+  %1150 = phi i32 [%1082, if.else.38], [%1121, if.then.47]
+  %1151 = phi i32 [%1149, if.else.38], [%979, if.then.47]
+  %1152 = phi i32 [%1083, if.else.38], [%1138, if.then.47]
+  br if.end.46
+while.head.16:
+  %1153 = phi i32 [%1190, while.body.16], [0, if.else.37]
+  %1154 = phi i32 [%1180, while.body.16], [%980, if.else.37]
+  %1155 = icmp slt %1153, 1
+  condbr %1155, while.body.16, while.end.16
+while.body.16:
+  %1156 = add %978, %1153
+  %1157 = and %1156, 127
+  %1158 = gep %0, %1157
+  %1159 = load i32, %1158
+  %1160 = mul %1159, 3
+  %1161 = and %979, 127
+  %1162 = gep %0, %1161
+  %1163 = load i32, %1162
+  %1164 = sub %978, %1163
+  %1165 = sub %1, %5
+  %1166 = and %981, 127
+  %1167 = gep %0, %1166
+  %1168 = load i32, %1167
+  %1169 = xor %1168, %978
+  %1170 = and %1156, 127
+  %1171 = gep %a, %1170
+  %1172 = load i32, %1171
+  %1173 = xor %1172, %5
+  %1174 = icmp sgt %1169, %1173
+  %1175 = select %1174, %5, 29
+  %1176 = icmp sle %1165, %1175
+  %1177 = select %1176, %978, %981
+  %1178 = smin %981, %981
+  %1179 = icmp sgt %1177, %1178
+  %1180 = select %1179, %1164, %1160
+  %1181 = smin %5, %978
+  %1182 = smax %1, %5
+  %1183 = and %1182, %1181
+  store %1183, %7
+  %1184 = and %978, 127
+  %1185 = gep %0, %1184
+  %1186 = load i32, %1185
+  %1187 = add %1, %1186
+  %1188 = xor 2, %1
+  %1189 = xor %1188, %1187
+  store %1189, %7
+  %1190 = add %1153, 1
+  br while.head.16
+while.end.16:
+  %1191 = and %979, %5
+  %1192 = smin %978, %1154
+  %1193 = icmp sgt %1191, %1192
+  condbr %1193, if.then.48, if.end.48
+if.then.48:
+  %1194 = xor %5, %5
+  %1195 = mul %1154, 5
+  %1196 = xor %1195, %1194
+  br if.end.48
+if.end.48:
+  %1197 = phi i32 [%1196, if.then.48], [%979, while.end.16]
+  br if.end.46
+if.then.49:
+  %1198 = and %64, 127
+  %1199 = gep %0, %1198
+  %1200 = load i32, %1199
+  %1201 = xor %5, %1
+  %1202 = smin %63, 59
+  %1203 = icmp sgt %1201, %1202
+  %1204 = select %1203, 39, %1200
+  %1205 = and %63, 127
+  %1206 = gep %0, %1205
+  %1207 = load i32, %1206
+  %1208 = mul %1207, 3
+  %1209 = icmp slt %1204, %1208
+  condbr %1209, if.then.50, if.else.40
+if.else.39:
+  %1210 = icmp eq %67, 2
+  condbr %1210, if.then.53, if.else.43
+if.end.49:
+  %1211 = phi i32 [%1301, if.end.53], [%1230, if.end.50]
+  %1212 = phi i32 [%1302, if.end.53], [%1232, if.end.50]
+  %1213 = phi i32 [%1303, if.end.53], [%63, if.end.50]
+  %1214 = phi i32 [%1304, if.end.53], [%1231, if.end.50]
+  br if.end.37
+if.then.50:
+  %1215 = sub %1, 35
+  %1216 = and %64, 127
+  %1217 = gep %0, %1216
+  %1218 = load i32, %1217
+  %1219 = and %5, %1
+  %1220 = smax %1, %5
+  %1221 = icmp sgt %1219, %1220
+  %1222 = select %1221, %1218, %5
+  %1223 = xor %1222, %1215
+  store %1223, %7
+  %1224 = mul 50, 2
+  %1225 = mul 30, 3
+  %1226 = icmp sgt %1224, %1225
+  condbr %1226, if.then.51, if.else.41
+if.else.40:
+  %1227 = mul %65, 4
+  %1228 = and 34, %5
+  %1229 = icmp slt %1227, %1228
+  condbr %1229, if.then.52, if.else.42
+if.end.50:
+  %1230 = phi i32 [%64, if.end.52], [%1257, if.end.51]
+  %1231 = phi i32 [%1285, if.end.52], [%62, if.end.51]
+  %1232 = phi i32 [%65, if.end.52], [%1258, if.end.51]
+  %1233 = sub %1230, %5
+  %1234 = and %1231, 127
+  %1235 = gep %a, %1234
+  %1236 = load i32, %1235
+  %1237 = smax %1, %1236
+  %1238 = add %5, %63
+  %1239 = sub %1, 43
+  %1240 = and %1238, 3
+  %1241 = icmp eq %1240, 1
+  %1242 = select %1241, %1237, %1233
+  store %1242, %7
+  br if.end.49
+if.then.51:
+  %1243 = and %64, 127
+  %1244 = gep %0, %1243
+  %1245 = load i32, %1244
+  %1246 = smax %65, %1245
+  %1247 = sub 11, %64
+  %1248 = smin %1247, %1246
+  %1249 = and 22, 1
+  %1250 = xor %1, 8
+  %1251 = sub %1250, %1249
+  br if.end.51
+if.else.41:
+  %1252 = and %63, 127
+  %1253 = gep %a, %1252
+  %1254 = load i32, %1253
+  %1255 = smin %1254, %64
+  %1256 = xor %1, %1255
+  br if.end.51
+if.end.51:
+  %1257 = phi i32 [%64, if.else.41], [%1251, if.then.51]
+  %1258 = phi i32 [%1256, if.else.41], [%1248, if.then.51]
+  br if.end.50
+if.then.52:
+  %1259 = sub %1, %1
+  %1260 = and %5, %64
+  %1261 = xor %1260, %1259
+  store %1261, %7
+  %1262 = and %62, 127
+  %1263 = gep %a, %1262
+  %1264 = load i32, %1263
+  %1265 = xor %1, %63
+  %1266 = smax 19, %5
+  %1267 = icmp slt %1265, %1266
+  %1268 = select %1267, 16, %1264
+  %1269 = smax %63, %5
+  %1270 = and %65, 127
+  %1271 = gep %a, %1270
+  %1272 = load i32, %1271
+  %1273 = add %5, %1272
+  %1274 = smax %63, %64
+  %1275 = icmp sle %1273, %1274
+  %1276 = select %1275, %1269, %1268
+  %1277 = load i32, %7
+  %1278 = sub %1277, 57
+  %1279 = xor %5, 21
+  %1280 = smin %1279, %1278
+  store %1280, %7
+  br if.end.52
+if.else.42:
+  %1281 = load i32, %7
+  %1282 = sub %5, %1281
+  %1283 = add %64, 21
+  %1284 = smin %1283, %1282
+  br if.end.52
+if.end.52:
+  %1285 = phi i32 [%1284, if.else.42], [%1276, if.then.52]
+  %1286 = add 11, %1285
+  %1287 = smax 34, %1
+  %1288 = and %1286, 3
+  %1289 = icmp eq %1288, 1
+  %1290 = select %1289, %5, %5
+  %1291 = and %63, 127
+  %1292 = gep %a, %1291
+  %1293 = load i32, %1292
+  %1294 = mul %1293, 3
+  %1295 = xor %1294, %1290
+  store %1295, %7
+  br if.end.50
+if.then.53:
+  %1296 = and %64, %5
+  %1297 = icmp slt %1296, %5
+  condbr %1297, if.then.54, if.end.54
+if.else.43:
+  %1298 = xor %1, 1
+  %1299 = and %1298, 3
+  %1300 = add %1299, 1
+  br while.head.20
+if.end.53:
+  %1301 = phi i32 [%1573, if.end.59], [%1462, if.end.58]
+  %1302 = phi i32 [%1574, if.end.59], [%1308, if.end.58]
+  %1303 = phi i32 [%1575, if.end.59], [%1463, if.end.58]
+  %1304 = phi i32 [%1576, if.end.59], [%1464, if.end.58]
+  br if.end.49
+if.then.54:
+  %1305 = sub %5, %65
+  %1306 = and %1305, 3
+  %1307 = icmp eq %1306, 0
+  condbr %1307, if.then.55, if.else.44
+if.end.54:
+  %1308 = phi i32 [%1378, while.end.17], [%65, if.then.53]
+  %1309 = phi i32 [%1350, while.end.17], [%63, if.then.53]
+  %1310 = phi i32 [%1379, while.end.17], [%62, if.then.53]
+  %1311 = phi i32 [%1351, while.end.17], [%64, if.then.53]
+  %1312 = smax %1309, %1308
+  %1313 = and %1309, 127
+  %1314 = gep %0, %1313
+  %1315 = load i32, %1314
+  %1316 = smax %1315, %5
+  %1317 = icmp slt %1312, %1316
+  condbr %1317, if.then.58, if.end.58
+if.then.55:
+  %1318 = mul %1, 7
+  %1319 = mul %1318, 5
+  %1320 = smax %1, %65
+  %1321 = smax 31, 27
+  %1322 = smin %63, %63
+  %1323 = and %1321, 3
+  %1324 = icmp eq %1323, 2
+  %1325 = select %1324, %1, %1320
+  store %1325, %7
+  %1326 = and %65, 127
+  %1327 = gep %0, %1326
+  %1328 = load i32, %1327
+  %1329 = and %1319, 127
+  %1330 = gep %0, %1329
+  %1331 = load i32, %1330
+  %1332 = load i32, %7
+  %1333 = sub 36, %1332
+  %1334 = load i32, %7
+  %1335 = mul %1334, 1
+  %1336 = smax 35, 36
+  %1337 = icmp sle %1335, %1336
+  %1338 = select %1337, %64, %64
+  %1339 = icmp slt %1333, %1338
+  %1340 = select %1339, %1, %1331
+  %1341 = sub 51, 58
+  %1342 = icmp sle %1340, %1341
+  %1343 = select %1342, 50, %1328
+  %1344 = and %65, 127
+  %1345 = gep %0, %1344
+  %1346 = load i32, %1345
+  %1347 = smin 50, %1346
+  %1348 = and %1347, %1343
+  br if.end.55
+if.else.44:
+  %1349 = icmp eq %1306, 1
+  condbr %1349, if.then.56, if.else.45
+if.end.55:
+  %1350 = phi i32 [%63, if.end.56], [%1348, if.then.55]
+  %1351 = phi i32 [%1359, if.end.56], [%64, if.then.55]
+  %1352 = phi i32 [%62, if.end.56], [%1319, if.then.55]
+  br while.head.17
+if.then.56:
+  %1353 = xor %1, %65
+  %1354 = smin %5, %5
+  %1355 = and %1354, %1353
+  store %1355, %7
+  %1356 = mul 24, 1
+  %1357 = mul %1356, 5
+  store %1357, %7
+  br if.end.56
+if.else.45:
+  %1358 = icmp eq %1306, 2
+  condbr %1358, if.then.57, if.else.46
+if.end.56:
+  %1359 = phi i32 [%1376, if.end.57], [%64, if.then.56]
+  br if.end.55
+if.then.57:
+  %1360 = mul %5, 5
+  %1361 = and %63, 127
+  %1362 = gep %a, %1361
+  %1363 = load i32, %1362
+  %1364 = and %1363, 17
+  %1365 = and %63, 127
+  %1366 = gep %0, %1365
+  %1367 = load i32, %1366
+  %1368 = xor %1, %1367
+  %1369 = and %1364, 3
+  %1370 = icmp eq %1369, 2
+  %1371 = select %1370, %1, 43
+  %1372 = sub %1371, %1360
+  br if.end.57
+if.else.46:
+  %1373 = mul %65, 7
+  %1374 = smin %5, %5
+  %1375 = xor %1374, %1373
+  store %1375, %7
+  br if.end.57
+if.end.57:
+  %1376 = phi i32 [%64, if.else.46], [%1372, if.then.57]
+  br if.end.56
+while.head.17:
+  %1377 = phi i32 [%1461, while.body.17], [0, if.end.55]
+  %1378 = phi i32 [%1460, while.body.17], [%65, if.end.55]
+  %1379 = phi i32 [%1381, while.body.17], [%1352, if.end.55]
+  %1380 = icmp slt %1377, 1
+  condbr %1380, while.body.17, while.end.17
+while.body.17:
+  %1381 = add %1378, %1377
+  %1382 = smin %1381, %1351
+  %1383 = sub %5, %5
+  %1384 = and %1378, 127
+  %1385 = gep %a, %1384
+  %1386 = load i32, %1385
+  %1387 = and %1381, 127
+  %1388 = gep %a, %1387
+  %1389 = load i32, %1388
+  %1390 = and %1351, 127
+  %1391 = gep %0, %1390
+  %1392 = load i32, %1391
+  %1393 = load i32, %7
+  %1394 = smax %1393, %1392
+  %1395 = and %1378, 127
+  %1396 = gep %a, %1395
+  %1397 = load i32, %1396
+  %1398 = load i32, %7
+  %1399 = smin %1, %1398
+  %1400 = load i32, %7
+  %1401 = add %1, %1400
+  %1402 = icmp sgt %1399, %1401
+  %1403 = select %1402, %1397, %5
+  %1404 = add 45, %1
+  %1405 = icmp sle %1403, %1404
+  %1406 = select %1405, 16, %1
+  %1407 = and %1394, 3
+  %1408 = icmp eq %1407, 1
+  %1409 = select %1408, %1389, %1386
+  %1410 = and %1351, 127
+  %1411 = gep %a, %1410
+  %1412 = load i32, %1411
+  %1413 = and %1378, 127
+  %1414 = gep %0, %1413
+  %1415 = load i32, %1414
+  %1416 = smax %5, %1415
+  %1417 = and %1378, 127
+  %1418 = gep %a, %1417
+  %1419 = load i32, %1418
+  %1420 = icmp sgt %1416, %1419
+  %1421 = select %1420, %1412, %5
+  %1422 = and %1409, 3
+  %1423 = icmp eq %1422, 1
+  %1424 = select %1423, %1383, %1382
+  store %1424, %7
+  %1425 = mul %1381, 7
+  %1426 = and %1381, 127
+  %1427 = gep %0, %1426
+  %1428 = load i32, %1427
+  %1429 = and %1378, 127
+  %1430 = gep %0, %1429
+  %1431 = load i32, %1430
+  %1432 = sub %1431, %1378
+  %1433 = icmp sgt %5, %1432
+  %1434 = select %1433, %1428, %1
+  %1435 = add %1434, %1425
+  store %1435, %7
+  %1436 = add %5, %5
+  %1437 = smax %1350, 53
+  %1438 = icmp slt %1436, %1437
+  %1439 = select %1438, 5, %1381
+  %1440 = and %1381, 127
+  %1441 = gep %0, %1440
+  %1442 = load i32, %1441
+  %1443 = and %1351, 127
+  %1444 = gep %0, %1443
+  %1445 = load i32, %1444
+  %1446 = load i32, %7
+  %1447 = and %1381, 127
+  %1448 = gep %0, %1447
+  %1449 = load i32, %1448
+  %1450 = load i32, %7
+  %1451 = xor %1450, %1449
+  %1452 = and %1351, 127
+  %1453 = gep %a, %1452
+  %1454 = load i32, %1453
+  %1455 = smin 13, %1454
+  %1456 = icmp sgt %1451, %1455
+  %1457 = select %1456, %1446, %1445
+  %1458 = add 62, %5
+  %1459 = icmp sgt %1457, %1458
+  %1460 = select %1459, %1442, %1439
+  %1461 = add %1377, 1
+  br while.head.17
+while.end.17:
+  br if.end.54
+if.then.58:
+  br while.head.18
+if.end.58:
+  %1462 = phi i32 [%1496, while.end.19], [%1311, if.end.54]
+  %1463 = phi i32 [%1467, while.end.19], [%1309, if.end.54]
+  %1464 = phi i32 [%1531, while.end.19], [%1310, if.end.54]
+  br if.end.53
+while.head.18:
+  %1465 = phi i32 [%1494, while.body.18], [0, if.then.58]
+  %1466 = phi i32 [%1490, while.body.18], [%1310, if.then.58]
+  %1467 = phi i32 [%1493, while.body.18], [%1309, if.then.58]
+  %1468 = phi i32 [%1470, while.body.18], [%1311, if.then.58]
+  %1469 = icmp slt %1465, 1
+  condbr %1469, while.body.18, while.end.18
+while.body.18:
+  %1470 = add %1466, %1465
+  %1471 = smin %1, %1466
+  %1472 = and %1308, 127
+  %1473 = gep %0, %1472
+  %1474 = load i32, %1473
+  %1475 = xor 59, %1474
+  %1476 = add 10, %1470
+  %1477 = smax %5, 7
+  %1478 = and %1477, 3
+  %1479 = icmp eq %1478, 2
+  %1480 = select %1479, %5, %5
+  %1481 = icmp slt %1476, %1480
+  %1482 = select %1481, %1475, %1471
+  store %1482, %7
+  %1483 = and %5, %5
+  %1484 = icmp sle %1483, %1470
+  %1485 = select %1484, %1467, %5
+  %1486 = and %1467, 127
+  %1487 = gep %a, %1486
+  %1488 = load i32, %1487
+  %1489 = sub 61, %1488
+  %1490 = sub %1489, %1485
+  %1491 = load i32, %7
+  %1492 = sub %1490, %1308
+  %1493 = xor %1492, %1491
+  %1494 = add %1465, 1
+  br while.head.18
+while.end.18:
+  br while.head.19
+while.head.19:
+  %1495 = phi i32 [%1508, while.body.19], [0, while.end.18]
+  %1496 = phi i32 [%1498, while.body.19], [%1468, while.end.18]
+  %1497 = icmp slt %1495, 1
+  condbr %1497, while.body.19, while.end.19
+while.body.19:
+  %1498 = add %1496, %1495
+  %1499 = load i32, %7
+  %1500 = smax %1499, %5
+  %1501 = and %1308, 127
+  %1502 = gep %0, %1501
+  %1503 = load i32, %1502
+  %1504 = add %1, %1503
+  %1505 = and %1504, %1500
+  store %1505, %7
+  %1506 = smin %1, %5
+  %1507 = sub %1, %1506
+  store %1507, %7
+  %1508 = add %1495, 1
+  br while.head.19
+while.end.19:
+  %1509 = and %1466, 127
+  %1510 = gep %0, %1509
+  %1511 = load i32, %1510
+  %1512 = smax %1308, %1511
+  %1513 = and %1496, 127
+  %1514 = gep %0, %1513
+  %1515 = load i32, %1514
+  %1516 = add %1515, 54
+  %1517 = and %1308, 127
+  %1518 = gep %0, %1517
+  %1519 = load i32, %1518
+  %1520 = and %1466, 127
+  %1521 = gep %0, %1520
+  %1522 = load i32, %1521
+  %1523 = xor %1, %5
+  %1524 = load i32, %7
+  %1525 = and %1524, %5
+  %1526 = icmp sle %1523, %1525
+  %1527 = select %1526, %1522, %1519
+  %1528 = xor %1467, 40
+  %1529 = and %1527, 3
+  %1530 = icmp eq %1529, 0
+  %1531 = select %1530, %1516, %1512
+  br if.end.58
+while.head.20:
+  %1532 = phi i32 [%1568, while.end.21], [0, if.else.43]
+  %1533 = phi i32 [%1560, while.end.21], [%62, if.else.43]
+  %1534 = phi i32 [%1559, while.end.21], [%63, if.else.43]
+  %1535 = icmp slt %1532, %1300
+  condbr %1535, while.body.20, while.end.20
+while.body.20:
+  %1536 = xor %1533, %1532
+  %1537 = mul %1, 6
+  %1538 = xor %1, 9
+  %1539 = and %1538, %1537
+  store %1539, %7
+  br while.head.21
+while.end.20:
+  %1540 = and %1533, 127
+  %1541 = gep %0, %1540
+  %1542 = load i32, %1541
+  %1543 = add %1542, %1533
+  %1544 = mul %1, 7
+  %1545 = and %1533, 127
+  %1546 = gep %0, %1545
+  %1547 = load i32, %1546
+  %1548 = and %1534, 127
+  %1549 = gep %0, %1548
+  %1550 = load i32, %1549
+  %1551 = smin %1550, %5
+  %1552 = sub %1, 29
+  %1553 = icmp sgt %1551, %1552
+  %1554 = select %1553, %1547, 40
+  %1555 = icmp sgt %1544, %1554
+  %1556 = select %1555, %5, %1533
+  %1557 = icmp sle %1543, %1556
+  condbr %1557, if.then.59, if.else.47
+while.head.21:
+  %1558 = phi i32 [%1567, while.body.21], [0, while.body.20]
+  %1559 = phi i32 [%1562, while.body.21], [%1534, while.body.20]
+  %1560 = phi i32 [%1566, while.body.21], [%1536, while.body.20]
+  %1561 = icmp slt %1558, 2
+  condbr %1561, while.body.21, while.end.21
+while.body.21:
+  %1562 = add %1559, %1558
+  %1563 = xor %1560, %1560
+  %1564 = load i32, %7
+  %1565 = xor %5, %1564
+  %1566 = add %1565, %1563
+  %1567 = add %1558, 1
+  br while.head.21
+while.end.21:
+  %1568 = add %1532, 1
+  br while.head.20
+if.then.59:
+  %1569 = smin %1, 19
+  %1570 = load i32, %7
+  %1571 = sub %5, %1570
+  %1572 = icmp slt %1569, %1571
+  condbr %1572, if.then.60, if.end.60
+if.else.47:
+  br while.head.23
+if.end.59:
+  %1573 = phi i32 [%1677, while.end.24], [%64, while.end.22]
+  %1574 = phi i32 [%1665, while.end.24], [%1603, while.end.22]
+  %1575 = phi i32 [%1666, while.end.24], [%1654, while.end.22]
+  %1576 = phi i32 [%1678, while.end.24], [%1655, while.end.22]
+  br if.end.53
+if.then.60:
+  %1577 = load i32, %7
+  %1578 = add %1577, %5
+  %1579 = mul %5, 1
+  %1580 = smax %1579, %1578
+  store %1, %7
+  br if.end.60
+if.end.60:
+  %1581 = phi i32 [%1580, if.then.60], [%1533, if.then.59]
+  %1582 = mul %5, 3
+  %1583 = mul %5, 4
+  %1584 = icmp sgt %1582, %1583
+  %1585 = select %1584, %1, %5
+  %1586 = and %1585, 3
+  %1587 = icmp eq %1586, 0
+  condbr %1587, if.then.61, if.else.48
+if.then.61:
+  %1588 = load i32, %7
+  %1589 = smax %1588, %1534
+  %1590 = load i32, %7
+  %1591 = smin %1534, %1590
+  %1592 = smax %1591, %1589
+  %1593 = and %1581, %1
+  %1594 = sub %1593, 26
+  store %1594, %7
+  %1595 = and %64, 127
+  %1596 = gep %a, %1595
+  %1597 = load i32, %1596
+  %1598 = and 46, %1597
+  %1599 = load i32, %7
+  %1600 = add %5, %1599
+  %1601 = xor %1600, %1598
+  store %1601, %7
+  br if.end.61
+if.else.48:
+  %1602 = icmp eq %1586, 1
+  condbr %1602, if.then.62, if.else.49
+if.end.61:
+  %1603 = phi i32 [%1635, if.end.62], [%65, if.then.61]
+  %1604 = phi i32 [%1534, if.end.62], [%1592, if.then.61]
+  %1605 = phi i32 [%1636, if.end.62], [%1581, if.then.61]
+  %1606 = xor %1, 7
+  %1607 = and %1606, 3
+  %1608 = add %1607, 1
+  br while.head.22
+if.then.62:
+  %1609 = smax %1, %1
+  %1610 = load i32, %7
+  %1611 = sub %1610, 34
+  %1612 = sub %1611, %1609
+  store %1612, %7
+  %1613 = and %65, %1
+  %1614 = and %65, 127
+  %1615 = gep %a, %1614
+  %1616 = load i32, %1615
+  %1617 = add %1616, %1
+  %1618 = mul 17, 3
+  %1619 = and %65, 127
+  %1620 = gep %0, %1619
+  %1621 = load i32, %1620
+  %1622 = xor %1621, %5
+  %1623 = icmp sgt %1618, %1622
+  %1624 = select %1623, %1617, %1613
+  %1625 = smin 2, 20
+  %1626 = and %1581, 127
+  %1627 = gep %a, %1626
+  %1628 = load i32, %1627
+  %1629 = load i32, %7
+  %1630 = smin %1629, %1628
+  %1631 = smax %1534, 30
+  %1632 = icmp slt %1624, %1631
+  %1633 = select %1632, %1630, %1625
+  store %1633, %7
+  br if.end.62
+if.else.49:
+  %1634 = icmp eq %1586, 2
+  condbr %1634, if.then.63, if.else.50
+if.end.62:
+  %1635 = phi i32 [%1651, if.end.63], [%1624, if.then.62]
+  %1636 = phi i32 [%1652, if.end.63], [%1581, if.then.62]
+  br if.end.61
+if.then.63:
+  %1637 = smin %1, %1
+  %1638 = mul %1637, 7
+  br if.end.63
+if.else.50:
+  %1639 = and %65, 127
+  %1640 = gep %a, %1639
+  %1641 = load i32, %1640
+  %1642 = and %1641, 127
+  %1643 = gep %0, %1642
+  %1644 = load i32, %1643
+  %1645 = xor 49, %1644
+  %1646 = and %65, 127
+  %1647 = gep %a, %1646
+  %1648 = load i32, %1647
+  %1649 = smin %64, %1648
+  %1650 = smax %1649, %1645
+  store %5, %7
+  br if.end.63
+if.end.63:
+  %1651 = phi i32 [%1650, if.else.50], [%1638, if.then.63]
+  %1652 = phi i32 [%1641, if.else.50], [%1581, if.then.63]
+  br if.end.62
+while.head.22:
+  %1653 = phi i32 [%1663, while.body.22], [0, if.end.61]
+  %1654 = phi i32 [%1662, while.body.22], [%1604, if.end.61]
+  %1655 = phi i32 [%1657, while.body.22], [%1605, if.end.61]
+  %1656 = icmp slt %1653, %1608
+  condbr %1656, while.body.22, while.end.22
+while.body.22:
+  %1657 = xor %1603, %1653
+  %1658 = and %5, %1
+  %1659 = and 53, %5
+  %1660 = icmp sgt %1658, %1659
+  %1661 = select %1660, %5, %5
+  %1662 = mul %1661, 3
+  %1663 = add %1653, 1
+  br while.head.22
+while.end.22:
+  br if.end.59
+while.head.23:
+  %1664 = phi i32 [%1672, while.body.23], [0, if.else.47]
+  %1665 = phi i32 [57, while.body.23], [%65, if.else.47]
+  %1666 = phi i32 [%1671, while.body.23], [%1534, if.else.47]
+  %1667 = icmp slt %1664, 2
+  condbr %1667, while.body.23, while.end.23
+while.body.23:
+  %1668 = add %64, %1664
+  %1669 = xor %1, %5
+  %1670 = smin %5, %5
+  %1671 = add %1670, %1669
+  %1672 = add %1664, 1
+  br while.head.23
+while.end.23:
+  %1673 = xor %1, 3
+  %1674 = and %1673, 3
+  %1675 = add %1674, 1
+  br while.head.24
+while.head.24:
+  %1676 = phi i32 [%1687, while.body.24], [0, while.end.23]
+  %1677 = phi i32 [%1686, while.body.24], [%64, while.end.23]
+  %1678 = phi i32 [%1680, while.body.24], [%1533, while.end.23]
+  %1679 = icmp slt %1676, %1675
+  condbr %1679, while.body.24, while.end.24
+while.body.24:
+  %1680 = xor %1665, %1676
+  %1681 = mul 29, 2
+  %1682 = sub %1, 33
+  %1683 = icmp sle %1681, %1682
+  %1684 = select %1683, 44, %5
+  %1685 = sub 11, %1
+  %1686 = and %1685, %1684
+  %1687 = add %1676, 1
+  br while.head.24
+while.end.24:
+  br if.end.59
+if.then.64:
+  %1688 = sub 33, %5
+  %1689 = and %1, 36
+  %1690 = xor %1689, %1688
+  store %1690, %7
+  br if.end.64
+if.else.51:
+  %1691 = and %852, 127
+  %1692 = gep %a, %1691
+  %1693 = load i32, %1692
+  %1694 = mul %1693, 2
+  %1695 = add 7, %5
+  %1696 = sub %1695, %1694
+  store %1696, %7
+  %1697 = load i32, %7
+  %1698 = and 33, 41
+  %1699 = smax %1698, %1697
+  br if.end.64
+if.end.64:
+  %1700 = phi i32 [%1699, if.else.51], [%850, if.then.64]
+  br while.head.25
+while.head.25:
+  %1701 = phi i32 [%1711, while.body.25], [0, if.end.64]
+  %1702 = phi i32 [%1704, while.body.25], [%853, if.end.64]
+  %1703 = icmp slt %1701, 1
+  condbr %1703, while.body.25, while.end.25
+while.body.25:
+  %1704 = add %1700, %1701
+  %1705 = and %851, 127
+  %1706 = gep %a, %1705
+  %1707 = load i32, %1706
+  %1708 = smin %1700, %1707
+  %1709 = smax %5, %5
+  %1710 = sub %1709, %1708
+  store %1710, %7
+  %1711 = add %1701, 1
+  br while.head.25
+while.end.25:
+  %1712 = add %1700, %851
+  %1713 = xor %1712, %852
+  %1714 = add %1713, %1702
+  store %1714, %7
+  ret
+}

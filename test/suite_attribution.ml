@@ -249,7 +249,7 @@ let test_report_zero_divergence () =
   opt.M.cycles <- 100;
   let r =
     Report.build ~kernel:"UNIFORM" ~block_size:32 ~seed:1 ~n:64 ~correct:true
-      ~rewrites:0 ~pass_ms:0. ~base ~opt ~melds:[]
+      ~rewrites:0 ~pass_ms:0. ~base ~opt ~melds:[] ()
   in
   Alcotest.(check bool) "no_divergence" true (Report.no_divergence r);
   Alcotest.(check int) "delta zero" 0 (Report.delta r);
@@ -264,7 +264,7 @@ let test_report_zero_divergence () =
   let opt0 = M.create () in
   let r0 =
     Report.build ~kernel:"DEAD" ~block_size:32 ~seed:1 ~n:64 ~correct:false
-      ~rewrites:0 ~pass_ms:0. ~base ~opt:opt0 ~melds:[]
+      ~rewrites:0 ~pass_ms:0. ~base ~opt:opt0 ~melds:[] ()
   in
   let t0 = Report.to_text r0 in
   Alcotest.(check bool) "zero-cycle speedup prints n/a" true
@@ -290,6 +290,7 @@ let entry ?(correct = true) ?(pass_ms = 1.) k bs base opt =
     History.e_kernel = k;
     e_block_size = bs;
     e_transform = "DARM";
+    e_mem_model = "flat";
     e_rewrites = 1;
     e_base_cycles = base;
     e_opt_cycles = opt;

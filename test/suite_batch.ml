@@ -86,6 +86,25 @@ let test_cache_damaged_entries_are_misses () =
   Alcotest.(check (option string)) "repaired entry hits"
     (Some valid_payload) (Cache.find c ~key)
 
+let test_cache_evicts_poison_entries () =
+  let c = Cache.create ~dir:(Filename.concat (temp_dir ()) "cache") () in
+  let key = Cache.key c [ "poison" ] in
+  Cache.store c ~key valid_payload;
+  let path = Cache.entry_path c ~key in
+  (* a truncated entry is a miss AND is removed from disk, so the next
+     store rewrites it instead of every lookup re-parsing garbage *)
+  write_raw path (String.sub valid_payload 0 (String.length valid_payload / 2));
+  Alcotest.(check (option string)) "truncated entry misses" None
+    (Cache.find c ~key);
+  Alcotest.(check bool) "truncated entry evicted" false (Sys.file_exists path);
+  Alcotest.(check (option string)) "second lookup still a miss" None
+    (Cache.find c ~key);
+  (* a valid entry is never evicted *)
+  Cache.store c ~key valid_payload;
+  Alcotest.(check (option string)) "restored entry hits" (Some valid_payload)
+    (Cache.find c ~key);
+  Alcotest.(check bool) "valid entry kept" true (Sys.file_exists path)
+
 let test_cache_store_rejects_invalid_payload () =
   let c = Cache.create ~dir:(Filename.concat (temp_dir ()) "cache") () in
   let key = Cache.key c [ "bad" ] in
@@ -416,6 +435,8 @@ let suites =
           test_cache_key_unambiguous;
         Alcotest.test_case "damaged entries are misses" `Quick
           test_cache_damaged_entries_are_misses;
+        Alcotest.test_case "poison entries are evicted" `Quick
+          test_cache_evicts_poison_entries;
         Alcotest.test_case "store rejects invalid payloads" `Quick
           test_cache_store_rejects_invalid_payload;
         Alcotest.test_case "clear" `Quick test_cache_clear;
