@@ -32,6 +32,45 @@ let bench_results : H.Experiment.result list ref = ref []
 let collect (rs : H.Experiment.result list) =
   bench_results := !bench_results @ rs
 
+(* 1000+-block generated stress kernel (fuzz CFG depth 5, seed 8):
+   exercises the analysis manager and the similarity prefilter at a
+   scale no registry kernel reaches.  Deliberately NOT in the registry,
+   so the hierarchical re-run below skips it (Registry.find fails) and
+   sweeps never pick it up.  Generated kernels have no host reference;
+   the oracle is differential — the baseline simulation's own output —
+   so the gate still catches a miscompiling meld. *)
+let stress_seed = 8
+
+let stress_kernel : Kernel.t =
+  let gen_cfg =
+    { Darm_fuzz.Gen.default_cfg with Darm_fuzz.Gen.max_depth = 5 }
+  in
+  let make ~seed ~block_size ~n:_ =
+    let inst = Darm_fuzz.Gen.instance ~cfg:gen_cfg ~seed ~block_size () in
+    { inst with Kernel.reference = inst.Kernel.read_result }
+  in
+  {
+    Kernel.name = "generated large-CFG stress kernel";
+    tag = "STRESS1K";
+    description =
+      "fuzz-generated kernel with >1000 basic blocks; differential \
+       output oracle";
+    default_n = 128;
+    block_sizes = [ 64 ];
+    make;
+  }
+
+let run_stress () =
+  print_newline ();
+  print_endline "== STRESS1K: 1000+-block generated kernel, full meld pass ==";
+  let r =
+    H.Experiment.run ~seed:stress_seed stress_kernel ~block_size:64
+  in
+  Printf.printf "STRESS1K: pass_ms=%.1f speedup=%.3fx correct=%b\n"
+    r.H.Experiment.t_ms (H.Experiment.speedup r) r.H.Experiment.correct;
+  collect [ r ];
+  gate (H.Experiment.all_correct [ r ])
+
 let run_figures which =
   let want name = which = [] || List.mem name which in
   if want "table1" then gate (H.Figures.table1 ());
@@ -50,6 +89,7 @@ let run_figures which =
   if want "fig10" then
     gate (H.Experiment.all_correct (snd (H.Figures.fig10 ())));
   if want "table2" then H.Figures.table2 ();
+  if want "stress" then run_stress ();
   if want "ablation" then gate (H.Ablation.run ());
   if List.mem "csv" which then H.Csv_export.export ~dir:"bench_csv" ()
 
@@ -126,7 +166,10 @@ let () =
   if List.mem "--smoke" args || List.mem "smoke" args then begin
     let ok, rs = H.Figures.smoke () in
     collect rs;
-    gate ok
+    gate ok;
+    (* the stress kernel is part of the smoke gate: a full meld pass
+       over 1000+ blocks must stay inside the CI budget *)
+    run_stress ()
   end
   else begin
     let figure_args =

@@ -149,13 +149,50 @@ let divergence_cmd =
     Term.(const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg)
 
 let meld_cmd =
+  let module MR = Darm_obs.Metrics_registry in
   let dump_before =
     Arg.(value & flag & info [ "dump-before" ] ~doc:"Print the input IR.")
   in
   let dump_after =
     Arg.(value & flag & info [ "dump-after" ] ~doc:"Print the output IR.")
   in
-  let run tag block_size n seed pass before after =
+  let no_prefilter =
+    Arg.(
+      value & flag
+      & info [ "no-prefilter" ]
+          ~doc:
+            "Disable the similarity prefilter in front of the candidate \
+             search (exhaustive pair scoring; the chosen melds are \
+             identical either way).  Equivalent to DARM_NO_PREFILTER=1.")
+  in
+  let analysis_debug =
+    Arg.(
+      value & flag
+      & info [ "analysis-debug" ]
+          ~doc:
+            "Cross-validate every cached analysis query against a \
+             from-scratch recompute; fails loudly on a stale result.  \
+             Equivalent to DARM_ANALYSIS_DEBUG=1.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Export the pass's darm_pass_* counters (melds, scored and \
+             prefiltered candidate pairs, avoided analysis recomputes) as \
+             a metrics snapshot to $(docv).")
+  in
+  let metrics_fmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:"Metrics snapshot format: prom or json (darm-metrics-v1).")
+  in
+  let run tag block_size n seed pass before after no_prefilter analysis_debug
+      metrics_out metrics_fmt =
     let kernel = find_kernel tag in
     let inst = make_instance kernel ~seed ~block_size ~n in
     let f = inst.Kernel.func in
@@ -163,20 +200,61 @@ let meld_cmd =
       print_endline ";; --- before ---";
       print_string (Darm_ir.Printer.func_to_string f)
     end;
-    let t = transform_of_name pass in
-    let rewrites = t.E.t_apply f in
+    (* the darm pass runs directly (not through the transform wrapper)
+       so the candidate-search and analysis-cache counters survive *)
+    let rewrites, pass_stats =
+      match pass with
+      | "darm" ->
+          let config =
+            {
+              Darm_core.Pass.default_config with
+              Darm_core.Pass.prefilter = not no_prefilter;
+              analysis_debug;
+            }
+          in
+          let stats = Darm_core.Pass.run ~config f in
+          (stats.Darm_core.Pass.melds_applied, Some stats)
+      | _ ->
+          let t = transform_of_name pass in
+          (t.E.t_apply f, None)
+    in
     Darm_ir.Verify.run_exn f;
-    Printf.printf ";; pass %s applied %d rewrite(s)\n" t.E.t_name rewrites;
+    Printf.printf ";; pass %s applied %d rewrite(s)\n" pass rewrites;
+    (match pass_stats with
+    | None -> ()
+    | Some s ->
+        Printf.printf
+          ";; candidates: %d scored, %d prefiltered; analysis: %d \
+           recompute(s) avoided\n"
+          s.Darm_core.Pass.pairs_scored
+          s.Darm_core.Pass.candidates_prefiltered
+          s.Darm_core.Pass.analysis_recomputes_avoided);
     if after then begin
       print_endline ";; --- after ---";
       print_string (Darm_ir.Printer.func_to_string f)
-    end
+    end;
+    match metrics_out, pass_stats with
+    | None, _ | _, None -> ()
+    | Some path, Some s ->
+        let reg = MR.create () in
+        Darm_core.Pass.fill_metrics reg ~labels:[ ("kernel", tag) ] s;
+        let snap = MR.snapshot reg in
+        let contents =
+          match metrics_fmt with
+          | `Prom -> MR.to_prometheus snap
+          | `Json -> Darm_obs.Json.to_string (MR.to_json snap) ^ "\n"
+        in
+        Darm_obs.Fsio.write_atomic ~path contents;
+        Printf.eprintf ";; metrics: %s (%d famil%s)\n" path
+          (List.length snap)
+          (if List.length snap = 1 then "y" else "ies")
   in
   Cmd.v
     (Cmd.info "meld" ~doc:"Apply a divergence-reduction pass to a kernel.")
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg
-      $ dump_before $ dump_after)
+      $ dump_before $ dump_after $ no_prefilter $ analysis_debug
+      $ metrics_out_arg $ metrics_fmt_arg)
 
 let simulate_cmd =
   let run tag block_size n seed pass trace_out format mem_model =

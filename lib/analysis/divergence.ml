@@ -42,11 +42,10 @@ let is_divergent_branch (t : t) (b : block) : bool =
   let term = terminator b in
   term.op = Op.Condbr && is_divergent_value t term.operands.(0)
 
-(** Multi-predecessor blocks on paths from the successors of [b] that
-    stop at (and include) [b]'s immediate post-dominator — the sync
-    joins of a branch at [b]. *)
-let sync_joins (f : func) (pdt : Domtree.t) (b : block) : block list =
-  let preds = predecessors f in
+(* Body of [sync_joins] over a caller-supplied predecessor table, so
+   the fixpoint below can share one table across every query. *)
+let sync_joins_with (preds : (int, block list) Hashtbl.t) (pdt : Domtree.t)
+    (b : block) : block list =
   match Domtree.idom pdt b with
   | None ->
       (* No post-dominator (e.g. divergence straight to exit): every
@@ -77,8 +76,16 @@ let sync_joins (f : func) (pdt : Domtree.t) (b : block) : block list =
         joins;
       !out
 
-let compute (f : func) : t =
-  let pdt = Domtree.compute_post f in
+(** Multi-predecessor blocks on paths from the successors of [b] that
+    stop at (and include) [b]'s immediate post-dominator — the sync
+    joins of a branch at [b]. *)
+let sync_joins (f : func) (pdt : Domtree.t) (b : block) : block list =
+  sync_joins_with (predecessors f) pdt b
+
+let compute ?pdt (f : func) : t =
+  let pdt =
+    match pdt with Some p -> p | None -> Domtree.compute_post f
+  in
   let divergent = Hashtbl.create 64 in
   let t = { divergent; pdt } in
   let changed = ref true in
@@ -87,6 +94,20 @@ let compute (f : func) : t =
       Hashtbl.replace divergent i.id ();
       changed := true
     end
+  in
+  (* The joins of a branch depend only on the CFG and the
+     post-dominator tree — not on which values are divergent — so one
+     predecessor table and one joins list per branch serve the whole
+     fixpoint. *)
+  let preds = predecessors f in
+  let joins_memo : (int, block list) Hashtbl.t = Hashtbl.create 16 in
+  let joins_of (b : block) : block list =
+    match Hashtbl.find_opt joins_memo b.bid with
+    | Some js -> js
+    | None ->
+        let js = sync_joins_with preds pdt b in
+        Hashtbl.replace joins_memo b.bid js;
+        js
   in
   (* seeds *)
   iter_instrs f (fun i -> if i.op = Op.Thread_idx then mark i);
@@ -104,12 +125,26 @@ let compute (f : func) : t =
     List.iter
       (fun b ->
         if is_divergent_branch t b then
-          List.iter
-            (fun join -> List.iter mark (phis join))
-            (sync_joins f pdt b))
+          List.iter (fun join -> List.iter mark (phis join)) (joins_of b))
       f.blocks_list
   done;
   t
+
+(** The post-dominator tree the analysis was computed over (shared with
+    callers that would otherwise recompute it). *)
+let pdt (t : t) : Domtree.t = t.pdt
+
+(** Sorted ids of the divergent instructions — the analysis result as
+    plain data, for cross-validation and debugging. *)
+let divergent_ids (t : t) : int list =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.divergent []
+  |> List.sort compare
+
+(** Result equality: same divergent-instruction set (the post-dominator
+    trees are compared separately by their own {!Domtree.equal}). *)
+let equal (a : t) (b : t) : bool =
+  Hashtbl.length a.divergent = Hashtbl.length b.divergent
+  && divergent_ids a = divergent_ids b
 
 (** Blocks ending in a divergent conditional branch. *)
 let divergent_branches (t : t) (f : func) : block list =

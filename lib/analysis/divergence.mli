@@ -24,7 +24,19 @@ open Darm_ir
 
 type t
 
-val compute : Ssa.func -> t
+(** [compute ?pdt f] runs the analysis; [pdt] (when supplied) must be
+    the current post-dominator tree of [f] and saves recomputing it. *)
+val compute : ?pdt:Domtree.t -> Ssa.func -> t
+
+(** The post-dominator tree the analysis was computed over. *)
+val pdt : t -> Domtree.t
+
+(** Sorted ids of the divergent instructions — the analysis result as
+    plain data, for cross-validation and debugging. *)
+val divergent_ids : t -> int list
+
+(** Result equality: same divergent-instruction set. *)
+val equal : t -> t -> bool
 
 val is_divergent_instr : t -> Ssa.instr -> bool
 val is_divergent_value : t -> Ssa.value -> bool

@@ -173,6 +173,32 @@ let children (t : t) (b : block) : block list =
   | None -> []
   | Some v -> List.filter_map (fun c -> t.node_block.(c)) t.children_.(v)
 
+(* A node's immediate-dominator fact as comparable data: [None] =
+   dominated by the root (entry, or the virtual exit for post-dominator
+   trees) or unreachable in the dominance direction; [Some bid] = the
+   parent block.  The tin/tout numbering is derived from this relation,
+   so comparing it per block compares the whole tree. *)
+let idom_fact (t : t) (v : int) : int option =
+  if v = 0 then None
+  else
+    let p = t.idom.(v) in
+    if p < 0 then None
+    else match t.node_block.(p) with None -> None | Some b -> Some b.bid
+
+(** Structural equality of two trees over the same function: same node
+    set (block ids) and same immediate-dominator relation. *)
+let equal (a : t) (b : t) : bool =
+  a.is_post = b.is_post
+  && Hashtbl.length a.index_of = Hashtbl.length b.index_of
+  && Hashtbl.fold
+       (fun bid va acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.index_of bid with
+         | None -> false
+         | Some vb -> idom_fact a va = idom_fact b vb)
+       a.index_of true
+
 (** For an instruction-level dominance query: does the definition [def]
     dominate a use at instruction [use]?  Same-block positions are
     resolved by instruction order. *)

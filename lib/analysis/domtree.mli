@@ -30,6 +30,10 @@ val strictly_dominates : t -> Ssa.block -> Ssa.block -> bool
 
 val children : t -> Ssa.block -> Ssa.block list
 
+(** Structural equality of two trees over the same function: same node
+    set and same immediate-dominator relation. *)
+val equal : t -> t -> bool
+
 (** Instruction-level dominance: does the definition [def] dominate a
     use at instruction [use]?  Same-block positions are resolved by
     instruction order. *)

@@ -1,0 +1,79 @@
+(** Per-function analysis manager: caches the CFG walk, dominator and
+    post-dominator trees, divergence and natural loops behind a typed
+    query API, and invalidates selectively from the {!Edit} sets that
+    transforms report.
+
+    Invalidation rules:
+
+    {v
+    edit        cfg/preds  domtree  postdomtree  divergence  loops
+    Nothing     keep       keep     keep         keep        keep
+    Dce         keep       keep     keep         drop        keep
+    Instrs      keep       keep     keep         drop        keep
+    Cfg_local   drop       drop     drop         drop        conditional
+    Whole       drop       drop     drop         drop        drop
+    v}
+
+    Loops survive a [Cfg_local] edit when the rewiring provably cannot
+    touch any natural loop (dirty blocks and their successors outside
+    every cached loop body, reachable-set changes confined to the dirty
+    set, and no cycle through the dirty set); otherwise the forest is
+    recomputed — the per-analysis conservative fallback.  The
+    post-dominator tree is shared with a cached divergence result in
+    both directions.
+
+    Debug mode ([~debug:true] or the [DARM_ANALYSIS_DEBUG] environment
+    variable) cross-validates every cache-served query against a
+    from-scratch recompute and raises {!Stale_analysis} on mismatch. *)
+
+open Darm_ir
+
+(** Raised in debug mode when a cache-served analysis differs from a
+    from-scratch recompute: some transform under-reported an edit. *)
+exception Stale_analysis of string
+
+type stats = {
+  mutable computes : int;  (** from-scratch analysis runs *)
+  mutable reuses : int;
+      (** queries served from cache — each one is a recompute a
+          manager-less driver would have performed *)
+  mutable invalidations : int;  (** cached results dropped by edits *)
+  mutable loops_retained : int;
+      (** [Cfg_local] edits whose loop forest survived the retention
+          test *)
+  mutable cross_checks : int;  (** debug-mode recompute comparisons *)
+}
+
+type t
+
+(** [create ?debug f] makes an empty manager for [f].  [debug] defaults
+    to the [DARM_ANALYSIS_DEBUG] environment variable. *)
+val create : ?debug:bool -> Ssa.func -> t
+
+val func : t -> Ssa.func
+val stats : t -> stats
+
+(** Cache-served queries so far — the recomputes a manager-less driver
+    would have performed (feeds the [analysis_recomputes_avoided]
+    counter). *)
+val recomputes_avoided : t -> int
+
+(** Reachable blocks in DFS preorder (cached {!Cfg.reachable_blocks}). *)
+val reachable : t -> Ssa.block list
+
+(** Cached predecessor table ({!Darm_ir.Ssa.predecessors}). *)
+val preds : t -> (int, Ssa.block list) Hashtbl.t
+
+val domtree : t -> Domtree.t
+val postdomtree : t -> Domtree.t
+val divergence : t -> Divergence.t
+val loops : t -> Loops.t
+
+(** Report one edit; invalidates per the table above. *)
+val note : t -> Edit.t -> unit
+
+(** Report edits oldest-first (e.g. an {!Edit.drain} result). *)
+val note_all : t -> Edit.t list -> unit
+
+(** Conservative full invalidation (= [note m Whole]). *)
+val invalidate_all : t -> unit

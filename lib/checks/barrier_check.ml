@@ -40,9 +40,9 @@ let close_at (block_of_id : (int, block) Hashtbl.t) (pdt : Domtree.t)
           | None -> true))
     fact
 
-let analyze ?dvg (f : func) : t =
+let analyze ?dvg ?pdt (f : func) : t =
   let dvg = match dvg with Some d -> d | None -> Divergence.compute f in
-  let pdt = Domtree.compute_post f in
+  let pdt = match pdt with Some p -> p | None -> Domtree.compute_post f in
   let block_of_id = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace block_of_id b.bid b) f.blocks_list;
   let transfer (b : block) (fact : IntSet.t) : IntSet.t =

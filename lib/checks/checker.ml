@@ -11,7 +11,11 @@ type report = {
   verdict : Race_check.verdict;
 }
 
-let check_func ?dvg (f : Ssa.func) : report =
+let check_func ?facts ?dvg (f : Ssa.func) : report =
+  (match facts with
+  | Some m when not (Darm_analysis.Manager.func m == f) ->
+      invalid_arg "Checker.check_func: facts manager is for another function"
+  | _ -> ());
   match Verify.run f with
   | _ :: _ as errs ->
       {
@@ -26,16 +30,22 @@ let check_func ?dvg (f : Ssa.func) : report =
       }
   | [] ->
       let dvg =
-        match dvg with
-        | Some d -> d
-        | None -> Darm_analysis.Divergence.compute f
+        match dvg, facts with
+        | Some d, _ -> d
+        | None, Some m -> Darm_analysis.Manager.divergence m
+        | None, None -> Darm_analysis.Divergence.compute f
       in
-      let barrier = Barrier_check.check f in
-      let race = Race_check.analyze ~dvg f in
+      let pdt = Option.map Darm_analysis.Manager.postdomtree facts in
+      let dt = Option.map Darm_analysis.Manager.domtree facts in
+      let preds = Option.map Darm_analysis.Manager.preds facts in
+      (* one barrier-divergence run feeds both its own diagnostics and
+         the race checker (which previously recomputed it) *)
+      let bdiv = Barrier_check.analyze ~dvg ?pdt f in
+      let race = Race_check.analyze ~dvg ?dt ?preds ~bdiv f in
       let hygiene = Hygiene.check f in
       let diags =
         List.sort Diag.compare
-          (barrier @ Race_check.diags race @ hygiene)
+          (Barrier_check.diags bdiv @ Race_check.diags race @ hygiene)
       in
       { kernel = f.Ssa.fname; diags; verdict = Race_check.verdict race }
 

@@ -23,7 +23,19 @@ type report = {
   verdict : Race_check.verdict;
 }
 
-val check_func : ?dvg:Darm_analysis.Divergence.t -> Ssa.func -> report
+(** [facts] (when supplied) must be a {!Darm_analysis.Manager} for [f]
+    that is current (every edit noted); the checkers then draw the
+    divergence analysis, both dominator trees and the predecessor table
+    from its cache instead of recomputing them per checker.  [dvg]
+    overrides the divergence result regardless.  Independent of
+    [facts], the barrier-divergence analysis runs once and is shared
+    with the race checker.  Raises [Invalid_argument] when [facts]
+    manages a different function. *)
+val check_func :
+  ?facts:Darm_analysis.Manager.t ->
+  ?dvg:Darm_analysis.Divergence.t ->
+  Ssa.func ->
+  report
 
 val has_errors : report -> bool
 val errors : report -> Diag.t list

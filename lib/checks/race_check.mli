@@ -38,7 +38,18 @@ type verdict =
 
 type t
 
-val analyze : ?dvg:Darm_analysis.Divergence.t -> Ssa.func -> t
+(** [dvg], [dt], [preds] and [bdiv] (when supplied) must be current for
+    [f]; they save recomputing the divergence analysis, the dominator
+    tree, the predecessor table and the barrier-divergence analysis —
+    e.g. from a {!Darm_analysis.Manager} and a {!Checker}-level shared
+    {!Barrier_check.analyze} run. *)
+val analyze :
+  ?dvg:Darm_analysis.Divergence.t ->
+  ?dt:Darm_analysis.Domtree.t ->
+  ?preds:(int, Ssa.block list) Hashtbl.t ->
+  ?bdiv:Barrier_check.t ->
+  Ssa.func ->
+  t
 
 val diags : t -> Diag.t list
 val verdict : t -> verdict

@@ -197,11 +197,16 @@ type clone_record =
     correspondence in pre-order; the subgraphs must be normalized
     ({!Simplify_region}) and [dt] computed after normalization.
     Returns the melded entry block. *)
-let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
+let run ?edits (fn : func) ~(cond : value) ~(dt : Domtree.t)
     ~(lat : Latency.config) ~(s_t : Region.subgraph)
     ~(s_f : Region.subgraph) ~(pre_t : block) ~(pre_f : block)
     ~(pairs : (block * block) list) ~(unpredicate : bool) ~(stats : stats) :
     block =
+  (* dirty set for the Edit protocol: blocks created or deleted here,
+     the rewired entry predecessors, and the exit destinations whose
+     incoming edges and phis change *)
+  let dirty : int list ref = ref [] in
+  let touch (b : block) = dirty := b.bid :: !dirty in
   let env =
     {
       fn;
@@ -228,6 +233,7 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
       (fun (bt, bf) ->
         let m = mk_block ("m." ^ bt.bname) in
         append_block fn m;
+        touch m;
         Hashtbl.replace env.block_map_t bt.bid m;
         Hashtbl.replace env.block_map_f bf.bid m;
         (bt, bf, m))
@@ -297,6 +303,8 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
           let bt' = mk_block "m.exit.t" and bf' = mk_block "m.exit.f" in
           append_block fn bt';
           append_block fn bf';
+          touch bt';
+          touch bf';
           let jt =
             mk_instr Op.Br [||] [| s_t.sg_exit_dest |] Types.Void
           in
@@ -493,8 +501,20 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
   let m0 = match env.melded_entry with Some b -> b | None -> assert false in
   redirect_edge pre_t ~old_dest:s_t.sg_entry ~new_dest:m0;
   redirect_edge pre_f ~old_dest:s_f.sg_entry ~new_dest:m0;
-  List.iter (fun b -> remove_block fn b) (Region.subgraph_block_list s_t);
-  List.iter (fun b -> remove_block fn b) (Region.subgraph_block_list s_f);
+  touch pre_t;
+  touch pre_f;
+  touch s_t.sg_exit_dest;
+  touch s_f.sg_exit_dest;
+  List.iter
+    (fun b ->
+      touch b;
+      remove_block fn b)
+    (Region.subgraph_block_list s_t);
+  List.iter
+    (fun b ->
+      touch b;
+      remove_block fn b)
+    (Region.subgraph_block_list s_f);
   (* -------- pass 5: unpredication -------- *)
   let unpredicate_block (m : block) =
     (* repeatedly extract the first run that must move *)
@@ -549,6 +569,8 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
         let tail = mk_block (blk.bname ^ ".tail") in
         append_block fn guard;
         append_block fn tail;
+        touch guard;
+        touch tail;
         let rec partition_instrs seen_run = function
           | [] -> ([], [])
           | i :: tl ->
@@ -729,4 +751,5 @@ let run (fn : func) ~(cond : value) ~(dt : Domtree.t)
             | _ -> ())
         | _ -> ())
   done;
+  Darm_analysis.Edit.note edits (Darm_analysis.Edit.Cfg_local !dirty);
   m0

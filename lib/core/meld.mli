@@ -31,8 +31,14 @@ val empty_stats : unit -> stats
     correspondence in pre-order; the subgraphs must be normalized
     ({!Simplify_region}) with unique external predecessors [pre_t] /
     [pre_f], and [dt] computed after normalization.  Returns the melded
-    entry block. *)
+    entry block.
+
+    [edits] (when supplied) receives one {!Darm_analysis.Edit.Cfg_local}
+    edit listing every block this meld created or deleted, the rewired
+    entry predecessors and the exit destinations — the input to
+    {!Darm_analysis.Manager.note}'s selective invalidation. *)
 val run :
+  ?edits:Darm_analysis.Edit.log ->
   Ssa.func ->
   cond:Ssa.value ->
   dt:Domtree.t ->

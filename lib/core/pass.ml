@@ -15,6 +15,9 @@ open Darm_ir.Ssa
 module Latency = Darm_analysis.Latency
 module Domtree = Darm_analysis.Domtree
 module Divergence = Darm_analysis.Divergence
+module Manager = Darm_analysis.Manager
+module Edit = Darm_analysis.Edit
+module Similarity = Darm_analysis.Similarity
 
 (** How the subgraph pair to meld is chosen (paper §IV-C): [Greedy] is
     the paper's implementation (m x n profitability comparison);
@@ -52,6 +55,16 @@ type config = {
   validate : validation;
       (** translation validation of each meld against the sanity
           checkers (see doc/static-analysis.md) *)
+  prefilter : bool;
+      (** skip subgraph pairs whose {!Darm_analysis.Similarity}
+          signatures prove the exhaustive search would reject them
+          (shape mismatch or FP_S upper bound at most the threshold);
+          meld decisions are unchanged.  ANDed with the
+          [DARM_NO_PREFILTER] environment variable (set = off). *)
+  analysis_debug : bool;
+      (** cross-validate every cache-served analysis query against a
+          from-scratch recompute ({!Darm_analysis.Manager} debug mode);
+          ORed with the [DARM_ANALYSIS_DEBUG] environment variable *)
 }
 
 let default_config : config =
@@ -66,7 +79,16 @@ let default_config : config =
     if_convert_after = false;
     obs = None;
     validate = Vnone;
+    prefilter = true;
+    analysis_debug = false;
   }
+
+(* [DARM_NO_PREFILTER] set (non-empty, non-"0") forces the exhaustive
+   candidate search — the CI equivalence stage uses it. *)
+let prefilter_enabled () =
+  match Sys.getenv_opt "DARM_NO_PREFILTER" with
+  | Some ("" | "0") | None -> true
+  | Some _ -> false
 
 let branch_fusion_config : config =
   { default_config with diamonds_only = true }
@@ -95,6 +117,14 @@ type stats = {
   mutable melds_applied : int;
   mutable melds_rejected : int;
       (** melds rolled back by [Vreject] translation validation *)
+  mutable pairs_scored : int;
+      (** subgraph pairs that went through full isomorphism matching +
+          FP_S scoring *)
+  mutable candidates_prefiltered : int;
+      (** subgraph pair evaluations skipped by the similarity
+          prefilter *)
+  mutable analysis_recomputes_avoided : int;
+      (** analysis queries served from the manager cache *)
   mutable melds : meld_record list;
       (** provenance of the applied melds, in application order *)
   meld_stats : Meld.stats;
@@ -106,6 +136,9 @@ let empty_stats () =
     regions_found = 0;
     melds_applied = 0;
     melds_rejected = 0;
+    pairs_scored = 0;
+    candidates_prefiltered = 0;
+    analysis_recomputes_avoided = 0;
     melds = [];
     meld_stats = Meld.empty_stats ();
   }
@@ -178,8 +211,11 @@ let candidate_key (r : Region.t) (st : Region.subgraph)
     st.Region.sg_entry.bname,
     sf.Region.sg_entry.bname )
 
-(* Greedy MostProfitableSubgraphPair: m x n comparison (paper §IV-C). *)
-let best_pair_greedy ~skip (cfg : config) (r : Region.t)
+(* Greedy MostProfitableSubgraphPair: m x n comparison (paper §IV-C).
+   [admit] is the similarity prefilter (a pair it refuses is one the
+   exhaustive search provably rejects, so the winner is unchanged);
+   [score] is the counted [pair_profit]. *)
+let best_pair_greedy ~skip ~admit ~score (cfg : config) (r : Region.t)
     (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
     candidate option =
   let best = ref None in
@@ -187,9 +223,9 @@ let best_pair_greedy ~skip (cfg : config) (r : Region.t)
     (fun ti st ->
       List.iteri
         (fun fi sf ->
-          if skip (candidate_key r st sf) then ()
+          if skip (candidate_key r st sf) || not (admit st sf) then ()
           else
-          match pair_profit cfg st sf with
+          match score st sf with
           | None -> ()
           | Some profit ->
               obs_decision cfg r st sf profit;
@@ -219,28 +255,29 @@ let best_pair_greedy ~skip (cfg : config) (r : Region.t)
    Needleman-Wunsch over the two sequences, scored by FP_S; the most
    profitable aligned pair is melded this iteration (the rest re-align
    after the CFG is rebuilt). *)
-let best_pair_alignment ~skip (cfg : config) (r : Region.t)
+let best_pair_alignment ~skip ~admit ~score (cfg : config) (r : Region.t)
     (t_sgs : Region.subgraph list) (f_sgs : Region.subgraph list) :
     candidate option =
-  let score st sf =
-    if skip (candidate_key r st sf) then None
+  let cell_score st sf =
+    if skip (candidate_key r st sf) || not (admit st sf) then None
     else
-      match pair_profit cfg st sf with
+      match score st sf with
       | Some p when p > cfg.threshold -> Some p
       | Some _ | None -> None
   in
   let aligned, _ =
-    Darm_align.Sequence.needleman_wunsch ~score ~gap_open:0. ~gap_extend:0.
+    Darm_align.Sequence.needleman_wunsch ~score:cell_score ~gap_open:0.
+      ~gap_extend:0.
       (Array.of_list t_sgs) (Array.of_list f_sgs)
   in
   List.fold_left
     (fun acc item ->
       match item with
-      | Darm_align.Sequence.Both (st, sf) when skip (candidate_key r st sf)
-        ->
+      | Darm_align.Sequence.Both (st, sf)
+        when skip (candidate_key r st sf) || not (admit st sf) ->
           acc
       | Darm_align.Sequence.Both (st, sf) -> (
-          match pair_profit cfg st sf with
+          match score st sf with
           | None -> acc
           | Some profit -> (
               obs_decision cfg r st sf profit;
@@ -260,7 +297,16 @@ let best_pair_alignment ~skip (cfg : config) (r : Region.t)
       | Darm_align.Sequence.Left _ | Darm_align.Sequence.Right _ -> acc)
     None aligned
 
-let best_pair ?(skip = fun _ -> false) (cfg : config) (r : Region.t)
+let sg_signature (lat : Latency.config) (sg : Region.subgraph) :
+    Similarity.t =
+  Similarity.signature ~lat
+    ~blocks:(Region.subgraph_block_list sg)
+    ~entry:sg.Region.sg_entry
+    ~in_subgraph:(Region.in_subgraph sg)
+    ~exit_dest:sg.Region.sg_exit_dest
+
+let best_pair ?(skip = fun _ -> false) ?(prefilter = false)
+    ?(stats = empty_stats ()) (cfg : config) (r : Region.t)
     (pdt : Domtree.t) : candidate option =
   let t_sgs = Region.true_subgraphs pdt r in
   let f_sgs = Region.false_subgraphs pdt r in
@@ -272,19 +318,52 @@ let best_pair ?(skip = fun _ -> false) (cfg : config) (r : Region.t)
          && List.for_all single_block t_sgs
          && List.for_all single_block f_sgs)
   then None
-  else
+  else begin
+    let score st sf =
+      stats.pairs_scored <- stats.pairs_scored + 1;
+      pair_profit cfg st sf
+    in
+    let admit =
+      if not prefilter then fun _ _ -> true
+      else begin
+        (* one signature per subgraph per search, keyed by entry bid *)
+        let sigs = Hashtbl.create 16 in
+        let sig_of sg =
+          match Hashtbl.find_opt sigs sg.Region.sg_entry.bid with
+          | Some s -> s
+          | None ->
+              let s = sg_signature cfg.latency sg in
+              Hashtbl.replace sigs sg.Region.sg_entry.bid s;
+              s
+        in
+        fun st sf ->
+          let ok =
+            Similarity.may_profit ~threshold:cfg.threshold (sig_of st)
+              (sig_of sf)
+          in
+          if not ok then
+            stats.candidates_prefiltered <-
+              stats.candidates_prefiltered + 1;
+          ok
+      end
+    in
     match cfg.pairing with
-    | Greedy -> best_pair_greedy ~skip cfg r t_sgs f_sgs
-    | Alignment -> best_pair_alignment ~skip cfg r t_sgs f_sgs
+    | Greedy -> best_pair_greedy ~skip ~admit ~score cfg r t_sgs f_sgs
+    | Alignment -> best_pair_alignment ~skip ~admit ~score cfg r t_sgs f_sgs
+  end
 
 (* Meld one candidate; the subgraphs are re-matched after normalization
-   since normalization adds the dedicated exit blocks. *)
-let apply_candidate (cfg : config) (f : func) (c : candidate)
-    (stats : stats) : unit =
-  let st = Simplify_region.normalize_exit f c.c_st in
-  let sf = Simplify_region.normalize_exit f c.c_sf in
-  let st, pre_t = Simplify_region.normalize_entry f st in
-  let sf, pre_f = Simplify_region.normalize_entry f sf in
+   since normalization adds the dedicated exit blocks.  Normalization
+   and melding report their dirty blocks into [elog]; the edits are
+   flushed into [mgr] so the post-normalization dominator tree and any
+   later analysis query come from the (selectively invalidated)
+   manager. *)
+let apply_candidate (cfg : config) (mgr : Manager.t) (elog : Edit.log)
+    (f : func) (c : candidate) (stats : stats) : unit =
+  let st = Simplify_region.normalize_exit ~edits:elog f c.c_st in
+  let sf = Simplify_region.normalize_exit ~edits:elog f c.c_sf in
+  let st, pre_t = Simplify_region.normalize_entry ~edits:elog f st in
+  let sf, pre_f = Simplify_region.normalize_entry ~edits:elog f sf in
   let pairs =
     match Isomorphism.match_subgraphs st sf with
     | Some p -> p
@@ -292,11 +371,13 @@ let apply_candidate (cfg : config) (f : func) (c : candidate)
         invalid_arg
           "Pass.apply_candidate: normalization broke subgraph isomorphism"
   in
-  let dt = Domtree.compute f in
+  Manager.note_all mgr (Edit.drain elog);
+  let dt = Manager.domtree mgr in
   ignore
-    (Meld.run f ~cond:c.c_region.Region.r_cond ~dt ~lat:cfg.latency ~s_t:st
-       ~s_f:sf ~pre_t ~pre_f ~pairs ~unpredicate:cfg.unpredicate
-       ~stats:stats.meld_stats);
+    (Meld.run ~edits:elog f ~cond:c.c_region.Region.r_cond ~dt
+       ~lat:cfg.latency ~s_t:st ~s_f:sf ~pre_t ~pre_f ~pairs
+       ~unpredicate:cfg.unpredicate ~stats:stats.meld_stats);
+  Manager.note_all mgr (Edit.drain elog);
   stats.melds_applied <- stats.melds_applied + 1
 
 (* Snapshot/restore for [Vreject]: the printed IR round-trips through
@@ -318,6 +399,15 @@ let restore_func (f : func) (snap : string) : unit =
     (the test suites use this). *)
 let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
   let stats = empty_stats () in
+  let prefilter = config.prefilter && prefilter_enabled () in
+  (* one manager per run: analyses persist across iterations and are
+     selectively invalidated by the edits each transform reports *)
+  let mgr =
+    Manager.create
+      ?debug:(if config.analysis_debug then Some true else None)
+      f
+  in
+  let elog = Edit.log () in
   let obs_span name args body =
     match config.obs with
     | None -> body ()
@@ -339,22 +429,29 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
     obs_span "pass.iteration"
       [ ("iteration", Darm_obs.Trace.Int stats.iterations) ]
     @@ fun () ->
-    let dvg = Divergence.compute f in
-    let dt = Domtree.compute f in
-    let pdt = Domtree.compute_post f in
+    let dvg, dt, pdt, preds =
+      obs_span "pass.analysis" [] @@ fun () ->
+      (* divergence first: it computes a post-dominator tree internally,
+         so the postdomtree query right after is a cache hit *)
+      let dvg = Manager.divergence mgr in
+      let dt = Manager.domtree mgr in
+      let pdt = Manager.postdomtree mgr in
+      let preds = Manager.preds mgr in
+      (dvg, dt, pdt, preds)
+    in
     let candidate =
+      obs_span "pass.candidates" [] @@ fun () ->
       List.fold_left
         (fun acc b ->
           match acc with
           | Some _ -> acc
           | None -> (
-              match Region.detect f dvg dt pdt b with
+              match Region.detect ~preds f dvg dt pdt b with
               | None -> None
               | Some r ->
                   stats.regions_found <- stats.regions_found + 1;
-                  best_pair ~skip config r pdt))
-        None
-        (Darm_analysis.Cfg.reachable_blocks f)
+                  best_pair ~skip ~prefilter ~stats config r pdt))
+        None (Manager.reachable mgr)
     in
     match candidate with
     | None -> continue_ := false
@@ -375,22 +472,30 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
         let pre_meld =
           if config.validate = Vnone then None
           else
-            Some (snapshot_func f, Darm_checks.Checker.check_func ~dvg f)
+            Some
+              (snapshot_func f, Darm_checks.Checker.check_func ~facts:mgr f)
         in
         let record = record_of_candidate c (stats.melds_applied + 1) in
-        apply_candidate config f c stats;
+        obs_span "pass.apply" [] (fun () ->
+            apply_candidate config mgr elog f c stats);
         (* most-recent-first while running so Vreject can pop; reversed
            into application order before [run] returns *)
         stats.melds <- record :: stats.melds;
-        if config.run_cleanups then begin
-          ignore (Darm_transforms.Simplify_cfg.run f);
-          ignore (Darm_transforms.Dce.run f)
-        end;
+        obs_span "pass.cleanup" [] (fun () ->
+            if config.run_cleanups then begin
+              (* the cleanups don't track their rewrites; a changed CFG
+                 falls back to whole-function invalidation, a pure DCE
+                 sweep keeps every CFG-derived analysis *)
+              if Darm_transforms.Simplify_cfg.run f then
+                Manager.note mgr Edit.Whole;
+              if Darm_transforms.Dce.run f then
+                Manager.note mgr (Edit.Dce [])
+            end);
         if verify_each then Darm_ir.Verify.run_exn f;
         (match pre_meld with
         | None -> ()
         | Some (snap, before) -> (
-            let after = Darm_checks.Checker.check_func f in
+            let after = Darm_checks.Checker.check_func ~facts:mgr f in
             match Darm_checks.Checker.new_errors ~before ~after with
             | [] -> ()
             | news -> (
@@ -422,6 +527,8 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
                             c.c_region.Region.r_entry.bname f.fname detail))
                 | Vreject ->
                     restore_func f snap;
+                    (* the graft replaces the whole body *)
+                    Manager.invalidate_all mgr;
                     stats.melds_applied <- stats.melds_applied - 1;
                     stats.melds_rejected <- stats.melds_rejected + 1;
                     (match stats.melds with
@@ -434,8 +541,34 @@ let run ?(config = default_config) ?(verify_each = false) (f : func) : stats =
     ignore (Darm_transforms.Simplify_cfg.if_convert f);
     ignore (Darm_transforms.Dce.run f)
   end;
+  stats.analysis_recomputes_avoided <- Manager.recomputes_avoided mgr;
   stats.melds <- List.rev stats.melds;
   stats
+
+(** Export the run counters as [darm_pass_*] metric families (see
+    doc/observability.md). *)
+let fill_metrics (reg : Darm_obs.Metrics_registry.t)
+    ?(labels : (string * string) list = []) (s : stats) : unit =
+  let module MR = Darm_obs.Metrics_registry in
+  let count name help v =
+    MR.inc reg ~labels ~by:(float_of_int v) name;
+    MR.help reg name help
+  in
+  count "darm_pass_iterations_total" "Algorithm 1 fixpoint iterations"
+    s.iterations;
+  count "darm_pass_melds_applied_total" "Subgraph melds applied"
+    s.melds_applied;
+  count "darm_pass_melds_rejected_total"
+    "Melds rolled back by translation validation" s.melds_rejected;
+  count "darm_pass_pairs_scored_total"
+    "Subgraph pairs through full isomorphism matching + FP_S scoring"
+    s.pairs_scored;
+  count "darm_pass_candidates_prefiltered_total"
+    "Pair evaluations skipped by the similarity prefilter"
+    s.candidates_prefiltered;
+  count "darm_pass_analysis_recomputes_avoided_total"
+    "Analysis queries served from the manager cache instead of recomputed"
+    s.analysis_recomputes_avoided
 
 (** Branch fusion (Coutinho et al.): the diamond-only restriction of
     control-flow melding, used as a baseline in Table I and §VI. *)

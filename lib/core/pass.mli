@@ -47,15 +47,34 @@ type config = {
   obs : Darm_obs.Trace.t option;
       (** trace buffer for the pass-pipeline instrumentation: a
           [pass.run] span wrapping one [pass.iteration] span per
-          Algorithm 1 iteration, a [meld.decision] instant per scored
-          subgraph pair (region entry, pair entries, FP_S, threshold,
-          accept/reject) and a [meld.apply] instant for each meld
-          actually performed.  Translation validation adds a
-          [meld.validation_failed] instant per offending meld.
-          [None] (the default) emits nothing and adds no measurable
-          overhead. *)
+          Algorithm 1 iteration, each broken down into [pass.analysis]
+          (manager queries), [pass.candidates] (region detection +
+          pair search), [pass.apply] (normalization + melding) and
+          [pass.cleanup] child spans; a [meld.decision] instant per
+          scored subgraph pair (region entry, pair entries, FP_S,
+          threshold, accept/reject — prefiltered pairs emit none) and
+          a [meld.apply] instant for each meld actually performed.
+          Translation validation adds a [meld.validation_failed]
+          instant per offending meld.  [None] (the default) emits
+          nothing and adds no measurable overhead. *)
   validate : validation;
       (** translation validation mode (see doc/static-analysis.md) *)
+  prefilter : bool;
+      (** similarity prefilter in front of the candidate search
+          (default [true]): subgraph pairs whose
+          {!Darm_analysis.Similarity} signatures prove the exhaustive
+          search would reject them (CFG-shape mismatch, or FP_S upper
+          bound at most [threshold]) are skipped before isomorphism
+          matching.  The filter is {e exact} — the chosen melds are
+          identical with it on or off — but skipped pairs emit no
+          [meld.decision] trace instant.  ANDed with the
+          [DARM_NO_PREFILTER] environment variable (set to a non-empty
+          value other than ["0"] to force the exhaustive search). *)
+  analysis_debug : bool;
+      (** run the analysis manager in debug mode: every cache-served
+          query is cross-validated against a from-scratch recompute and
+          {!Darm_analysis.Manager.Stale_analysis} is raised on mismatch.
+          ORed with the [DARM_ANALYSIS_DEBUG] environment variable. *)
 }
 
 val default_config : config
@@ -90,6 +109,15 @@ type stats = {
   mutable melds_applied : int;
   mutable melds_rejected : int;
       (** melds rolled back by [Vreject] translation validation *)
+  mutable pairs_scored : int;
+      (** subgraph pairs that went through full isomorphism matching +
+          FP_S scoring (in [Alignment] mode a pair may be scored in
+          both the alignment and the selection phase) *)
+  mutable candidates_prefiltered : int;
+      (** pair evaluations skipped by the similarity prefilter *)
+  mutable analysis_recomputes_avoided : int;
+      (** analysis queries served from the manager cache — each one is
+          a recompute the unmanaged driver would have performed *)
   mutable melds : meld_record list;
       (** provenance of the applied melds, in application order;
           [Vreject]ed melds are removed, so
@@ -115,6 +143,18 @@ val restore_func : Ssa.func -> string -> unit
     function is verified after every meld when [verify_each] is set (the
     test suites use this). *)
 val run : ?config:config -> ?verify_each:bool -> Ssa.func -> stats
+
+(** Export the run counters into a metrics registry as the
+    [darm_pass_*] families ([iterations], [melds_applied],
+    [melds_rejected], [pairs_scored], [candidates_prefiltered],
+    [analysis_recomputes_avoided] — all [_total] counters; see
+    doc/observability.md).  [labels] (e.g. [("kernel", tag)]) are
+    attached to every sample. *)
+val fill_metrics :
+  Darm_obs.Metrics_registry.t ->
+  ?labels:(string * string) list ->
+  stats ->
+  unit
 
 (** Branch fusion: the diamond-only restriction of control-flow melding,
     used as a baseline in Table I and §VI. *)

@@ -50,11 +50,11 @@ let subgraph_size (s : subgraph) = Hashtbl.length s.sg_blocks
     stays on that side or goes to [X]; every edge into a side block other
     than the side's entry comes from within the side.  This is what makes
     the region transformable without re-routing unrelated control flow. *)
-let side_closed (f : func) ~(side : block list) ~(side_entry : block)
-    ~(region_entry : block) ~(exit_ : block) : bool =
+let side_closed ?preds (f : func) ~(side : block list)
+    ~(side_entry : block) ~(region_entry : block) ~(exit_ : block) : bool =
   let in_side = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace in_side b.bid ()) side;
-  let preds = predecessors f in
+  let preds = match preds with Some p -> p | None -> predecessors f in
   List.for_all
     (fun b ->
       List.for_all
@@ -73,7 +73,7 @@ let side_closed (f : func) ~(side : block list) ~(side_entry : block)
     by [b] and post-dominated by the exit — the defining property of a
     region — which rules out pseudo-regions whose reachability sets leak
     through loop back edges into unrelated control flow. *)
-let detect (f : func) (dvg : Divergence.t) (dt : Domtree.t)
+let detect ?preds (f : func) (dvg : Divergence.t) (dt : Domtree.t)
     (pdt : Domtree.t) (b : block) : t option =
   if not (Divergence.is_divergent_branch dvg b) then None
   else
@@ -104,9 +104,9 @@ let detect (f : func) (dvg : Divergence.t) (dt : Domtree.t)
           if
             disjoint
             && dominated t_side && dominated f_side
-            && side_closed f ~side:t_side ~side_entry:t_succ
+            && side_closed ?preds f ~side:t_side ~side_entry:t_succ
                  ~region_entry:b ~exit_:x
-            && side_closed f ~side:f_side ~side_entry:f_succ
+            && side_closed ?preds f ~side:f_side ~side_entry:f_succ
                  ~region_entry:b ~exit_:x
           then
             Some

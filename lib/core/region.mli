@@ -51,8 +51,11 @@ val subgraph_size : subgraph -> int
     branch conditions, every block of both paths must be dominated by
     [b] and post-dominated by the exit — the defining property of a
     region — which rules out pseudo-regions whose reachability sets leak
-    through loop back edges into unrelated control flow. *)
+    through loop back edges into unrelated control flow.  [preds] (when
+    supplied) must be the current predecessor table of [f] and saves
+    rebuilding it per closure check. *)
 val detect :
+  ?preds:(int, Ssa.block list) Hashtbl.t ->
   Ssa.func -> Divergence.t -> Domtree.t -> Domtree.t -> Ssa.block -> t option
 
 (** Ordered SESE subgraph sequences of the two paths; earlier subgraphs

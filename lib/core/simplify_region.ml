@@ -21,10 +21,13 @@ open Darm_ir.Ssa
     every [src] in [srcs] is redirected to [q] and [q] branches to
     [dest].  Phi nodes in [dest] are split: the entries for [srcs] move
     into a new phi in [q].  Returns [q]. *)
-let split_edges (f : func) ~(srcs : block list) ~(dest : block)
+let split_edges ?edits (f : func) ~(srcs : block list) ~(dest : block)
     ~(name : string) : block =
   let q = mk_block name in
   append_block f q;
+  Darm_analysis.Edit.note edits
+    (Darm_analysis.Edit.Cfg_local
+       (q.bid :: dest.bid :: List.map (fun b -> b.bid) srcs));
   let src_ids = List.map (fun b -> b.bid) srcs in
   List.iter
     (fun phi ->
@@ -59,7 +62,8 @@ let exit_sources (sg : Region.subgraph) : block list =
 (** Normalize the exit of [sg]: afterwards [sg_exit_src] is a dedicated
     block holding only [br sg_exit_dest].  Returns the (possibly
     updated) subgraph. *)
-let normalize_exit (f : func) (sg : Region.subgraph) : Region.subgraph =
+let normalize_exit ?edits (f : func) (sg : Region.subgraph) :
+    Region.subgraph =
   match exit_sources sg with
   | [] ->
       invalid_arg "Simplify_region.normalize_exit: subgraph has no exit edge"
@@ -68,7 +72,9 @@ let normalize_exit (f : func) (sg : Region.subgraph) : Region.subgraph =
          unconditional source: melding normalizes both subgraphs of a
          pair, and an unconditional insertion keeps the two sides
          isomorphic to each other. *)
-      let q = split_edges f ~srcs ~dest:sg.sg_exit_dest ~name:"meld.exit" in
+      let q =
+        split_edges ?edits f ~srcs ~dest:sg.sg_exit_dest ~name:"meld.exit"
+      in
       Hashtbl.replace sg.sg_blocks q.bid q;
       { sg with sg_exit_src = q }
 
@@ -76,8 +82,8 @@ let normalize_exit (f : func) (sg : Region.subgraph) : Region.subgraph =
     when the entry has several external predecessors or when an external
     predecessor also reaches other blocks (shared entry from the region
     entry's conditional branch). *)
-let normalize_entry (f : func) (sg : Region.subgraph) : Region.subgraph * block
-    =
+let normalize_entry ?edits (f : func) (sg : Region.subgraph) :
+    Region.subgraph * block =
   let preds_tbl = predecessors f in
   let external_preds =
     List.filter
@@ -94,5 +100,7 @@ let normalize_entry (f : func) (sg : Region.subgraph) : Region.subgraph * block
       (* Either several external predecessors, or a single one arriving
          via a conditional branch (e.g. the region entry E): insert a
          dedicated pre-entry block. *)
-      let q = split_edges f ~srcs:ps ~dest:sg.sg_entry ~name:"meld.pre" in
+      let q =
+        split_edges ?edits f ~srcs:ps ~dest:sg.sg_entry ~name:"meld.pre"
+      in
       (sg, q)

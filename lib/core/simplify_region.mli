@@ -2,7 +2,12 @@
     so that it has a single, dedicated, unconditional exit edge and a
     unique external predecessor — the paper's conversion of regions into
     simple regions with fresh entry/exit blocks, which makes the melding
-    code generation uniform. *)
+    code generation uniform.
+
+    Every function takes an optional [?edits] log
+    ({!Darm_analysis.Edit.log}) into which it reports the blocks it
+    dirtied, so a caller holding a {!Darm_analysis.Manager} can
+    invalidate selectively. *)
 
 open Darm_ir
 
@@ -11,6 +16,7 @@ open Darm_ir
     in [dest] are split: the entries for [srcs] move into a new phi in
     [q].  Returns [q]. *)
 val split_edges :
+  ?edits:Darm_analysis.Edit.log ->
   Ssa.func -> srcs:Ssa.block list -> dest:Ssa.block -> name:string -> Ssa.block
 
 (** Blocks of the subgraph with an edge to its exit destination. *)
@@ -19,10 +25,13 @@ val exit_sources : Region.subgraph -> Ssa.block list
 (** Normalize the exit: afterwards [sg_exit_src] is a dedicated block
     holding only [br sg_exit_dest].  Always inserts the fresh block so
     that both subgraphs of a melding pair stay isomorphic. *)
-val normalize_exit : Ssa.func -> Region.subgraph -> Region.subgraph
+val normalize_exit :
+  ?edits:Darm_analysis.Edit.log ->
+  Ssa.func -> Region.subgraph -> Region.subgraph
 
 (** Unique external predecessor of the subgraph entry; splits the edge
     when the entry has several external predecessors or a single one
     arriving via a conditional branch (the region entry E). *)
 val normalize_entry :
+  ?edits:Darm_analysis.Edit.log ->
   Ssa.func -> Region.subgraph -> Region.subgraph * Ssa.block

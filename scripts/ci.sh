@@ -26,6 +26,10 @@ test "$(wc -l < BENCH_history.jsonl)" -eq 2
 grep -q '"mem_model":"flat+hier"' BENCH_history.jsonl
 grep -q '"mem_model":"flat"' BENCH_history.jsonl
 grep -q '"mem_model":"hier"' BENCH_history.jsonl
+# the 1000+-block stress kernel is part of the smoke gate: a full meld
+# pass at that scale must finish inside the CI budget, and its pass_ms
+# lands in the history so bench-diff tracks the compile-time trajectory
+grep -q '"kernel":"STRESS1K"' BENCH_history.jsonl
 
 # regression sentinel: the history must schema-validate, an identical
 # re-run must pass the diff, and a synthetically inflated candidate
@@ -118,6 +122,25 @@ if dune exec bin/darm_opt.exe -- check --kernel XRW --block-size 64 \
 fi
 grep -q '"id":"shared-race-rw"' /tmp/darm_check_xrw.json
 rm -f /tmp/darm_check_xbar.json /tmp/darm_check_xrace.json /tmp/darm_check_xrw.json
+
+# incremental analysis + similarity prefilter (doc/static-analysis.md):
+# the prefilter is exact — disabling it (and changing the job count)
+# must leave every meld decision, and therefore the whole attribution
+# report, byte-identical; a debug-mode meld pass over the registry
+# cross-validates every cached analysis against a fresh recompute; and
+# the meld CLI must export the new darm_pass_* counter families
+dune exec bin/darm_opt.exe -- report --all -j 1 > /tmp/darm_pref_on.txt
+DARM_NO_PREFILTER=1 dune exec bin/darm_opt.exe -- report --all -j 4 \
+  > /tmp/darm_pref_off.txt
+cmp /tmp/darm_pref_on.txt /tmp/darm_pref_off.txt
+rm -f /tmp/darm_pref_on.txt /tmp/darm_pref_off.txt
+DARM_ANALYSIS_DEBUG=1 dune exec bin/darm_opt.exe -- check --all --pass darm
+dune exec bin/darm_opt.exe -- meld --kernel BIT --pass darm \
+  --metrics-out /tmp/darm_pass_metrics.prom > /tmp/darm_meld_bit.txt
+grep -q ';; candidates:' /tmp/darm_meld_bit.txt
+grep -q 'darm_pass_candidates_prefiltered_total' /tmp/darm_pass_metrics.prom
+grep -q 'darm_pass_analysis_recomputes_avoided_total' /tmp/darm_pass_metrics.prom
+rm -f /tmp/darm_pass_metrics.prom /tmp/darm_meld_bit.txt
 
 # generative conformance fuzzing (doc/fuzzing.md): a time-boxed oracle
 # matrix sweep (DARM_FUZZ_BUDGET seconds, smoke default), the regression

@@ -7,4 +7,5 @@ let () =
    @ Suite_end2end.suites @ Suite_fuzz.suites @ Suite_unroll.suites @ Suite_parser.suites @ Suite_properties.suites @ Suite_meld_ir.suites @ Suite_regions.suites @ Suite_dsl.suites @ Suite_harness.suites @ Suite_frontend.suites @ Suite_hip_kernels.suites @ Suite_memory.suites @ Suite_i32.suites @ Suite_parallel.suites
    @ Suite_metrics.suites @ Suite_obs.suites @ Suite_checks.suites
    @ Suite_attribution.suites @ Suite_gen.suites @ Suite_shrink.suites
-   @ Suite_corpus.suites @ Suite_batch.suites @ Suite_mem_model.suites)
+   @ Suite_corpus.suites @ Suite_batch.suites @ Suite_mem_model.suites
+   @ Suite_incremental.suites)
