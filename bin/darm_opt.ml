@@ -1012,14 +1012,68 @@ let batch_cmd =
     Arg.(value & opt string "all" & info [ "features" ] ~docv:"SPEC"
            ~doc:"With --gen-fuzz: generator feature spec.")
   in
+  let gen_inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"TAG"
+          ~doc:
+            "With --gen-fuzz: graft a known bug (XBAR, XRACE or XRW) onto \
+             every generated kernel, producing a known-bad manifest whose \
+             specs the checker rejects — for exercising failure paths \
+             (--fail-on-error, CI).")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Journal the run as a darm-events-v1 JSONL event stream to \
+             $(docv) (run/chunk/spec lifecycle, cache hits/misses, \
+             stalls).  The canonicalized stream (darm_opt events \
+             --canonical) is byte-identical at any --jobs count.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"BASE"
+          ~doc:
+            "Write periodic atomic metrics snapshots to $(docv).prom \
+             (Prometheus text) and $(docv).json (darm-metrics-v1) while \
+             the run is in flight — the darm_opt top data source.")
+  in
+  let cadence_arg =
+    Arg.(value & opt float 1.0 & info [ "snapshot-cadence-s" ] ~docv:"S"
+           ~doc:"Seconds between snapshot rewrites (with --snapshot).")
+  in
+  let stall_arg =
+    Arg.(value & opt float 30. & info [ "stall-deadline-s" ] ~docv:"S"
+           ~doc:
+             "Flag a busy worker stalled after $(docv) seconds without a \
+              completed spec (with --events/--snapshot).  Size it well \
+              above the slowest expected spec.")
+  in
+  let fail_on_error =
+    Arg.(
+      value & flag
+      & info [ "fail-on-error" ]
+          ~doc:
+            "Also exit non-zero when any spec failed to complete cleanly \
+             (status error or check-failed).  Without it only incorrect \
+             kernels — melding bugs — fail the run; fleet sweeps tolerate \
+             the occasional degenerate generator seed.")
+  in
   let run manifest out jobs budget_s cache_dir no_cache clear_cache
       history_path no_history metrics_out metrics_fmt gen_fuzz seed_start
-      block_size smoke features =
+      block_size smoke features inject events snapshot cadence_s
+      stall_deadline_s fail_on_error =
     match gen_fuzz with
     | Some count ->
         (try
            B.write_fuzz_manifest ~path:manifest ~count ~seed_start
-             ~block_size ~smoke ~features ()
+             ~block_size ~smoke ~features ?inject ()
          with Invalid_argument msg ->
            Printf.eprintf "batch: %s\n" msg;
            exit 2);
@@ -1038,13 +1092,23 @@ let batch_cmd =
                 Printf.eprintf ";; cache cleared (%d entrie(s))\n"
                   (Cache.clear c)
             | _ -> ());
-            let sum = B.run ?jobs ?budget_s ?cache ~out specs in
+            (* the registry lives through the run (live accounting), so
+               --metrics-out exports it directly afterwards *)
+            let reg = MR.create () in
+            let sum =
+              B.run ?jobs ?budget_s ?cache ~registry:reg ?events ?snapshot
+                ~cadence_s ~stall_deadline_s ~out specs
+            in
             Printf.printf ";; results: %s\n" out;
+            (match events with
+            | Some p -> Printf.eprintf ";; events: %s\n" p
+            | None -> ());
+            (match snapshot with
+            | Some b -> Printf.eprintf ";; snapshot: %s.{prom,json}\n" b
+            | None -> ());
             (match metrics_out with
             | None -> ()
             | Some path ->
-                let reg = MR.create () in
-                B.fill_metrics reg sum;
                 let snap = MR.snapshot reg in
                 let contents =
                   match metrics_fmt with
@@ -1060,7 +1124,11 @@ let batch_cmd =
               Printf.eprintf ";; history: %s\n" history_path
             end;
             print_endline (B.summary_to_string sum);
-            if sum.B.bt_errors > 0 || sum.B.bt_incorrect > 0 then exit 1)
+            if
+              sum.B.bt_incorrect > 0
+              || (fail_on_error
+                 && sum.B.bt_errors + sum.B.bt_check_failed > 0)
+            then exit 1)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -1071,13 +1139,319 @@ let batch_cmd =
           on-disk result cache.  Results are one JSON line per entry, in \
           manifest order and byte-identical at any --jobs count; a warm \
           cache replays stored bytes verbatim.  Appends a throughput \
-          record (cache hit-rate, kernels/sec) to the bench history for \
-          the bench-diff sentinel.")
+          record (cache hit-rate, kernels/sec, p99 pass_ms) to the bench \
+          history for the bench-diff sentinel.  --events and --snapshot \
+          add live telemetry (see doc/observability.md); darm_opt top \
+          renders it.  Exits non-zero on incorrect kernels, and with \
+          --fail-on-error also on errored or checker-rejected specs.")
     Term.(
       const run $ manifest_arg $ out_arg $ jobs_arg $ budget $ cache_dir_arg
       $ no_cache $ clear_cache $ history_path_arg $ no_history
       $ metrics_out_arg $ metrics_fmt_arg $ gen_fuzz_arg $ seed_start
-      $ gen_block_size $ profile $ gen_features)
+      $ gen_block_size $ profile $ gen_features $ gen_inject $ events_arg
+      $ snapshot_arg $ cadence_arg $ stall_arg $ fail_on_error)
+
+let top_cmd =
+  let module MR = Darm_obs.Metrics_registry in
+  let module Snapshot = Darm_obs.Snapshot in
+  let module Ev = Darm_obs.Events in
+  let module J = Darm_obs.Json in
+  let snapshot_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"BASE"
+          ~doc:
+            "Snapshot base path of the batch run under observation \
+             (reads $(docv).json, the darm-metrics-v1 rendering).")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Also tail the run's darm-events-v1 stream (last few \
+                events at the bottom of the view).")
+  in
+  let once_flag =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render one frame and exit (exit 2 when the snapshot \
+                   is missing or invalid) instead of following the run.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 1.0 & info [ "interval-s" ] ~docv:"S"
+           ~doc:"Refresh interval in follow mode.")
+  in
+  let gauge fams ?labels name =
+    Option.map (fun s -> s.MR.s_value) (MR.find_series fams ?labels name)
+  in
+  let g0 fams name = Option.value ~default:0. (gauge fams name) in
+  let render buf fams events =
+    let bpf fmt = Printf.bprintf buf fmt in
+    let total = g0 fams "darm_batch_total" in
+    let done_ = g0 fams "darm_batch_done" in
+    let pct = if total > 0. then 100. *. done_ /. total else 0. in
+    bpf "darm batch — done %.0f/%.0f (%.1f%%)  health %.2f  wall %.1fs\n"
+      done_ total pct (g0 fams "darm_run_health")
+      (g0 fams "darm_batch_wall_seconds");
+    let kps = g0 fams "darm_batch_kernels_per_sec" in
+    let eta =
+      if kps > 0. && total > done_ then
+        Printf.sprintf "%.1fs" ((total -. done_) /. kps)
+      else "-"
+    in
+    bpf "throughput %.1f kernels/s   ETA %s   cache %.0f hit(s) / %.0f \
+         miss(es), hit-rate %.1f%%\n"
+      kps eta
+      (g0 fams "darm_batch_cache_hits_total")
+      (g0 fams "darm_batch_cache_misses_total")
+      (100. *. g0 fams "darm_batch_cache_hit_rate");
+    bpf "status ok=%.0f incorrect=%.0f check-failed=%.0f errors=%.0f\n"
+      (done_ -. g0 fams "darm_batch_incorrect_total"
+      -. g0 fams "darm_batch_check_failed_total"
+      -. g0 fams "darm_batch_errors_total")
+      (g0 fams "darm_batch_incorrect_total")
+      (g0 fams "darm_batch_check_failed_total")
+      (g0 fams "darm_batch_errors_total");
+    bpf "latency (ms)          p50       p90       p99     count\n";
+    let lat_row label name =
+      match MR.find_series fams name with
+      | None -> ()
+      | Some s ->
+          let cell q =
+            match MR.percentile s q with
+            | Some v -> Printf.sprintf "%9.3f" v
+            | None -> Printf.sprintf "%9s" "-"
+          in
+          bpf "  %-14s%s %s %s  %8d\n" label (cell 0.5) (cell 0.9)
+            (cell 0.99) s.MR.s_count
+    in
+    lat_row "pass" "darm_batch_pass_ms";
+    lat_row "sim" "darm_batch_sim_ms";
+    lat_row "cache lookup" "darm_batch_cache_lookup_ms";
+    lat_row "spec" "darm_batch_spec_ms";
+    (match MR.find_series fams "darm_worker_state" with
+    | None -> ()
+    | Some _ ->
+        let fam =
+          List.find_opt (fun f -> f.MR.f_name = "darm_worker_state") fams
+        in
+        let series = match fam with Some f -> f.MR.f_series | None -> [] in
+        let state_name v =
+          if v >= 2. then "stalled" else if v >= 1. then "busy" else "idle"
+        in
+        let row s =
+          let w =
+            match List.assoc_opt "worker" s.MR.s_labels with
+            | Some w -> w
+            | None -> "?"
+          in
+          let beats =
+            Option.value ~default:0.
+              (gauge fams
+                 ~labels:[ ("worker", w) ]
+                 "darm_worker_heartbeats_total")
+          in
+          Printf.sprintf "%s:%s(%.0f)" w (state_name s.MR.s_value) beats
+        in
+        let sorted =
+          List.sort
+            (fun a b ->
+              let num s =
+                match List.assoc_opt "worker" s.MR.s_labels with
+                | Some w -> ( try int_of_string w with _ -> max_int)
+                | None -> max_int
+              in
+              compare (num a) (num b))
+            series
+        in
+        bpf "workers: %s\n" (String.concat " " (List.map row sorted)));
+    (match events with
+    | None -> ()
+    | Some views ->
+        let tail =
+          let n = List.length views in
+          if n <= 6 then views
+          else List.filteri (fun i _ -> i >= n - 6) views
+        in
+        let one v =
+          let extra =
+            match v.Ev.vw_ev with
+            | "spec_finish" -> (
+                match J.member "spec" v.Ev.vw_json with
+                | Some (J.Int i) -> Printf.sprintf " spec=%d" i
+                | _ -> "")
+            | "chunk_start" | "chunk_finish" -> (
+                match J.member "chunk" v.Ev.vw_json with
+                | Some (J.Int i) -> Printf.sprintf " chunk=%d" i
+                | _ -> "")
+            | _ -> ""
+          in
+          Printf.sprintf "vt=%d %s%s" v.Ev.vw_vt v.Ev.vw_ev extra
+        in
+        bpf "events: %s\n" (String.concat " | " (List.map one tail)))
+  in
+  let read_events = function
+    | None -> None
+    | Some path -> (
+        match
+          try
+            Some (In_channel.with_open_bin path In_channel.input_all)
+          with Sys_error _ -> None
+        with
+        | None -> None
+        | Some text -> (
+            match Ev.read text with Ok vs -> Some vs | Error _ -> None))
+  in
+  let run base events once interval_s =
+    let path = Snapshot.json_path base in
+    let frame () =
+      match Snapshot.read_json ~path with
+      | Error msg -> Error msg
+      | Ok fams ->
+          let buf = Buffer.create 1024 in
+          render buf fams (read_events events);
+          Ok (buf, fams)
+    in
+    if once then (
+      match frame () with
+      | Error msg ->
+          Printf.eprintf "top: %s\n" msg;
+          exit 2
+      | Ok (buf, _) -> print_string (Buffer.contents buf))
+    else
+      let interval = Float.max 0.1 interval_s in
+      let rec loop () =
+        (match frame () with
+        | Error msg ->
+            print_string "\027[2J\027[H";
+            Printf.printf "top: waiting for %s (%s)\n" path msg;
+            flush stdout
+        | Ok (buf, fams) ->
+            print_string "\027[2J\027[H";
+            print_string (Buffer.contents buf);
+            flush stdout;
+            let total = g0 fams "darm_batch_total" in
+            if total > 0. && g0 fams "darm_batch_done" >= total then exit 0);
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live health view of a darm_opt batch run, rendered from its \
+          --snapshot files (and optionally its --events stream): \
+          progress, kernels/s, ETA, cache hit-rate, per-spec latency \
+          percentiles (p50/p90/p99), per-worker state and heartbeats.  \
+          Follows the run until it completes; --once renders a single \
+          frame for scripts and CI.")
+    Term.(const run $ snapshot_arg $ events_arg $ once_flag $ interval_arg)
+
+let events_cmd =
+  let module Ev = Darm_obs.Events in
+  let module J = Darm_obs.Json in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"darm-events-v1 JSONL stream to read.")
+  in
+  let validate_flag =
+    Arg.(value & flag
+         & info [ "validate-only" ]
+             ~doc:"Only validate the stream (schema, event catalogue, \
+                   strictly increasing vt); print the event count and \
+                   exit, non-zero when invalid.")
+  in
+  let canonical_flag =
+    Arg.(value & flag
+         & info [ "canonical" ]
+             ~doc:"Print the canonical form — runtime events dropped, rt \
+                   envelopes stripped, vt renumbered — the byte-comparable \
+                   artifact of the determinism contract (doc/fleet.md).")
+  in
+  let ev_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ev" ] ~docv:"TYPE"
+          ~doc:"Only print events of this type (e.g. spec_finish).")
+  in
+  let run file validate canonical ev_filter =
+    let text =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "events: %s\n" msg;
+        exit 2
+    in
+    if validate then (
+      match Ev.validate text with
+      | Ok n -> Printf.printf "events: %s: %d valid %s event(s)\n" file n
+                  Ev.schema
+      | Error msg ->
+          Printf.eprintf "events: %s: %s\n" file msg;
+          exit 2)
+    else if canonical then (
+      match Ev.canonicalize text with
+      | Ok s -> print_string s
+      | Error msg ->
+          Printf.eprintf "events: %s: %s\n" file msg;
+          exit 2)
+    else
+      match Ev.read text with
+      | Error msg ->
+          Printf.eprintf "events: %s: %s\n" file msg;
+          exit 2
+      | Ok views ->
+          let scalar = function
+            | J.Str s -> Some s
+            | J.Int i -> Some (string_of_int i)
+            | J.Float f -> Some (J.float_repr f)
+            | J.Bool b -> Some (string_of_bool b)
+            | J.Null -> Some "null"
+            | J.List _ | J.Obj _ -> None
+          in
+          let fields ?(skip = []) = function
+            | J.Obj kvs ->
+                List.filter_map
+                  (fun (k, v) ->
+                    if List.mem k skip then None
+                    else
+                      match scalar v with
+                      | Some s -> Some (Printf.sprintf "%s=%s" k s)
+                      | None -> None)
+                  kvs
+            | _ -> []
+          in
+          List.iter
+            (fun v ->
+              if ev_filter = None || ev_filter = Some v.Ev.vw_ev then begin
+                let core =
+                  fields ~skip:[ "schema"; "vt"; "ev"; "rt" ] v.Ev.vw_json
+                in
+                let rt =
+                  match J.member "rt" v.Ev.vw_json with
+                  | Some o -> fields o
+                  | None -> []
+                in
+                Printf.printf "vt=%-4d %-14s %s%s\n" v.Ev.vw_vt v.Ev.vw_ev
+                  (String.concat " " core)
+                  (if rt = [] then ""
+                   else Printf.sprintf "  [rt %s]" (String.concat " " rt))
+              end)
+            views
+  in
+  Cmd.v
+    (Cmd.info "events"
+       ~doc:
+         "Inspect a darm-events-v1 stream written by darm_opt batch \
+          --events: pretty-print it (optionally filtered by event type), \
+          validate it, or emit its canonical byte-comparable form for \
+          determinism checks.")
+    Term.(const run $ file_arg $ validate_flag $ canonical_flag $ ev_filter)
 
 let bench_diff_cmd =
   let module History = Darm_harness.History in
@@ -1210,6 +1584,6 @@ let main =
     [ list_cmd; show_cmd; divergence_cmd; meld_cmd; simulate_cmd; sweep_cmd;
       profile_cmd; parse_cmd;
       compile_cmd; dot_cmd; trace_cmd; check_cmd; fuzz_cmd; report_cmd;
-      batch_cmd; bench_diff_cmd ]
+      batch_cmd; top_cmd; events_cmd; bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -36,6 +36,7 @@ type spec =
       fz_block_size : int;
       fz_smoke : bool;
       fz_features : string;
+      fz_inject : string option;
     }
 
 let spec_name = function
@@ -65,13 +66,17 @@ let spec_to_json = function
         @ [ ("seed", J.Int r.rs_seed) ])
   | Fuzz f ->
       J.Obj
-        [
-          ("kind", J.Str "fuzz");
-          ("seed", J.Int f.fz_seed);
-          ("block_size", J.Int f.fz_block_size);
-          ("profile", J.Str (if f.fz_smoke then "smoke" else "default"));
-          ("features", J.Str f.fz_features);
-        ]
+        ([
+           ("kind", J.Str "fuzz");
+           ("seed", J.Int f.fz_seed);
+           ("block_size", J.Int f.fz_block_size);
+           ("profile", J.Str (if f.fz_smoke then "smoke" else "default"));
+           ("features", J.Str f.fz_features);
+         ]
+        @
+        match f.fz_inject with
+        | None -> []
+        | Some tag -> [ ("inject", J.Str tag) ])
 
 (* tolerant accessors in the style of History: ints may arrive as
    floats from other JSON emitters *)
@@ -127,6 +132,18 @@ let spec_of_json (j : J.t) : (spec, string) result =
       in
       let* features = get_str_opt j "features" ~default:"all" in
       let* cfg = fuzz_cfg ~smoke ~features in
+      let* inject =
+        match J.member "inject" j with
+        | None -> Ok None
+        | Some (J.Str tag) -> (
+            match Mutate.of_tag tag with
+            | Some _ -> Ok (Some tag)
+            | None ->
+                Error
+                  (Printf.sprintf "unknown inject tag %S (%s)" tag
+                     (String.concat "|" (List.map Mutate.tag Mutate.all))))
+        | Some _ -> Error "field \"inject\" is not a string"
+      in
       if cfg.Gen.array_size < block_size then
         Error
           (Printf.sprintf
@@ -137,7 +154,7 @@ let spec_of_json (j : J.t) : (spec, string) result =
         Ok
           (Fuzz
              { fz_seed = seed; fz_block_size = block_size; fz_smoke = smoke;
-               fz_features = features })
+               fz_features = features; fz_inject = inject })
   | Some (J.Str other) ->
       Error (Printf.sprintf "unknown kind %S (registry|fuzz)" other)
   | _ -> Error "missing string field \"kind\""
@@ -163,7 +180,7 @@ let read_manifest (path : string) : (spec list, string) result =
     go 1 [] lines
 
 let write_fuzz_manifest ~path ~count ?(seed_start = 0) ?(block_size = 64)
-    ?(smoke = true) ?(features = "all") () : unit =
+    ?(smoke = true) ?(features = "all") ?inject () : unit =
   (match fuzz_cfg ~smoke ~features with
   | Error e -> invalid_arg ("Batch.write_fuzz_manifest: " ^ e)
   | Ok cfg ->
@@ -172,6 +189,12 @@ let write_fuzz_manifest ~path ~count ?(seed_start = 0) ?(block_size = 64)
           (Printf.sprintf
              "Batch.write_fuzz_manifest: block_size %d > array_size %d"
              block_size cfg.Gen.array_size));
+  (match inject with
+  | Some tag when Mutate.of_tag tag = None ->
+      invalid_arg
+        (Printf.sprintf "Batch.write_fuzz_manifest: unknown inject tag %S"
+           tag)
+  | _ -> ());
   let b = Buffer.create (count * 64) in
   for i = 0 to count - 1 do
     J.to_buffer b
@@ -182,6 +205,7 @@ let write_fuzz_manifest ~path ~count ?(seed_start = 0) ?(block_size = 64)
               fz_block_size = block_size;
               fz_smoke = smoke;
               fz_features = features;
+              fz_inject = inject;
             }));
     Buffer.add_char b '\n'
   done;
@@ -265,44 +289,59 @@ let check_ids_of report =
   List.map (fun (d : Diag.t) -> d.Diag.id) (Checker.errors report)
   |> List.sort_uniq compare
 
+(* compute functions return (payload line, this run's simulation wall
+   in ms) — the sim time never enters the payload (it would break the
+   warm-replay byte-identity), only the live latency histograms *)
 let compute_fuzz ~(cfg : Gen.cfg) ~(seed : int) ~(block_size : int)
-    ~(name : string) (f0 : Ssa.func) : string =
+    ~(name : string) (f0 : Ssa.func) : string * float =
   let n = cfg.Gen.array_size in
   let mk = payload ~name ~kind:"fuzz" ~block_size ~n in
   let report = Checker.check_func f0 in
   match check_ids_of report with
   | _ :: _ as ids ->
       (* checker-flagged kernels are never executed (the oracle's rule) *)
-      mk ~status:"check-failed" ~check_ids:ids ~correct:false ()
+      (mk ~status:"check-failed" ~check_ids:ids ~correct:false (), 0.)
   | [] ->
+      let ts0 = Unix.gettimeofday () in
       let base_m, base_out = exec_fuzz ~n ~block_size ~input_seed:seed f0 in
+      let sim0 = (Unix.gettimeofday () -. ts0) *. 1000. in
       let f1 = Gen.generate ~cfg ~seed () in
       let t0 = Unix.gettimeofday () in
       let stats = Pass.run f1 in
       let pass_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let ts1 = Unix.gettimeofday () in
       let opt_m, opt_out = exec_fuzz ~n ~block_size ~input_seed:seed f1 in
+      let sim_ms = sim0 +. ((Unix.gettimeofday () -. ts1) *. 1000.) in
       let correct =
         Kernel.rv_array_equal base_out opt_out
         && base_m.Metrics.cycles > 0
         && opt_m.Metrics.cycles > 0
       in
-      mk ~status:"ok" ~rewrites:stats.Pass.melds_applied
-        ~base:(base_m.Metrics.cycles, base_m.Metrics.divergent_branches)
-        ~opt:(opt_m.Metrics.cycles, opt_m.Metrics.divergent_branches)
-        ~correct ~pass_ms ()
+      ( mk ~status:"ok" ~rewrites:stats.Pass.melds_applied
+          ~base:(base_m.Metrics.cycles, base_m.Metrics.divergent_branches)
+          ~opt:(opt_m.Metrics.cycles, opt_m.Metrics.divergent_branches)
+          ~correct ~pass_ms (),
+        sim_ms )
 
 let compute_registry ~(kernel : Kernel.t) ~(block_size : int) ~(n : int)
-    ~(seed : int) (inst : Kernel.instance) : string =
+    ~(seed : int) (inst : Kernel.instance) : string * float =
   let mk = payload ~name:kernel.Kernel.tag ~kind:"registry" ~block_size ~n in
   let report = Checker.check_func inst.Kernel.func in
   match check_ids_of report with
-  | _ :: _ as ids -> mk ~status:"check-failed" ~check_ids:ids ~correct:false ()
+  | _ :: _ as ids ->
+      (mk ~status:"check-failed" ~check_ids:ids ~correct:false (), 0.)
   | [] ->
+      let t_all0 = Unix.gettimeofday () in
       let r = E.run ~transform:E.darm_default ~seed ~n kernel ~block_size in
-      mk ~status:"ok" ~rewrites:r.E.rewrites
-        ~base:(r.E.base.Metrics.cycles, r.E.base.Metrics.divergent_branches)
-        ~opt:(r.E.opt.Metrics.cycles, r.E.opt.Metrics.divergent_branches)
-        ~correct:r.E.correct ~pass_ms:r.E.t_ms ()
+      let t_all = (Unix.gettimeofday () -. t_all0) *. 1000. in
+      (* the experiment times its own transform (t_ms); the remainder
+         of its wall is dominated by the two simulations *)
+      let sim_ms = Float.max 0. (t_all -. r.E.t_ms) in
+      ( mk ~status:"ok" ~rewrites:r.E.rewrites
+          ~base:(r.E.base.Metrics.cycles, r.E.base.Metrics.divergent_branches)
+          ~opt:(r.E.opt.Metrics.cycles, r.E.opt.Metrics.divergent_branches)
+          ~correct:r.E.correct ~pass_ms:r.E.t_ms (),
+        sim_ms )
 
 (* ------------------------------------------------------------------ *)
 (* Per-spec processing                                                 *)
@@ -312,11 +351,18 @@ type outcome = {
   oc_hit : bool;
   oc_status : string;
   oc_correct : bool;
+  oc_pass_ms : float;
+  oc_sim_ms : float;
+  oc_lookup_ms : float;
+  oc_spec_ms : float;
+  oc_key : string option;
+  oc_worker : int;
+  oc_seq : int;
 }
 
-let line_flags (line : string) : string * bool =
+let line_flags (line : string) : string * bool * float =
   match J.parse line with
-  | Error _ -> ("error", false)
+  | Error _ -> ("error", false, 0.)
   | Ok j ->
       let status =
         match J.member "status" j with Some (J.Str s) -> s | _ -> "ok"
@@ -324,15 +370,17 @@ let line_flags (line : string) : string * bool =
       let correct =
         match J.member "correct" j with Some (J.Bool b) -> b | _ -> true
       in
-      (status, correct)
-
-let outcome_of_line ~hit line =
-  let status, correct = line_flags line in
-  { oc_line = line; oc_hit = hit; oc_status = status; oc_correct = correct }
+      let pass_ms =
+        match J.member "pass_ms" j with
+        | Some (J.Float f) -> f
+        | Some (J.Int i) -> float_of_int i
+        | _ -> 0.
+      in
+      (status, correct, pass_ms)
 
 (* (printed IR, workload signature, compute thunk) — everything the
    content-addressed key needs, plus the way to fill a miss *)
-let prepare (spec : spec) : string * string * (unit -> string) =
+let prepare (spec : spec) : string * string * (unit -> string * float) =
   match spec with
   | Fuzz f ->
       let cfg =
@@ -341,11 +389,23 @@ let prepare (spec : spec) : string * string * (unit -> string) =
         | Error e -> failwith e
       in
       let f0 = Gen.generate ~cfg ~seed:f.fz_seed () in
+      (match f.fz_inject with
+      | None -> ()
+      | Some tag -> (
+          match Mutate.of_tag tag with
+          | None -> failwith (Printf.sprintf "unknown inject tag %s" tag)
+          | Some bug -> (
+              match Mutate.inject bug f0 with
+              | Ok () -> ()
+              | Error e -> failwith (Printf.sprintf "inject %s: %s" tag e))));
       let ir = Printer.func_to_string f0 in
       let workload =
-        Printf.sprintf "kind=fuzz|bs=%d|n=%d|input_seed=%d|warp=%d"
+        Printf.sprintf "kind=fuzz|bs=%d|n=%d|input_seed=%d|warp=%d%s"
           f.fz_block_size cfg.Gen.array_size f.fz_seed
           Simulator.default_config.Simulator.warp_size
+          (match f.fz_inject with
+          | None -> ""
+          | Some tag -> "|inject=" ^ tag)
       in
       ( ir,
         workload,
@@ -378,35 +438,61 @@ let prepare (spec : spec) : string * string * (unit -> string) =
               compute_registry ~kernel ~block_size ~n ~seed:r.rs_seed inst ))
 
 let process ?(cache : Cache.t option) (spec : spec) : outcome =
+  let t_spec0 = Unix.gettimeofday () in
+  let finish ~hit ~lookup_ms ~sim_ms ~key line =
+    let status, correct, pass_ms = line_flags line in
+    {
+      oc_line = line;
+      oc_hit = hit;
+      oc_status = status;
+      oc_correct = correct;
+      oc_pass_ms = pass_ms;
+      oc_sim_ms = sim_ms;
+      oc_lookup_ms = lookup_ms;
+      oc_spec_ms = (Unix.gettimeofday () -. t_spec0) *. 1000.;
+      oc_key = key;
+      oc_worker = 0;
+      oc_seq = 0;
+    }
+  in
   let error_line detail =
     payload ~name:(spec_name spec) ~kind:(spec_kind spec) ~block_size:0 ~n:0
       ~status:"error" ~correct:false ~detail ()
   in
   match prepare spec with
-  | exception e -> outcome_of_line ~hit:false (error_line (Printexc.to_string e))
+  | exception e ->
+      finish ~hit:false ~lookup_ms:0. ~sim_ms:0. ~key:None
+        (error_line (Printexc.to_string e))
   | ir, workload, compute -> (
       let key =
         Option.map (fun c -> Cache.key c [ ir; pass_sig; workload ]) cache
       in
+      let t_lookup0 = Unix.gettimeofday () in
       let hit =
         match (cache, key) with
         | Some c, Some k -> Cache.find c ~key:k
         | _ -> None
       in
+      let lookup_ms =
+        match cache with
+        | None -> 0.
+        | Some _ -> (Unix.gettimeofday () -. t_lookup0) *. 1000.
+      in
       match hit with
-      | Some bytes -> outcome_of_line ~hit:true bytes
+      | Some bytes -> finish ~hit:true ~lookup_ms ~sim_ms:0. ~key bytes
       | None -> (
           match compute () with
           | exception e ->
-              outcome_of_line ~hit:false (error_line (Printexc.to_string e))
-          | line ->
+              finish ~hit:false ~lookup_ms ~sim_ms:0. ~key
+                (error_line (Printexc.to_string e))
+          | line, sim_ms ->
               (* the cache is best-effort: an unwritable directory must
                  not fail a run whose results are already in hand *)
               (match (cache, key) with
               | Some c, Some k -> (
                   try Cache.store c ~key:k line with _ -> ())
               | _ -> ());
-              outcome_of_line ~hit:false line))
+              finish ~hit:false ~lookup_ms ~sim_ms ~key line))
 
 (* ------------------------------------------------------------------ *)
 (* The sharded driver                                                  *)
@@ -439,6 +525,8 @@ type summary = {
   bt_errors : int;
   bt_wall_s : float;
   bt_budget_exhausted : bool;
+  bt_pass_ms_p99 : float option;
+  bt_stalled : int;
 }
 
 let hit_rate (s : summary) : float =
@@ -455,23 +543,288 @@ let to_batch_stats (s : summary) : History.batch =
     b_misses = s.bt_misses;
     b_incorrect = s.bt_incorrect;
     b_wall_s = s.bt_wall_s;
+    b_pass_ms_p99 = s.bt_pass_ms_p99;
   }
 
-let run ?jobs ?budget_s ?cache ~(out : string) (specs : spec list) : summary =
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing                                                  *)
+
+module Ev = Darm_obs.Events
+module Snapshot = Darm_obs.Snapshot
+module Health = Darm_obs.Health
+
+(* finer-grained than MR.default_buckets: cache lookups are tens of
+   microseconds, pass runs single-digit milliseconds *)
+let latency_buckets =
+  [ 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.;
+    250.; 500.; 1000.; 2500.; 5000.; 10000. ]
+
+(* exact nearest-rank percentile over raw samples (the summary's p99;
+   the registry histograms answer the same question approximately) *)
+let exact_percentile (samples : float list) (q : float) : float option =
+  match samples with
+  | [] -> None
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+      Some a.(max 0 (min (n - 1) rank))
+
+(* live run state shared between pool workers (under [lv_mutex]), the
+   coordinator and the monitor domain *)
+type live = {
+  lv_reg : MR.t;
+  lv_mutex : Mutex.t;
+  lv_done : int Atomic.t;
+  lv_total : int;
+  lv_jobs : int;
+  lv_t0 : float;
+  lv_health : Health.t;
+  lv_cache : Cache.t option;
+  mutable lv_cache_base : Cache.stats option;  (* stats at run start *)
+  mutable lv_cache_synced : Cache.stats option;  (* last delta-synced *)
+  lv_hb_synced : int array;  (* heartbeats already exported per worker *)
+}
+
+let with_reg (lv : live) (f : MR.t -> 'a) : 'a =
+  Mutex.lock lv.lv_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lv.lv_mutex) (fun () -> f lv.lv_reg)
+
+let make_live ?registry ~jobs ~total ~t0 ~stall_deadline_s cache : live =
+  let reg = match registry with Some r -> r | None -> MR.create () in
+  let lv =
+    {
+      lv_reg = reg;
+      lv_mutex = Mutex.create ();
+      lv_done = Atomic.make 0;
+      lv_total = total;
+      lv_jobs = jobs;
+      lv_t0 = t0;
+      lv_health = Health.create ~workers:jobs ~deadline_s:stall_deadline_s;
+      lv_cache = cache;
+      lv_cache_base = Option.map Cache.stats cache;
+      lv_cache_synced = Option.map Cache.stats cache;
+      lv_hb_synced = Array.make jobs 0;
+    }
+  in
+  (* pre-register the counter/gauge families so the very first snapshot
+     already shows them (at zero) to external observers *)
+  with_reg lv (fun reg ->
+      let count name help = MR.inc reg ~by:0. name; MR.help reg name help in
+      count "darm_batch_kernels_total" "Manifest entries processed";
+      count "darm_batch_cache_hits_total" "Result-cache hits";
+      count "darm_batch_cache_misses_total" "Result-cache misses (computed)";
+      count "darm_batch_incorrect_total"
+        "Kernels whose melded output mismatched the baseline";
+      count "darm_batch_check_failed_total"
+        "Checker-rejected kernels (never simulated)";
+      count "darm_batch_errors_total" "Crashed or invalid manifest entries";
+      MR.set reg "darm_batch_total" (float_of_int total);
+      MR.help reg "darm_batch_total" "Manifest entries in the run";
+      MR.set reg "darm_batch_done" 0.;
+      MR.help reg "darm_batch_done" "Entries completed so far";
+      MR.set reg "darm_run_health" 1.;
+      MR.help reg "darm_run_health"
+        "1 - stalled_workers/workers (1 = all workers making progress)");
+  lv
+
+(* per-spec accounting, called by pool workers *)
+let observe_outcome (lv : live) (o : outcome) : unit =
+  Atomic.incr lv.lv_done;
+  Health.beat lv.lv_health ~worker:o.oc_worker ~now:(Unix.gettimeofday ());
+  with_reg lv (fun reg ->
+      MR.inc reg "darm_batch_kernels_total";
+      if o.oc_hit then MR.inc reg "darm_batch_cache_hits_total"
+      else MR.inc reg "darm_batch_cache_misses_total";
+      (match o.oc_status with
+      | "ok" -> if not o.oc_correct then MR.inc reg "darm_batch_incorrect_total"
+      | "check-failed" -> MR.inc reg "darm_batch_check_failed_total"
+      | _ -> MR.inc reg "darm_batch_errors_total");
+      if lv.lv_cache <> None then begin
+        MR.observe reg ~buckets:latency_buckets "darm_batch_cache_lookup_ms"
+          o.oc_lookup_ms;
+        MR.help reg "darm_batch_cache_lookup_ms"
+          "Result-cache lookup wall per spec (ms)"
+      end;
+      if (not o.oc_hit) && o.oc_status = "ok" then begin
+        MR.observe reg ~buckets:latency_buckets "darm_batch_pass_ms"
+          o.oc_pass_ms;
+        MR.help reg "darm_batch_pass_ms"
+          "Meld-pass wall per computed spec (ms)";
+        MR.observe reg ~buckets:latency_buckets "darm_batch_sim_ms" o.oc_sim_ms;
+        MR.help reg "darm_batch_sim_ms"
+          "Simulation wall per computed spec (ms)"
+      end;
+      MR.observe reg ~buckets:latency_buckets "darm_batch_spec_ms" o.oc_spec_ms;
+      MR.help reg "darm_batch_spec_ms" "End-to-end wall per spec (ms)")
+
+(* refresh the derived gauges, worker states/heartbeats and cache
+   deltas; called on the monitor cadence and once at run end *)
+let update_gauges (lv : live) ~(now : float) : unit =
+  with_reg lv (fun reg ->
+      let d = Atomic.get lv.lv_done in
+      let wall = now -. lv.lv_t0 in
+      MR.set reg "darm_batch_done" (float_of_int d);
+      MR.set reg "darm_batch_wall_seconds" wall;
+      MR.help reg "darm_batch_wall_seconds" "Wall-clock of the batch run";
+      MR.set reg "darm_batch_kernels_per_sec"
+        (if wall > 0. then float_of_int d /. wall else 0.);
+      MR.help reg "darm_batch_kernels_per_sec"
+        "Batch throughput over the whole run";
+      let hits =
+        Option.value ~default:0. (MR.find reg "darm_batch_cache_hits_total")
+      in
+      MR.set reg "darm_batch_cache_hit_rate"
+        (if d > 0 then hits /. float_of_int d else 0.);
+      MR.help reg "darm_batch_cache_hit_rate"
+        "Hits over processed entries, 0..1";
+      MR.set reg "darm_run_health" (Health.health lv.lv_health);
+      for w = 0 to lv.lv_jobs - 1 do
+        let labels = [ ("worker", string_of_int w) ] in
+        MR.set reg ~labels "darm_worker_state"
+          (float_of_int
+             (Health.state_code (Health.state lv.lv_health ~worker:w)));
+        MR.help reg "darm_worker_state"
+          "Pool worker state: 0 idle, 1 busy, 2 stalled";
+        let beats = Health.beats lv.lv_health ~worker:w in
+        let delta = beats - lv.lv_hb_synced.(w) in
+        if delta > 0 then begin
+          MR.inc reg ~labels ~by:(float_of_int delta)
+            "darm_worker_heartbeats_total";
+          MR.help reg "darm_worker_heartbeats_total"
+            "Specs completed per pool worker";
+          lv.lv_hb_synced.(w) <- beats
+        end
+      done;
+      (match (lv.lv_cache, lv.lv_cache_synced) with
+      | Some c, Some last ->
+          let s = Cache.stats c in
+          let delta name v =
+            if v > 0 then MR.inc reg ~by:(float_of_int v) name
+          in
+          delta "darm_cache_hits_total" (s.Cache.st_hits - last.Cache.st_hits);
+          MR.help reg "darm_cache_hits_total"
+            "Result-cache lookups served from disk";
+          delta "darm_cache_misses_total"
+            (s.Cache.st_misses - last.Cache.st_misses);
+          MR.help reg "darm_cache_misses_total"
+            "Result-cache lookups that found no usable entry";
+          delta "darm_cache_evictions_total"
+            (s.Cache.st_evictions - last.Cache.st_evictions);
+          MR.help reg "darm_cache_evictions_total" "Entries removed by clear";
+          delta "darm_cache_poison_evictions_total"
+            (s.Cache.st_poison_evictions - last.Cache.st_poison_evictions);
+          MR.help reg "darm_cache_poison_evictions_total"
+            "Corrupt/wrong-schema entries evicted on lookup";
+          lv.lv_cache_synced <- Some s
+      | _ -> ());
+      (* the p99 gauge mirrors the histogram so flat scrapers get it *)
+      match MR.find_series (MR.snapshot reg) "darm_batch_pass_ms" with
+      | Some s -> (
+          match MR.percentile s 0.99 with
+          | Some p ->
+              MR.set reg "darm_batch_pass_ms_p99" p;
+              MR.help reg "darm_batch_pass_ms_p99"
+                "p99 of darm_batch_pass_ms, estimated from its buckets"
+          | None -> ())
+      | None -> ())
+
+let write_snapshot (lv : live) ~(base : string) : unit =
+  (* best-effort: a full disk must not kill the run it observes *)
+  try Snapshot.write ~base (with_reg lv MR.snapshot) with _ -> ()
+
+let run ?jobs ?budget_s ?cache ?registry ?events ?snapshot
+    ?(cadence_s = 1.0) ?(stall_deadline_s = 30.) ~(out : string)
+    (specs : spec list) : summary =
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> t0 +. b) budget_s in
   let total = List.length specs in
+  let jobs_n =
+    max 1 (match jobs with Some j -> j | None -> PS.default_jobs ())
+  in
   let hits = ref 0 and misses = ref 0 and run_n = ref 0 in
   let incorrect = ref 0 and check_failed = ref 0 and errors = ref 0 in
   let cut = ref false in
+  let pass_samples = ref [] in
+  let lv = make_live ?registry ~jobs:jobs_n ~total ~t0 ~stall_deadline_s cache in
+  let sink = Option.map (fun path -> Ev.open_sink ~path) events in
+  let emit ?rt ~ev fields =
+    match sink with Some sk -> Ev.emit sk ?rt ~ev fields | None -> ()
+  in
+  (* per-worker sequence counters: each slot is only ever touched by
+     its worker inside a chunk, and chunk boundaries join all domains *)
+  let seqs = Array.make jobs_n 0 in
+  let work ~worker spec =
+    let o = process ?cache spec in
+    let seq = seqs.(worker) in
+    seqs.(worker) <- seq + 1;
+    let o = { o with oc_worker = worker; oc_seq = seq } in
+    observe_outcome lv o;
+    o
+  in
+  (* the monitor: watchdog checks, gauge refresh and snapshot writes on
+     the cadence, off the critical path *)
+  let stop = Atomic.make false in
+  let monitor =
+    if events = None && snapshot = None then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             let rec loop () =
+               let now = Unix.gettimeofday () in
+               let newly = Health.check lv.lv_health ~now in
+               List.iter
+                 (fun w ->
+                   emit ~ev:"stalled"
+                     ~rt:[ ("wall_s", J.Float (now -. t0)) ]
+                     [ ("worker", J.Int w) ])
+                 newly;
+               update_gauges lv ~now;
+               (match snapshot with
+               | Some base -> write_snapshot lv ~base
+               | None -> ());
+               if not (Atomic.get stop) then begin
+                 let rec nap remaining =
+                   if remaining > 0. && not (Atomic.get stop) then begin
+                     Unix.sleepf (Float.min 0.05 remaining);
+                     nap (remaining -. 0.05)
+                   end
+                 in
+                 nap (Float.max 0.05 cadence_s);
+                 loop ()
+               end
+             in
+             loop ()))
+  in
+  let finish_telemetry () =
+    Atomic.set stop true;
+    Option.iter Domain.join monitor;
+    update_gauges lv ~now:(Unix.gettimeofday ());
+    (match snapshot with Some base -> write_snapshot lv ~base | None -> ());
+    Option.iter Ev.close sink
+  in
+  emit ~ev:"run_start"
+    ~rt:[ ("jobs", J.Int jobs_n) ]
+    [
+      ("total", J.Int total);
+      ("chunk_size", J.Int chunk_size);
+      ("cache", J.Bool (cache <> None));
+      ("payload_schema", J.Str payload_schema);
+    ];
+  for w = 0 to jobs_n - 1 do
+    emit ~ev:"worker_start" [ ("worker", J.Int w) ]
+  done;
   let oc =
     open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 out
   in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      finish_telemetry ())
     (fun () ->
-      List.iter
-        (fun chunk ->
+      List.iteri
+        (fun ci chunk ->
           let past_deadline =
             match deadline with
             | Some d -> Unix.gettimeofday () > d
@@ -479,22 +832,104 @@ let run ?jobs ?budget_s ?cache ~(out : string) (specs : spec list) : summary =
           in
           if past_deadline then cut := true
           else begin
-            let outs = PS.map ?jobs (process ?cache) chunk in
-            List.iter
-              (fun o ->
+            let first = !run_n in
+            emit ~ev:"chunk_start"
+              [
+                ("chunk", J.Int ci);
+                ("size", J.Int (List.length chunk));
+                ("first", J.Int first);
+              ];
+            for w = 0 to jobs_n - 1 do
+              Health.set_busy lv.lv_health ~worker:w
+                ~now:(Unix.gettimeofday ())
+            done;
+            let outs = PS.map_with ~jobs:jobs_n work chunk in
+            for w = 0 to jobs_n - 1 do
+              Health.set_idle lv.lv_health ~worker:w
+            done;
+            List.iteri
+              (fun i o ->
+                let gi = first + i in
                 output_string oc o.oc_line;
                 if o.oc_hit then incr hits else incr misses;
-                match o.oc_status with
-                | "ok" -> if not o.oc_correct then incr incorrect
+                (match o.oc_status with
+                | "ok" ->
+                    if not o.oc_correct then incr incorrect;
+                    if not o.oc_hit then
+                      pass_samples := o.oc_pass_ms :: !pass_samples
                 | "check-failed" -> incr check_failed
-                | _ -> incr errors)
+                | _ -> incr errors);
+                (* journal the spec lifecycle in manifest order: the
+                   coordinator replays each chunk's outcomes after the
+                   barrier, so core fields are deterministic and only
+                   the rt envelope knows which worker served what *)
+                emit ~ev:"spec_start"
+                  [
+                    ("spec", J.Int gi);
+                    ("name", J.Str (spec_name (List.nth chunk i)));
+                    ("kind", J.Str (spec_kind (List.nth chunk i)));
+                    ("chunk", J.Int ci);
+                  ];
+                (match (cache, o.oc_key) with
+                | Some _, Some k ->
+                    emit
+                      ~ev:(if o.oc_hit then "cache_hit" else "cache_miss")
+                      ~rt:[ ("lookup_ms", J.Float o.oc_lookup_ms) ]
+                      [ ("spec", J.Int gi); ("key", J.Str k) ]
+                | _ -> ());
+                emit ~ev:"spec_finish"
+                  ~rt:
+                    [
+                      ("worker", J.Int o.oc_worker);
+                      ("seq", J.Int o.oc_seq);
+                      ("ms", J.Float o.oc_spec_ms);
+                      ("pass_ms", J.Float o.oc_pass_ms);
+                      ("sim_ms", J.Float o.oc_sim_ms);
+                    ]
+                  [
+                    ("spec", J.Int gi);
+                    ("status", J.Str o.oc_status);
+                    ("hit", J.Bool o.oc_hit);
+                    ("correct", J.Bool o.oc_correct);
+                  ])
               outs;
             (* flush per chunk: a crash or budget cut leaves a valid
                JSONL prefix in manifest order *)
             flush oc;
-            run_n := !run_n + List.length chunk
+            run_n := !run_n + List.length chunk;
+            emit ~ev:"chunk_finish"
+              ~rt:[ ("wall_s", J.Float (Unix.gettimeofday () -. t0)) ]
+              [
+                ("chunk", J.Int ci);
+                ("done", J.Int !run_n);
+                ("hits", J.Int !hits);
+                ("misses", J.Int !misses);
+                ("errors", J.Int !errors);
+              ]
           end)
-        (chunks specs));
+        (chunks specs);
+      for w = 0 to jobs_n - 1 do
+        emit ~ev:"worker_finish"
+          [ ("worker", J.Int w) ]
+          ~rt:[ ("beats", J.Int (Health.beats lv.lv_health ~worker:w)) ]
+      done;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      emit ~ev:"run_finish"
+        ~rt:
+          [
+            ("wall_s", J.Float wall_s);
+            ("stalled", J.Int (Health.stalled_total lv.lv_health));
+          ]
+        [
+          ("total", J.Int total);
+          ("run", J.Int !run_n);
+          ("hits", J.Int !hits);
+          ("misses", J.Int !misses);
+          ("incorrect", J.Int !incorrect);
+          ("check_failed", J.Int !check_failed);
+          ("errors", J.Int !errors);
+          ("budget_exhausted", J.Bool !cut);
+        ]);
   {
     bt_total = total;
     bt_run = !run_n;
@@ -505,6 +940,8 @@ let run ?jobs ?budget_s ?cache ~(out : string) (specs : spec list) : summary =
     bt_errors = !errors;
     bt_wall_s = Unix.gettimeofday () -. t0;
     bt_budget_exhausted = !cut;
+    bt_pass_ms_p99 = exact_percentile !pass_samples 0.99;
+    bt_stalled = Health.stalled_total lv.lv_health;
   }
 
 let fill_metrics (reg : MR.t) (s : summary) : unit =
@@ -529,7 +966,13 @@ let fill_metrics (reg : MR.t) (s : summary) : unit =
   MR.help reg "darm_batch_kernels_per_sec"
     "Batch throughput over the whole run";
   MR.set reg "darm_batch_wall_seconds" s.bt_wall_s;
-  MR.help reg "darm_batch_wall_seconds" "Wall-clock of the batch run"
+  MR.help reg "darm_batch_wall_seconds" "Wall-clock of the batch run";
+  match s.bt_pass_ms_p99 with
+  | Some p ->
+      MR.set reg "darm_batch_pass_ms_p99" p;
+      MR.help reg "darm_batch_pass_ms_p99"
+        "p99 pass_ms over the run's computed specs (exact)"
+  | None -> ()
 
 let summary_to_string (s : summary) : string =
   Printf.sprintf

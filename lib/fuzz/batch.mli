@@ -48,6 +48,13 @@ type spec =
       fz_block_size : int;
       fz_smoke : bool;  (** {!Gen.smoke_cfg} vs {!Gen.default_cfg} *)
       fz_features : string;  (** {!Gen.features_of_string} spec *)
+      fz_inject : string option;
+          (** {!Mutate} bug tag (XBAR/XRACE/XRW) grafted onto the
+              generated kernel before anything runs — the checker then
+              rejects it ([check-failed]), which is the point: an
+              injected manifest is a known-bad workload for exercising
+              failure paths ([--fail-on-error], CI).  Serialized as the
+              optional [inject] field of [darm-manifest-v1]. *)
     }
 
 (** Stable display name: the kernel tag, or [fuzz_<seed>]. *)
@@ -66,7 +73,7 @@ val read_manifest : string -> (spec list, string) result
 
 (** Write a fuzz manifest of [count] consecutive seeds (atomic,
     binary).  Defaults: [seed_start 0], [block_size 64], [smoke true],
-    [features "all"]. *)
+    [features "all"], no [inject]. *)
 val write_fuzz_manifest :
   path:string ->
   count:int ->
@@ -74,6 +81,7 @@ val write_fuzz_manifest :
   ?block_size:int ->
   ?smoke:bool ->
   ?features:string ->
+  ?inject:string ->
   unit ->
   unit
 
@@ -93,6 +101,14 @@ type summary = {
   bt_errors : int;  (** crashed or invalid specs (never cached) *)
   bt_wall_s : float;
   bt_budget_exhausted : bool;
+  bt_pass_ms_p99 : float option;
+      (** exact (nearest-rank) p99 of [pass_ms] over the run's computed
+          [ok] specs; [None] when nothing was computed (fully warm run,
+          or only errors).  Flows into the history record's
+          [pass_ms_p99] so [bench-diff] gates tail latency. *)
+  bt_stalled : int;
+      (** watchdog stall incidents over the run (0 without telemetry —
+          the watchdog only runs when [events] or [snapshot] is on) *)
 }
 
 val hit_rate : summary -> float
@@ -106,17 +122,55 @@ val to_batch_stats : summary -> Darm_harness.History.batch
     (truncated at start, appended chunk-by-chunk, binary).  [cache]
     (optional) serves hits and absorbs misses; corrupt or truncated
     cache entries are recomputed, never fatal.  [budget_s] bounds
-    wall-clock as described above. *)
+    wall-clock as described above.
+
+    {b Telemetry} (all optional, all off by default — a plain call
+    behaves exactly as before):
+
+    - [registry]: a live {!Darm_obs.Metrics_registry} the run accounts
+      into as it goes — counters per processed spec, latency histograms
+      ([darm_batch_pass_ms] / [darm_batch_sim_ms] /
+      [darm_batch_cache_lookup_ms], computed specs only for the first
+      two), progress/health gauges and the [darm_cache_*] /
+      [darm_worker_*] families.  After [run] returns the registry holds
+      the final state, so callers export it directly instead of
+      {!fill_metrics} (calling both double-counts).
+    - [events]: path of a [darm-events-v1] stream
+      ({!Darm_obs.Events}) journaling the run/chunk/spec lifecycle.
+      Core events are emitted by the coordinator in manifest order, so
+      the canonicalized stream is byte-identical at any [jobs] given
+      the same starting cache state.
+    - [snapshot]: base path for periodic atomic
+      {!Darm_obs.Snapshot} files ([<base>.prom] / [<base>.json]),
+      rewritten every [cadence_s] (default 1.0s, clamped to >= 0.05s)
+      by a monitor domain — the first write happens immediately, so
+      even a fast run leaves at least one mid-run snapshot.
+    - [stall_deadline_s] (default 30.): a busy worker with no completed
+      spec for this long is flagged [stalled] (an event + a degraded
+      [darm_run_health] gauge), recovering on its next completion.
+      Size it generously above the slowest expected spec: one enormous
+      spec is indistinguishable from a hang until it completes.
+
+    The monitor domain only exists when [events] or [snapshot] is
+    given; [registry] alone adds no threads and no files. *)
 val run :
   ?jobs:int ->
   ?budget_s:float ->
   ?cache:Darm_harness.Result_cache.t ->
+  ?registry:Darm_obs.Metrics_registry.t ->
+  ?events:string ->
+  ?snapshot:string ->
+  ?cadence_s:float ->
+  ?stall_deadline_s:float ->
   out:string ->
   spec list ->
   summary
 
-(** Export a run's throughput counters into a metrics registry
-    ([darm_batch_*] families). *)
+(** Export a finished run's throughput counters into a metrics
+    registry ([darm_batch_*] families, plus the [darm_batch_pass_ms_p99]
+    gauge when the summary carries one).  For registries that lived
+    through the run via [run ?registry] this is redundant (and
+    double-counts) — it serves callers that only have the summary. *)
 val fill_metrics : Darm_obs.Metrics_registry.t -> summary -> unit
 
 (** One deterministic summary line (the CLI's last stdout line):

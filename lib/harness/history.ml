@@ -57,6 +57,7 @@ type batch = {
   b_misses : int;
   b_incorrect : int;
   b_wall_s : float;
+  b_pass_ms_p99 : float option;
 }
 
 let batch_hit_rate (b : batch) : float =
@@ -141,16 +142,21 @@ let entry_to_json (e : entry) : J.t =
 
 let batch_to_json (b : batch) : J.t =
   J.Obj
-    [
-      ("kernels", J.Int b.b_kernels);
-      ("cache_hits", J.Int b.b_hits);
-      ("cache_misses", J.Int b.b_misses);
-      ("incorrect", J.Int b.b_incorrect);
-      ("wall_s", J.Float b.b_wall_s);
-      (* derived, for greppability; the loader recomputes them *)
-      ("hit_rate", J.Float (batch_hit_rate b));
-      ("kernels_per_sec", J.Float (batch_kernels_per_sec b));
-    ]
+    ([
+       ("kernels", J.Int b.b_kernels);
+       ("cache_hits", J.Int b.b_hits);
+       ("cache_misses", J.Int b.b_misses);
+       ("incorrect", J.Int b.b_incorrect);
+       ("wall_s", J.Float b.b_wall_s);
+     ]
+    @ (match b.b_pass_ms_p99 with
+      | None -> []
+      | Some p -> [ ("pass_ms_p99", J.Float p) ])
+    @ [
+        (* derived, for greppability; the loader recomputes them *)
+        ("hit_rate", J.Float (batch_hit_rate b));
+        ("kernels_per_sec", J.Float (batch_kernels_per_sec b));
+      ])
 
 let record_to_json (r : record) : J.t =
   J.Obj
@@ -234,7 +240,12 @@ let batch_of_json (j : J.t) : (batch, string) result =
   let* b_misses = get_int j "cache_misses" in
   let* b_incorrect = get_int j "incorrect" in
   let* b_wall_s = get_float j "wall_s" in
-  Ok { b_kernels; b_hits; b_misses; b_incorrect; b_wall_s }
+  let* b_pass_ms_p99 =
+    match J.member "pass_ms_p99" j with
+    | None -> Ok None
+    | Some _ -> Result.map Option.some (get_float j "pass_ms_p99")
+  in
+  Ok { b_kernels; b_hits; b_misses; b_incorrect; b_wall_s; b_pass_ms_p99 }
 
 let record_of_json (j : J.t) : (record, string) result =
   let* s = get_str j "schema" in
@@ -439,7 +450,22 @@ let diff ?(thresholds = default_thresholds) ~(baseline : record)
         (batch_hit_rate cb *. 100.);
       if cb.b_incorrect > bb.b_incorrect then
         regress "batch incorrect kernels grew %d -> %d" bb.b_incorrect
-          cb.b_incorrect
+          cb.b_incorrect;
+      (* tail-latency gate: the p99 of the candidate's computed
+         pass_ms, under the same factor+slack envelope as per-point
+         pass_ms.  Only when both records carry it — a fully-warm run
+         computes nothing and legitimately has no p99. *)
+      (match (bb.b_pass_ms_p99, cb.b_pass_ms_p99) with
+      | Some pb, Some pc ->
+          let limit =
+            (thresholds.pass_ms_factor *. pb) +. thresholds.pass_ms_slack
+          in
+          if pc > limit then
+            regress
+              "batch p99 pass_ms %.1f -> %.1f exceeds %.1f (%.0fx + %.0fms \
+               slack)"
+              pb pc limit thresholds.pass_ms_factor thresholds.pass_ms_slack
+      | _ -> ())
   | _ -> ());
   (* two entry-less batch records legitimately share no experiment
      points: they compare on throughput above instead *)

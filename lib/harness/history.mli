@@ -63,6 +63,13 @@ type batch = {
   b_misses : int;  (** result-cache misses (computed kernels) *)
   b_incorrect : int;  (** kernels whose melded output mismatched *)
   b_wall_s : float;  (** wall-clock of the whole batch run *)
+  b_pass_ms_p99 : float option;
+      (** p99 of the computed (cache-missed) specs' [pass_ms]; [None]
+          when the run computed nothing (fully warm) — serialized as
+          [pass_ms_p99] only when present, so the field addition keeps
+          the schema version (doc/schemas.md).  {!diff} gates it under
+          the same factor+slack envelope as per-point [pass_ms], and
+          only when both records carry it. *)
 }
 
 (** [hits / (hits + misses)]; 0 when nothing ran. *)

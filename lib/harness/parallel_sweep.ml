@@ -20,7 +20,7 @@ let default_jobs () =
                "DARM_JOBS must be a positive integer, got %S" s))
   | None -> Domain.recommended_domain_count ()
 
-let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+let map_with ?jobs (f : worker:int -> 'a -> 'b) (xs : 'a list) : 'b list =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
   if n = 0 then []
@@ -29,18 +29,18 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
       let j = match jobs with Some j -> j | None -> default_jobs () in
       min (max 1 j) n
     in
-    if jobs = 1 then List.map f xs
+    if jobs = 1 then List.map (f ~worker:0) xs
     else begin
       let results : 'b option array = Array.make n None in
       let errors : (exn * Printexc.raw_backtrace) option array =
         Array.make n None
       in
       let next = Atomic.make 0 in
-      let worker () =
+      let worker w () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
-            (try results.(i) <- Some (f tasks.(i))
+            (try results.(i) <- Some (f ~worker:w tasks.(i))
              with e ->
                (* capture the backtrace at the catch site so the
                   deferred re-raise below still points at the failing
@@ -51,8 +51,11 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
         in
         loop ()
       in
-      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      (* the calling domain is worker 0, spawned domains 1..jobs-1 *)
+      let domains =
+        List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
       List.iter Domain.join domains;
       (* re-raise the error of the lowest failed index, so a failing
          sweep reports the same task regardless of the domain count *)
@@ -66,6 +69,9 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
            (function Some v -> v | None -> assert false)
            results)
     end
+
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  map_with ?jobs (fun ~worker:_ x -> f x) xs
 
 let run_all ?jobs (thunks : (unit -> 'a) list) : 'a list =
   map ?jobs (fun t -> t ()) thunks

@@ -18,5 +18,15 @@ val default_jobs : unit -> int
     participates, so [jobs = 1] runs inline). *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_with ?jobs f xs] is {!map} with the worker index exposed: [f]
+    is called as [f ~worker x] where [worker] identifies the pool
+    domain serving [x] — the calling domain is worker [0], spawned
+    domains [1 .. jobs-1].  The index is {e runtime} information (which
+    worker claims which task depends on scheduling): callers feed it to
+    telemetry (per-worker heartbeats, the [rt] envelope of event
+    streams), never into the results themselves, which stay in input
+    order at any job count. *)
+val map_with : ?jobs:int -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+
 (** [run_all ?jobs thunks] forces every thunk, in input order. *)
 val run_all : ?jobs:int -> (unit -> 'a) list -> 'a list

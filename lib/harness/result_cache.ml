@@ -3,14 +3,45 @@
 module Json = Darm_obs.Json
 module Fsio = Darm_obs.Fsio
 
-type t = { c_dir : string; c_schema : string }
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_poison_evictions : int;
+}
+
+type t = {
+  c_dir : string;
+  c_schema : string;
+  (* lifetime telemetry of this handle; atomics because batch pool
+     domains share one handle *)
+  c_hits : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_evictions : int Atomic.t;
+  c_poison : int Atomic.t;
+}
 
 let default_schema = "darm-batchres-v1"
 
 let default_dir = ".darm-cache"
 
 let create ?(dir = default_dir) ?(schema = default_schema) () =
-  { c_dir = dir; c_schema = schema }
+  {
+    c_dir = dir;
+    c_schema = schema;
+    c_hits = Atomic.make 0;
+    c_misses = Atomic.make 0;
+    c_evictions = Atomic.make 0;
+    c_poison = Atomic.make 0;
+  }
+
+let stats t : stats =
+  {
+    st_hits = Atomic.get t.c_hits;
+    st_misses = Atomic.get t.c_misses;
+    st_evictions = Atomic.get t.c_evictions;
+    st_poison_evictions = Atomic.get t.c_poison;
+  }
 
 let dir t = t.c_dir
 let schema t = t.c_schema
@@ -49,14 +80,21 @@ let find t ~key : string option =
      between the length probe and the read (a concurrent truncation) —
      both are misses, never crashes. *)
   match Fsio.read_file path with
-  | exception (Sys_error _ | End_of_file) -> None
+  | exception (Sys_error _ | End_of_file) ->
+      Atomic.incr t.c_misses;
+      None
   | bytes ->
-      if payload_valid t bytes then Some bytes
+      if payload_valid t bytes then begin
+        Atomic.incr t.c_hits;
+        Some bytes
+      end
       else begin
         (* corrupt, truncated or wrong-schema bytes: evict the poison
            file so the next store rewrites it, instead of re-parsing
            the same garbage on every lookup forever *)
         (try Sys.remove path with Sys_error _ -> ());
+        Atomic.incr t.c_poison;
+        Atomic.incr t.c_misses;
         None
       end
 
@@ -92,4 +130,21 @@ let clear t : int =
               end)
             (Sys.readdir sdir))
       (Sys.readdir t.c_dir);
+  Atomic.set t.c_evictions (Atomic.get t.c_evictions + !removed);
   !removed
+
+let fill_metrics (reg : Darm_obs.Metrics_registry.t) t : unit =
+  let module MR = Darm_obs.Metrics_registry in
+  let s = stats t in
+  let count name help v =
+    MR.inc reg ~by:(float_of_int v) name;
+    MR.help reg name help
+  in
+  count "darm_cache_hits_total" "Result-cache lookups served from disk"
+    s.st_hits;
+  count "darm_cache_misses_total"
+    "Result-cache lookups that found no usable entry" s.st_misses;
+  count "darm_cache_evictions_total" "Entries removed by clear"
+    s.st_evictions;
+  count "darm_cache_poison_evictions_total"
+    "Corrupt/wrong-schema entries evicted on lookup" s.st_poison_evictions

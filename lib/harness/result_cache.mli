@@ -63,3 +63,29 @@ val store : t -> key:string -> string -> unit
 
 (** Delete every entry; returns how many were removed. *)
 val clear : t -> int
+
+(** {2 Telemetry}
+
+    Lifetime counters of one handle (atomics — pool domains share the
+    handle): a {!find} that returns bytes is a hit; any {!find} that
+    returns [None] is a miss; a miss that also removed a poison file
+    additionally counts as a poison eviction; {!clear} counts its
+    removals as evictions.  The counters observe this handle only, not
+    the directory — two processes sharing a cache dir each see their
+    own traffic. *)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;  (** removed by {!clear} *)
+  st_poison_evictions : int;  (** invalid entries evicted by {!find} *)
+}
+
+val stats : t -> stats
+
+(** Export the handle's counters into a registry as the
+    [darm_cache_{hits,misses,evictions,poison_evictions}_total]
+    counter families.  Increments by the current totals — call once
+    per registry (the batch driver instead delta-syncs its live
+    registry on the snapshot cadence). *)
+val fill_metrics : Darm_obs.Metrics_registry.t -> t -> unit

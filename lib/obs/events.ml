@@ -1,0 +1,163 @@
+(* Fleet-telemetry event stream (darm-events-v1).  See events.mli. *)
+
+let schema = "darm-events-v1"
+
+let core_events =
+  [
+    "run_start";
+    "chunk_start";
+    "spec_start";
+    "cache_hit";
+    "cache_miss";
+    "spec_finish";
+    "chunk_finish";
+    "run_finish";
+  ]
+
+let runtime_events = [ "worker_start"; "worker_finish"; "stalled" ]
+
+let event_names = core_events @ runtime_events
+
+let reserved = [ "schema"; "vt"; "ev"; "rt" ]
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+type sink = {
+  sk_oc : out_channel;
+  sk_mutex : Mutex.t;
+  mutable sk_vt : int;
+}
+
+let open_sink ~path : sink =
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+      path
+  in
+  { sk_oc = oc; sk_mutex = Mutex.create (); sk_vt = 0 }
+
+let emit (s : sink) ?(rt = []) ~(ev : string)
+    (fields : (string * Json.t) list) : unit =
+  if not (List.mem ev event_names) then
+    invalid_arg (Printf.sprintf "Events.emit: unknown event type %S" ev);
+  List.iter
+    (fun (k, _) ->
+      if List.mem k reserved then
+        invalid_arg (Printf.sprintf "Events.emit: reserved field %S" k))
+    fields;
+  Mutex.lock s.sk_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.sk_mutex)
+    (fun () ->
+      let vt = s.sk_vt in
+      s.sk_vt <- vt + 1;
+      let j =
+        Json.Obj
+          ([ ("schema", Json.Str schema); ("vt", Json.Int vt);
+             ("ev", Json.Str ev) ]
+          @ fields
+          @ (if rt = [] then [] else [ ("rt", Json.Obj rt) ]))
+      in
+      output_string s.sk_oc (Json.to_string j);
+      output_char s.sk_oc '\n';
+      (* flush per line: a live tail must always see a valid prefix *)
+      flush s.sk_oc)
+
+let count (s : sink) : int = s.sk_vt
+
+let close (s : sink) : unit = close_out_noerr s.sk_oc
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+type view = { vw_vt : int; vw_ev : string; vw_json : Json.t }
+
+let fold_lines (text : string) (f : int -> string -> ('a, string) result)
+    : ('a list, string) result =
+  let lines = String.split_on_char '\n' text in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest when String.trim line = "" -> go (i + 1) acc rest
+    | line :: rest -> (
+        match f i line with
+        | Error e -> Error e
+        | Ok v -> go (i + 1) (v :: acc) rest)
+  in
+  go 1 [] lines
+
+let view_of_line i line : (view, string) result =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "line %d: invalid JSON: %s" i e)
+  | Ok j -> (
+      match (Json.member "vt" j, Json.member "ev" j) with
+      | Some (Json.Int vt), Some (Json.Str ev) ->
+          Ok { vw_vt = vt; vw_ev = ev; vw_json = j }
+      | _ -> Error (Printf.sprintf "line %d: missing vt/ev fields" i))
+
+let read (text : string) : (view list, string) result =
+  fold_lines text view_of_line
+
+let validate_view i (v : view) : (unit, string) result =
+  if Json.member "schema" v.vw_json <> Some (Json.Str schema) then
+    Error (Printf.sprintf "line %d: schema is not %S" i schema)
+  else if not (List.mem v.vw_ev event_names) then
+    Error (Printf.sprintf "line %d: unknown event type %S" i v.vw_ev)
+  else
+    match Json.member "rt" v.vw_json with
+    | None | Some (Json.Obj _) -> Ok ()
+    | Some _ -> Error (Printf.sprintf "line %d: \"rt\" is not an object" i)
+
+let validate (text : string) : (int, string) result =
+  match
+    fold_lines text (fun i line ->
+        match view_of_line i line with
+        | Error e -> Error e
+        | Ok v -> (
+            match validate_view i v with
+            | Error e -> Error e
+            | Ok () -> Ok (i, v)))
+  with
+  | Error e -> Error e
+  | Ok views ->
+      (* vt strictly increasing over the whole stream *)
+      let rec mono last = function
+        | [] -> Ok (List.length views)
+        | (i, v) :: rest ->
+            if v.vw_vt <= last then
+              Error
+                (Printf.sprintf "line %d: vt %d is not above the previous %d"
+                   i v.vw_vt last)
+            else mono v.vw_vt rest
+      in
+      mono (-1) views
+
+let canonicalize (text : string) : (string, string) result =
+  match validate text with
+  | Error e -> Error e
+  | Ok _ -> (
+      match read text with
+      | Error e -> Error e
+      | Ok views ->
+          let b = Buffer.create 1024 in
+          let vt = ref 0 in
+          List.iter
+            (fun v ->
+              if not (List.mem v.vw_ev runtime_events) then begin
+                let fields =
+                  match v.vw_json with
+                  | Json.Obj fs ->
+                      List.filter_map
+                        (fun (k, x) ->
+                          match k with
+                          | "rt" -> None
+                          | "vt" -> Some (k, Json.Int !vt)
+                          | _ -> Some (k, x))
+                        fs
+                  | _ -> assert false
+                in
+                incr vt;
+                Json.to_buffer b (Json.Obj fields);
+                Buffer.add_char b '\n'
+              end)
+            views;
+          Ok (Buffer.contents b))

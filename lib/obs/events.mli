@@ -1,0 +1,91 @@
+(** Structured fleet-telemetry event stream ([darm-events-v1] JSONL).
+
+    The batch driver journals its run/chunk/spec lifecycle — and the
+    cache's hit/miss decisions — as one JSON object per line, so an
+    external observer ([darm_opt top], [darm_opt events], a log
+    shipper) can follow a long run live and replay it after the fact.
+
+    {b Determinism.}  The stream obeys the repo-wide contract
+    (doc/fleet.md): its {e canonical} form is byte-identical at any
+    [--jobs] count.  Three mechanisms make that work:
+
+    - {b Core vs runtime events.}  {!event_names} splits into core
+      events — emitted by the coordinator in manifest/chunk order, so
+      their sequence is deterministic — and {!runtime_events}
+      ([worker_start], [worker_finish], [stalled]) whose very {e count}
+      depends on the pool size and on wall-clock timing.
+    - {b The [rt] envelope.}  Every nondeterministic field of a core
+      event (wall-clock durations, the worker id and per-worker
+      sequence number that happened to serve a spec) is isolated in a
+      trailing ["rt"] object rather than mixed into the core fields.
+    - {b Virtual timestamps.}  Each event carries [vt], the sink's
+      monotonic emission counter — an order, not a clock — validated as
+      strictly increasing by {!validate}.
+
+    {!canonicalize} then drops runtime events, strips the ["rt"]
+    envelope and renumbers [vt] over what remains; the result is
+    byte-identical across job counts (given the same starting cache
+    state), and CI [cmp]s it exactly.
+
+    {b Concurrency.}  A sink serializes emission under a mutex and
+    flushes per line, so a live tail always sees a valid JSONL prefix;
+    the file itself is created truncated (binary) at {!open_sink}. *)
+
+(** ["darm-events-v1"]. *)
+val schema : string
+
+(** Every event type a valid stream may carry, core and runtime. *)
+val event_names : string list
+
+(** The nondeterministic subset ([worker_start], [worker_finish],
+    [stalled]): their count and position depend on the pool size and on
+    wall-clock timing, so {!canonicalize} drops them. *)
+val runtime_events : string list
+
+(** {2 Emission} *)
+
+type sink
+
+(** Open (truncate, binary) the stream file.  Raises [Sys_error] when
+    the path is not writable. *)
+val open_sink : path:string -> sink
+
+(** [emit sink ~ev fields] appends one event line: [schema], the next
+    [vt], [ev], then [fields] in order, then — when [rt] is non-empty —
+    the ["rt"] envelope last.  Raises [Invalid_argument] for an [ev]
+    outside {!event_names} or a field named [schema]/[vt]/[ev]/[rt]
+    (the reserved keys).  Thread-safe; flushes per line. *)
+val emit :
+  sink -> ?rt:(string * Json.t) list -> ev:string ->
+  (string * Json.t) list -> unit
+
+(** Events emitted so far. *)
+val count : sink -> int
+
+val close : sink -> unit
+
+(** {2 Reading} *)
+
+type view = {
+  vw_vt : int;
+  vw_ev : string;
+  vw_json : Json.t;  (** the whole line, for field access *)
+}
+
+(** Parse a stream's text into views, without validation beyond JSON
+    well-formedness and the presence of [vt]/[ev].  Blank lines are
+    skipped; an error carries the 1-based line number. *)
+val read : string -> (view list, string) result
+
+(** Validate a stream's text: every line is an object carrying
+    [schema = "darm-events-v1"], an integer [vt] strictly increasing
+    over the stream, an [ev] drawn from {!event_names}, and — when
+    present — an ["rt"] object.  Returns the event count. *)
+val validate : string -> (int, string) result
+
+(** The canonical form: runtime events dropped, ["rt"] envelopes
+    stripped, [vt] renumbered from 0 over the survivors; one compact
+    JSON line per event, newline-terminated.  Validates as it goes
+    ([Error] on a malformed stream).  This is the byte-comparable
+    artifact of the determinism contract. *)
+val canonicalize : string -> (string, string) result

@@ -1,0 +1,89 @@
+(* Heartbeat/watchdog state for batch runs.  See health.mli. *)
+
+type state = Idle | Busy | Stalled
+
+type worker = {
+  mutable w_state : state;
+  mutable w_beats : int;
+  mutable w_last : float;  (* time of the last observed progress *)
+}
+
+type t = {
+  h_workers : worker array;
+  h_deadline_s : float;
+  h_mutex : Mutex.t;
+  mutable h_stalled_total : int;
+}
+
+let create ~workers ~deadline_s : t =
+  if workers < 1 then invalid_arg "Health.create: workers < 1";
+  if deadline_s <= 0. then invalid_arg "Health.create: deadline_s <= 0";
+  {
+    h_workers =
+      Array.init workers (fun _ ->
+          { w_state = Idle; w_beats = 0; w_last = 0. });
+    h_deadline_s = deadline_s;
+    h_mutex = Mutex.create ();
+    h_stalled_total = 0;
+  }
+
+let workers (t : t) : int = Array.length t.h_workers
+
+let locked (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.h_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.h_mutex) f
+
+let in_range (t : t) (w : int) : bool = w >= 0 && w < Array.length t.h_workers
+
+let beat (t : t) ~worker ~now : unit =
+  if in_range t worker then
+    locked t (fun () ->
+        let w = t.h_workers.(worker) in
+        w.w_beats <- w.w_beats + 1;
+        w.w_last <- now;
+        if w.w_state = Stalled then w.w_state <- Busy)
+
+let set_busy (t : t) ~worker ~now : unit =
+  if in_range t worker then
+    locked t (fun () ->
+        let w = t.h_workers.(worker) in
+        w.w_state <- Busy;
+        w.w_last <- now)
+
+let set_idle (t : t) ~worker : unit =
+  if in_range t worker then
+    locked t (fun () -> t.h_workers.(worker).w_state <- Idle)
+
+let state (t : t) ~worker : state =
+  if in_range t worker then locked t (fun () -> t.h_workers.(worker).w_state)
+  else Idle
+
+let beats (t : t) ~worker : int =
+  if in_range t worker then locked t (fun () -> t.h_workers.(worker).w_beats)
+  else 0
+
+let check (t : t) ~now : int list =
+  locked t (fun () ->
+      let newly = ref [] in
+      Array.iteri
+        (fun i w ->
+          if w.w_state = Busy && now -. w.w_last > t.h_deadline_s then begin
+            w.w_state <- Stalled;
+            t.h_stalled_total <- t.h_stalled_total + 1;
+            newly := i :: !newly
+          end)
+        t.h_workers;
+      List.rev !newly)
+
+let stalled_total (t : t) : int = locked t (fun () -> t.h_stalled_total)
+
+let health (t : t) : float =
+  locked t (fun () ->
+      let stalled =
+        Array.fold_left
+          (fun acc w -> if w.w_state = Stalled then acc + 1 else acc)
+          0 t.h_workers
+      in
+      1. -. (float_of_int stalled /. float_of_int (Array.length t.h_workers)))
+
+let state_code = function Idle -> 0 | Busy -> 1 | Stalled -> 2

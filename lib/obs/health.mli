@@ -1,0 +1,68 @@
+(** Per-worker heartbeat tracking and stall detection for batch runs.
+
+    Each pool worker "beats" once per completed spec; a monitor thread
+    periodically {!check}s whether any busy worker has gone longer than
+    the deadline without progress, flags it stalled (once per stall —
+    {!check} returns only {e newly} stalled workers, so the caller can
+    journal a single [stalled] event per incident), and the run-level
+    {!health} gauge degrades by the stalled fraction.  A later beat
+    from a stalled worker recovers it to busy, and health with it.
+
+    {b No clock of its own.}  The module takes [now] from the caller on
+    every call, so it lives in the dependency-free [lib/obs] and tests
+    can drive the watchdog with a simulated clock — no sleeping.
+
+    {b One caveat} (documented in doc/observability.md): "progress" is
+    spec completion, so a worker legitimately crunching one enormous
+    spec for longer than the deadline is indistinguishable from a hung
+    one and will be flagged until it completes.  The deadline should
+    therefore be a generous multiple of the slowest expected spec.
+
+    Thread-safe: beats arrive from pool domains while the monitor
+    checks. *)
+
+type t
+
+type state = Idle | Busy | Stalled
+
+(** Workers are indexed [0 .. workers-1]; all start [Idle].
+    [deadline_s] must be positive. *)
+val create : workers:int -> deadline_s:float -> t
+
+val workers : t -> int
+
+(** Record progress on [worker] at time [now]: bumps its heartbeat
+    counter, re-arms its deadline and recovers it from [Stalled] to
+    [Busy].  Out-of-range workers are ignored (a pool may legitimately
+    be smaller than planned for a short chunk). *)
+val beat : t -> worker:int -> now:float -> unit
+
+(** Mark [worker] busy (deadline armed from [now]) — called when a
+    chunk is dispatched. *)
+val set_busy : t -> worker:int -> now:float -> unit
+
+(** Mark [worker] idle — called between chunks; idle workers are never
+    flagged stalled. *)
+val set_idle : t -> worker:int -> unit
+
+val state : t -> worker:int -> state
+
+(** Heartbeats observed on [worker] so far. *)
+val beats : t -> worker:int -> int
+
+(** Flag every busy worker whose last progress is more than the
+    deadline before [now]; returns the {e newly} stalled workers (in
+    index order).  Already-stalled workers are not re-reported. *)
+val check : t -> now:float -> int list
+
+(** Stall incidents flagged over the whole run (recoveries do not
+    decrement). *)
+val stalled_total : t -> int
+
+(** [1 - stalled/workers] over the current states: [1.] when nothing
+    is stalled, degrading toward [0.] as workers hang. *)
+val health : t -> float
+
+(** Gauge encoding for [darm_worker_state]: Idle 0, Busy 1,
+    Stalled 2. *)
+val state_code : state -> int

@@ -175,6 +175,48 @@ let find (t : t) ?(labels = []) (name : string) : float option =
         (fun c -> c.c_value)
         (Hashtbl.find_opt f.fam_cells (normalize_labels labels))
 
+let find_series (fams : family list) ?(labels = []) (name : string) :
+    series option =
+  let labels = normalize_labels labels in
+  match List.find_opt (fun f -> f.f_name = name) fams with
+  | None -> None
+  | Some f -> List.find_opt (fun s -> s.s_labels = labels) f.f_series
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles *)
+
+(* Prometheus-style histogram_quantile: find the first cumulative
+   bucket covering rank = q * count and interpolate linearly inside it
+   (lower edge 0 for the first bucket).  The +inf bucket has no upper
+   edge, so a quantile landing there reports the highest finite bound
+   — or the mean when the histogram has no finite bounds at all. *)
+let percentile (s : series) (q : float) : float option =
+  if s.s_count = 0 || s.s_buckets = [] then None
+  else
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int s.s_count in
+    let rec go ~lower ~prev = function
+      | [] -> None
+      | (le, cum) :: rest ->
+          if cum = 0 || float_of_int cum < rank then
+            go
+              ~lower:(if Float.is_finite le then le else lower)
+              ~prev:cum rest
+          else if not (Float.is_finite le) then
+            Some
+              (if prev > 0 || lower > 0. then lower
+               else s.s_value /. float_of_int s.s_count)
+          else
+            let in_bucket = cum - prev in
+            if in_bucket <= 0 then Some le
+            else
+              let frac =
+                (rank -. float_of_int prev) /. float_of_int in_bucket
+              in
+              Some (lower +. ((le -. lower) *. Float.max 0. (Float.min 1. frac)))
+    in
+    go ~lower:0. ~prev:0 s.s_buckets
+
 (* ------------------------------------------------------------------ *)
 (* Exposition *)
 
@@ -267,6 +309,135 @@ let prom_sample (b : Buffer.t) (name : string) (ls : labels) (v : string) :
 
 let le_repr (le : float) : string =
   if Float.is_finite le then Json.float_repr le else "+Inf"
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (the inverse of [to_json], for snapshot consumers) *)
+
+let ( let* ) = Result.bind
+
+let kind_of_string = function
+  | "counter" -> Ok Counter
+  | "gauge" -> Ok Gauge
+  | "histogram" -> Ok Histogram
+  | other -> Error (Printf.sprintf "unknown metric kind %S" other)
+
+let num_of_json = function
+  | Json.Int i -> Ok (float_of_int i)
+  | Json.Float f -> Ok f
+  | _ -> Error "expected a number"
+
+let labels_of_json (j : Json.t) : (labels, string) result =
+  match j with
+  | Json.Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Str s -> Ok ((k, s) :: acc)
+          | _ -> Error (Printf.sprintf "label %S is not a string" k))
+        (Ok []) fields
+      |> Result.map List.rev
+  | _ -> Error "\"labels\" is not an object"
+
+let bucket_of_json (j : Json.t) : (float * int, string) result =
+  let* le =
+    match Json.member "le" j with
+    | Some (Json.Str "+Inf") -> Ok infinity
+    | Some n -> num_of_json n
+    | None -> Error "bucket missing \"le\""
+  in
+  let* count =
+    match Json.member "count" j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error "bucket missing int \"count\""
+  in
+  Ok (le, count)
+
+let series_of_json (kind : kind) (j : Json.t) : (series, string) result =
+  let* s_labels =
+    match Json.member "labels" j with
+    | Some l -> labels_of_json l
+    | None -> Error "series missing \"labels\""
+  in
+  match kind with
+  | Counter | Gauge ->
+      let* s_value =
+        match Json.member "value" j with
+        | Some n -> num_of_json n
+        | None -> Error "series missing \"value\""
+      in
+      Ok { s_labels; s_value; s_count = 0; s_buckets = [] }
+  | Histogram ->
+      let* s_value =
+        match Json.member "sum" j with
+        | Some n -> num_of_json n
+        | None -> Error "histogram series missing \"sum\""
+      in
+      let* s_count =
+        match Json.member "count" j with
+        | Some (Json.Int i) -> Ok i
+        | _ -> Error "histogram series missing int \"count\""
+      in
+      let* s_buckets =
+        match Json.member "buckets" j with
+        | Some (Json.List bs) ->
+            List.fold_left
+              (fun acc b ->
+                let* acc = acc in
+                let* bucket = bucket_of_json b in
+                Ok (bucket :: acc))
+              (Ok []) bs
+            |> Result.map List.rev
+        | _ -> Error "histogram series missing list \"buckets\""
+      in
+      Ok { s_labels; s_value; s_count; s_buckets }
+
+let family_of_json (j : Json.t) : (family, string) result =
+  let* f_name =
+    match Json.member "name" j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "family missing string \"name\""
+  in
+  let* f_kind =
+    match Json.member "kind" j with
+    | Some (Json.Str s) -> kind_of_string s
+    | _ -> Error (Printf.sprintf "family %S missing string \"kind\"" f_name)
+  in
+  let f_help =
+    match Json.member "help" j with Some (Json.Str s) -> s | _ -> ""
+  in
+  let* f_series =
+    match Json.member "series" j with
+    | Some (Json.List ss) ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* series = series_of_json f_kind s in
+            Ok (series :: acc))
+          (Ok []) ss
+        |> Result.map List.rev
+    | _ -> Error (Printf.sprintf "family %S missing list \"series\"" f_name)
+  in
+  Ok { f_name; f_kind; f_help; f_series }
+
+let of_json (j : Json.t) : (family list, string) result =
+  match Json.member "schema" j with
+  | Some (Json.Str "darm-metrics-v1") -> (
+      match Json.member "families" j with
+      | Some (Json.List fs) ->
+          List.fold_left
+            (fun acc f ->
+              let* acc = acc in
+              let* fam = family_of_json f in
+              Ok (fam :: acc))
+            (Ok []) fs
+          |> Result.map List.rev
+      | _ -> Error "missing list field \"families\"")
+  | Some (Json.Str other) ->
+      Error
+        (Printf.sprintf "schema mismatch: expected \"darm-metrics-v1\", got %S"
+           other)
+  | _ -> Error "missing string field \"schema\""
 
 let to_prometheus (fams : family list) : string =
   let b = Buffer.create 1024 in

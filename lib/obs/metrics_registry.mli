@@ -81,11 +81,38 @@ val cardinality : t -> int
     never written).  For histograms the value is the sample sum. *)
 val find : t -> ?labels:labels -> string -> float option
 
+(** Look up one series in a snapshot by family name and (normalized)
+    labels — the read-side counterpart of {!find} for consumers holding
+    a parsed snapshot rather than a live registry. *)
+val find_series : family list -> ?labels:labels -> string -> series option
+
+(** {2 Percentiles}
+
+    [percentile s q] estimates the [q]-quantile ([0..1], clamped) of a
+    histogram series from its cumulative buckets, Prometheus
+    [histogram_quantile]-style: the target rank [q * count] is located
+    in the first cumulative bucket covering it and the value is
+    linearly interpolated between the bucket's edges (lower edge [0.]
+    for the first bucket).  A quantile landing in the implicit [+inf]
+    bucket reports the highest finite bound — or the series mean when
+    the histogram has no finite bounds.  [None] for an empty histogram
+    or a counter/gauge series (no buckets).  The estimate is exact when
+    the sample sits on a bucket boundary and the quantile rank is the
+    sample's own; otherwise it is bounded by the bucket's edges. *)
+val percentile : series -> float -> float option
+
 (** {2 Exposition} *)
 
 (** [{"schema":"darm-metrics-v1","families":[...]}] — see
     doc/schemas.md. *)
 val to_json : family list -> Json.t
+
+(** Parse a [darm-metrics-v1] document back into a snapshot — the
+    inverse of {!to_json}, used by snapshot consumers ([darm_opt top])
+    that observe a run through its snapshot files rather than a live
+    registry.  Tolerant of ints where floats are expected (and vice
+    versa); [Error] on a schema mismatch or a malformed family. *)
+val of_json : Json.t -> (family list, string) result
 
 (** Prometheus text exposition format (version 0.0.4): [# HELP] /
     [# TYPE] comments, one line per sample, histograms expanded into

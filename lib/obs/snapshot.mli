@@ -1,0 +1,31 @@
+(** Periodic on-disk metrics snapshots for live batch observability.
+
+    A long batch run is opaque between its start and its final summary
+    unless something inside it publishes state.  A snapshot is that
+    publication: the run's {!Metrics_registry} rendered to {e two}
+    sibling files — Prometheus text exposition ([<base>.prom], for a
+    node-exporter-style textfile scraper) and a [darm-metrics-v1] JSON
+    document ([<base>.json], for [darm_opt top] and scripts) — each
+    written atomically ({!Fsio.write_atomic}: temp file + rename, the
+    JSON additionally re-read and schema-validated before the rename),
+    so an external reader polling mid-run only ever observes a
+    complete, parseable file, never a torn one.
+
+    The two renderings carry identical information; the writer
+    overwrites both in place on every cadence tick. *)
+
+(** [<base>.prom] / [<base>.json]. *)
+val prom_path : string -> string
+
+val json_path : string -> string
+
+(** Atomically (re)write both renderings of [fams] at [base].  Raises
+    [Sys_error] when the directory is not writable and [Failure] if the
+    just-written JSON fails to re-parse (which would mean the emitter
+    itself is broken — the torn-file case is excluded by construction). *)
+val write : base:string -> Metrics_registry.family list -> unit
+
+(** Parse a snapshot's JSON rendering back ([Error] when missing,
+    unreadable or invalid — including the mid-write case, which cannot
+    occur for files written by {!write} but can for impostors). *)
+val read_json : path:string -> (Metrics_registry.family list, string) result

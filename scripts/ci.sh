@@ -182,6 +182,9 @@ cmp "$batch_dir/cold.jsonl" "$batch_dir/warm.jsonl"
 test "$(wc -l < "$batch_dir/cold.jsonl")" -eq 64
 grep -q '"schema":"darm-batchres-v1"' "$batch_dir/cold.jsonl"
 grep -q '"batch"' BENCH_history.jsonl
+# the cold run computed every spec, so its batch record carries the
+# p99 pass-latency tail the sentinel gates
+grep -q '"pass_ms_p99"' BENCH_history.jsonl
 dune exec bin/darm_opt.exe -- bench-diff
 sed 's/"wall_s":[0-9.]*/"wall_s":999999/g' BENCH_history.jsonl \
   > "$batch_dir/hist_slow.jsonl"
@@ -192,6 +195,46 @@ if dune exec bin/darm_opt.exe -- bench-diff \
   rm -rf "$batch_dir"; exit 1
 fi
 rm -rf "$batch_dir"
+
+# fleet telemetry (doc/observability.md): two cold runs with separate
+# fresh caches at different job counts must emit schema-valid event
+# streams whose canonical forms are byte-identical, leave mid-run
+# snapshots that validate in both renderings, and feed a top --once
+# health view; an injected-bug manifest is tolerated by default and
+# fatal under --fail-on-error
+tel_dir=$(mktemp -d /tmp/darm_telemetry.XXXXXX)
+dune exec bin/darm_opt.exe -- batch --gen-fuzz 48 -m "$tel_dir/m.jsonl"
+dune exec bin/darm_opt.exe -- batch -m "$tel_dir/m.jsonl" \
+  -o "$tel_dir/r1.jsonl" --cache-dir "$tel_dir/cache1" --jobs 1 \
+  --events "$tel_dir/ev1.jsonl" --snapshot "$tel_dir/snap1" \
+  --snapshot-cadence-s 0.2 --no-history
+dune exec bin/darm_opt.exe -- batch -m "$tel_dir/m.jsonl" \
+  -o "$tel_dir/r4.jsonl" --cache-dir "$tel_dir/cache4" --jobs 4 \
+  --events "$tel_dir/ev4.jsonl" --snapshot "$tel_dir/snap4" \
+  --snapshot-cadence-s 0.2 --no-history
+dune exec bin/darm_opt.exe -- events "$tel_dir/ev1.jsonl" --validate-only
+dune exec bin/darm_opt.exe -- events "$tel_dir/ev4.jsonl" --validate-only
+dune exec bin/darm_opt.exe -- events "$tel_dir/ev1.jsonl" --canonical \
+  > "$tel_dir/canon1.jsonl"
+dune exec bin/darm_opt.exe -- events "$tel_dir/ev4.jsonl" --canonical \
+  > "$tel_dir/canon4.jsonl"
+cmp "$tel_dir/canon1.jsonl" "$tel_dir/canon4.jsonl"
+grep -q '"schema":"darm-metrics-v1"' "$tel_dir/snap1.json"
+grep -q 'darm_batch_pass_ms_bucket' "$tel_dir/snap1.prom"
+dune exec bin/darm_opt.exe -- top --snapshot "$tel_dir/snap4" \
+  --events "$tel_dir/ev4.jsonl" --once > "$tel_dir/top.txt"
+grep -q 'kernels/s' "$tel_dir/top.txt"
+grep -q 'p99' "$tel_dir/top.txt"
+dune exec bin/darm_opt.exe -- batch --gen-fuzz 4 -m "$tel_dir/bad.jsonl" \
+  --inject XBAR
+dune exec bin/darm_opt.exe -- batch -m "$tel_dir/bad.jsonl" \
+  -o "$tel_dir/bad.out.jsonl" --no-cache --no-history
+if dune exec bin/darm_opt.exe -- batch -m "$tel_dir/bad.jsonl" \
+    -o "$tel_dir/bad.out.jsonl" --no-cache --no-history --fail-on-error; then
+  echo "ci: batch --fail-on-error missed an injected-bug manifest" >&2
+  rm -rf "$tel_dir"; exit 1
+fi
+rm -rf "$tel_dir"
 
 # observability: profile one kernel end to end and validate the trace
 trace=$(mktemp /tmp/darm_trace.XXXXXX.json)

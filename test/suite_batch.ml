@@ -204,7 +204,7 @@ let smoke_specs ~count =
   List.init count (fun i ->
       B.Fuzz
         { fz_seed = i; fz_block_size = 64; fz_smoke = true;
-          fz_features = "all" })
+          fz_features = "all"; fz_inject = None })
 
 let test_batch_two_pass_warm_hits () =
   let dir = temp_dir () in
@@ -312,6 +312,7 @@ let batch_stats ?(kernels = 100) ?(hits = 50) ?(incorrect = 0)
     b_misses = kernels - hits;
     b_incorrect = incorrect;
     b_wall_s = wall_s;
+    b_pass_ms_p99 = None;
   }
 
 let test_history_batch_round_trip () =

@@ -8,4 +8,5 @@ let () =
    @ Suite_metrics.suites @ Suite_obs.suites @ Suite_checks.suites
    @ Suite_attribution.suites @ Suite_gen.suites @ Suite_shrink.suites
    @ Suite_corpus.suites @ Suite_batch.suites @ Suite_mem_model.suites
-   @ Suite_incremental.suites)
+   @ Suite_incremental.suites @ Suite_telemetry.suites
+   @ Suite_events.suites)
