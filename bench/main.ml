@@ -221,15 +221,40 @@ let () =
     Printf.printf "bench: hier model re-run (%d points, geomean %.3fx)\n"
       (List.length hier_results)
       (H.Experiment.geomean (List.map H.Experiment.speedup hier_results));
+    (* ...and under independent thread scheduling: the headline
+       cross-model comparison.  The stack/its geomean pair quantifies
+       how much of DARM's benefit survives when the hardware does not
+       force IPDOM reconvergence; both trajectories ride in the same
+       record (entries distinguished by their reconvergence key) so
+       bench-diff gates them together *)
+    let its_rc =
+      Darm_sim.Simulator.Its Darm_sim.Simulator.default_its_params
+    in
+    let its_results =
+      H.Experiment.run_many
+        (List.filter_map
+           (fun (tag, bs) ->
+             Registry.find tag
+             |> Option.map (fun k () ->
+                    H.Experiment.run ~reconvergence:its_rc k ~block_size:bs))
+           hier_points)
+    in
+    gate (H.Experiment.all_correct its_results);
+    Printf.printf
+      "bench: its model re-run (%d points, geomean %.3fx; stack %.3fx)\n"
+      (List.length its_results)
+      (H.Experiment.geomean (List.map H.Experiment.speedup its_results))
+      (H.Experiment.geomean (List.map H.Experiment.speedup !bench_results));
     let wall_s = Unix.gettimeofday () -. t_start in
     let record =
       {
         (H.History.of_results ~wall_s ~mem_model:"flat+hier"
-           ~time:(Unix.time ()) !bench_results)
+           ~reconvergence:"stack+its" ~time:(Unix.time ()) !bench_results)
         with
         H.History.r_entries =
           H.History.entries_of_results ~mem_model:"flat" !bench_results
-          @ H.History.entries_of_results ~mem_model:"hier" hier_results;
+          @ H.History.entries_of_results ~mem_model:"hier" hier_results
+          @ H.History.entries_of_results ~reconvergence:"its" its_results;
       }
     in
     H.History.append record;

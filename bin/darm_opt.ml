@@ -71,6 +71,25 @@ let mem_model_arg =
         Darm_sim.Simulator.Flat
     & info [ "mem-model" ] ~docv:"MODEL" ~doc)
 
+let reconvergence_arg =
+  let doc =
+    "Reconvergence model: stack (IPDOM SIMT stack, the default) or its \
+     (independent thread scheduling: per-lane PCs, MinPC group issue, \
+     opportunistic reconvergence; see doc/simulation.md)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("stack", Darm_sim.Simulator.Stack);
+             ( "its",
+               Darm_sim.Simulator.Its Darm_sim.Simulator.default_its_params
+             );
+           ])
+        Darm_sim.Simulator.Stack
+    & info [ "reconvergence" ] ~docv:"MODEL" ~doc)
+
 let format_arg =
   let doc = "Trace output format: chrome (Perfetto / chrome://tracing) or \
              jsonl (one event object per line)." in
@@ -257,19 +276,20 @@ let meld_cmd =
       $ metrics_out_arg $ metrics_fmt_arg)
 
 let simulate_cmd =
-  let run tag block_size n seed pass trace_out format mem_model =
+  let run tag block_size n seed pass trace_out format mem_model reconvergence
+      =
     let kernel = find_kernel tag in
     let r, trace =
       match trace_out with
       | None ->
           (E.run ~transform:(transform_of_name pass) ~seed ?n ~mem_model
-             kernel ~block_size,
+             ~reconvergence kernel ~block_size,
            None)
       | Some path ->
           let transform = obs_transform_of_name pass in
           let tr, r =
-            Profile.run_point ~seed ?n ~mem_model ~transform kernel
-              ~block_size
+            Profile.run_point ~seed ?n ~mem_model ~reconvergence ~transform
+              kernel ~block_size
           in
           (r, Some (path, tr))
     in
@@ -296,7 +316,7 @@ let simulate_cmd =
           structured execution trace.")
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ pass_arg
-      $ trace_out_arg $ format_arg $ mem_model_arg)
+      $ trace_out_arg $ format_arg $ mem_model_arg $ reconvergence_arg)
 
 let print_sweep_table (kernel : Kernel.t) (results : E.result list) : unit =
   Printf.printf "%-8s %8s %12s %12s %9s %9s %8s\n" "bench" "bs" "base cyc"
@@ -312,7 +332,7 @@ let print_sweep_table (kernel : Kernel.t) (results : E.result list) : unit =
     kernel.Kernel.block_sizes results
 
 let sweep_cmd =
-  let run tag n seed pass jobs trace_out format mem_model =
+  let run tag n seed pass jobs trace_out format mem_model reconvergence =
     let kernel = find_kernel tag in
     let results =
       match trace_out with
@@ -321,12 +341,14 @@ let sweep_cmd =
           E.run_many ?jobs
             (List.map
                (fun block_size () ->
-                 E.run ~transform:t ~seed ?n ~mem_model kernel ~block_size)
+                 E.run ~transform:t ~seed ?n ~mem_model ~reconvergence kernel
+                   ~block_size)
                kernel.Kernel.block_sizes)
       | Some path ->
           let transform = obs_transform_of_name pass in
           let trace, results =
-            Profile.sweep ?jobs ~seed ?n ~mem_model ~transform kernel
+            Profile.sweep ?jobs ~seed ?n ~mem_model ~reconvergence ~transform
+              kernel
           in
           write_trace ~format ~path trace;
           results
@@ -342,7 +364,7 @@ let sweep_cmd =
           (byte-identical for any --jobs count).")
     Term.(
       const run $ kernel_arg $ n_arg $ seed_arg $ pass_arg $ jobs_arg
-      $ trace_out_arg $ format_arg $ mem_model_arg)
+      $ trace_out_arg $ format_arg $ mem_model_arg $ reconvergence_arg)
 
 let profile_cmd =
   let out_arg =
@@ -848,7 +870,7 @@ let report_cmd =
              json (darm-metrics-v1).")
   in
   let run tag block_size n seed jobs all fmt json metrics_out metrics_fmt
-      mem_model =
+      mem_model reconvergence =
     let fmt = if json then `Json else fmt in
     let points =
       if all then
@@ -861,7 +883,9 @@ let report_cmd =
           Registry.all
       else [ (find_kernel tag, block_size) ]
     in
-    let reports = Report.compute_many ?jobs ~seed ?n ~mem_model points in
+    let reports =
+      Report.compute_many ?jobs ~seed ?n ~mem_model ~reconvergence points
+    in
     (match fmt with
     | `Json -> (
         match reports with
@@ -913,7 +937,7 @@ let report_cmd =
     Term.(
       const run $ kernel_arg $ block_size_arg $ n_arg $ seed_arg $ jobs_arg
       $ all_flag $ fmt_arg $ json_flag $ metrics_out_arg $ metrics_fmt_arg
-      $ mem_model_arg)
+      $ mem_model_arg $ reconvergence_arg)
 
 let batch_cmd =
   let module B = Darm_fuzz.Batch in

@@ -140,8 +140,8 @@ let failure_to_string f =
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 
-let exec subject (f : Ssa.func) ~(warp_size : int) :
-    Metrics.t * Memory.rv array =
+let exec ?(reconvergence = Simulator.Stack) subject (f : Ssa.func)
+    ~(warp_size : int) : Metrics.t * Memory.rv array =
   let n = subject.sb_n in
   let seed = subject.sb_input_seed in
   let a_init = Kernel.random_int_array ~seed:(seed + 1) ~n ~bound:1000 in
@@ -154,6 +154,7 @@ let exec subject (f : Ssa.func) ~(warp_size : int) :
       Simulator.default_config with
       warp_size;
       max_cycles_per_warp = 10_000_000;
+      reconvergence;
     }
   in
   let launch =
@@ -170,6 +171,10 @@ let exec subject (f : Ssa.func) ~(warp_size : int) :
     |> Kernel.ints
   in
   (m, out)
+
+(* the independent-thread-scheduling model used by the cross-model
+   differential legs below *)
+let its_model = Simulator.Its Simulator.default_its_params
 
 let mismatch_detail ~warp_size base out =
   match Kernel.first_mismatch base out with
@@ -300,6 +305,30 @@ let run_subject ?(stages = default_stages) ?(warps = warp_sizes) subject :
                   (match metrics_invariants base_m with
                   | Some d -> fail "base" "metrics" d
                   | None -> ());
+                  (* cross-model differential: independent thread
+                     scheduling must reproduce the stack model's final
+                     memory image at every warp size *)
+                  List.iter
+                    (fun ws ->
+                      match
+                        exec ~reconvergence:its_model subject f0
+                          ~warp_size:ws
+                      with
+                      | exception e ->
+                          fail "base" "crash"
+                            (Printf.sprintf "its warp=%d: %s" ws
+                               (Printexc.to_string e))
+                      | m, out ->
+                          (if ws = 64 then
+                             match metrics_invariants m with
+                             | Some d -> fail "base" "metrics" ("its: " ^ d)
+                             | None -> ());
+                          (match
+                             mismatch_detail ~warp_size:ws base_out out
+                           with
+                          | Some d -> fail "base" "xmodel" d
+                          | None -> ()))
+                    warps;
                   List.iter
                     (fun st ->
                       let ft = subject.sb_fresh () in
@@ -343,6 +372,29 @@ let run_subject ?(stages = default_stages) ?(warps = warp_sizes) subject :
                                        with
                                       | Some d ->
                                           fail st.st_name "mismatch" d
+                                      | None -> ()))
+                                warps;
+                              (* the transformed kernel must also agree
+                                 with the stack-model baseline image
+                                 when run under independent thread
+                                 scheduling *)
+                              List.iter
+                                (fun ws ->
+                                  match
+                                    exec ~reconvergence:its_model subject ft
+                                      ~warp_size:ws
+                                  with
+                                  | exception e ->
+                                      fail st.st_name "crash"
+                                        (Printf.sprintf "its warp=%d: %s" ws
+                                           (Printexc.to_string e))
+                                  | _, out -> (
+                                      match
+                                        mismatch_detail ~warp_size:ws
+                                          base_out out
+                                      with
+                                      | Some d ->
+                                          fail st.st_name "xmodel" d
                                       | None -> ()))
                                 warps;
                               match (stats_opt, !opt_m) with

@@ -17,6 +17,12 @@
       [Vfail] translation validation): each transformed kernel must
       verify, mint no new checker errors, and reproduce the baseline
       memory image at every warp size;
+    - {b cross-model differential} — the untransformed kernel and every
+      transformed kernel are re-executed under independent thread
+      scheduling ({!Darm_sim.Simulator.Its}) at every warp size, and
+      the final memory image must match the stack-model baseline
+      (reconvergence strategy is a schedule knob, so race-free kernels
+      must be insensitive to it);
     - {b metrics invariants} — for melding stages, the per-branch
       divergence attribution must stay consistent: branch splits sum to
       the aggregate divergence counter in both runs, all counters are
@@ -84,7 +90,8 @@ type failure = {
   fl_stage : string;  (** ["base"] or a stage name *)
   fl_kind : string;
       (** [verifier], [checker:<id>], [checker-regression:<id>], [tv],
-          [schedule], [mismatch], [metrics], [crash] *)
+          [schedule], [mismatch], [xmodel] (stack-vs-its cross-model
+          memory divergence), [metrics], [crash] *)
   fl_detail : string;
 }
 

@@ -75,15 +75,48 @@ let default_hier_params : hier_params =
     charged latency depends on the dynamic access pattern. *)
 type mem_model = Flat | Hier of hier_params
 
+(** Parameters of independent thread scheduling. *)
+type its_params = {
+  its_reconv_wait : bool;
+      (** convergence-optimizer barrier: a lane reaching a divergence's
+          reconvergence point (the branch's IPDOM) waits for the sibling
+          lanes of that split before proceeding, restoring maximal
+          convergence like Volta's compiler-inserted reconvergence
+          optimizer.  Deadlock-free by construction: whenever no lane of
+          the warp is runnable, every waiting lane is released, so a
+          sibling parked at a [syncthreads] (or exited via [ret]) can
+          never wedge the warp.  [false] reconverges purely
+          opportunistically — lanes join only when their PCs happen to
+          coincide. *)
+}
+
+let default_its_params : its_params = { its_reconv_wait = true }
+
+(** Reconvergence model selector: [Stack] is the IPDOM SIMT
+    reconvergence stack — the original behaviour, bit-for-bit; [Its] is
+    Volta-style independent thread scheduling, where every lane carries
+    its own PC and active/blocked state and the warp scheduler issues
+    for the runnable group of lanes sharing the minimal PC each cycle
+    (MinPC), reconverging opportunistically when PCs coincide. *)
+type reconvergence = Stack | Its of its_params
+
 type config = {
   warp_size : int;
   latency : Darm_analysis.Latency.config;
-  max_cycles_per_warp : int;  (** runaway-loop guard *)
+  max_cycles_per_warp : int;
+      (** runaway-loop guard.  Under [Stack] the budget is shared by the
+          warp (lock-step issue); under [Its] each lane carries its own
+          budget of this many issues, so interleaving more lanes never
+          trips the guard earlier than lock-step execution would. *)
   mem_model : mem_model;
       (** memory subsystem model; [Flat] (the default) keeps per-opcode
           latencies, [Hier] makes coalescing/L1/LDS behaviour
           latency-bearing.  Per-site attribution ({!Metrics.site_stats})
           is collected under both. *)
+  reconvergence : reconvergence;
+      (** divergence handling model; [Stack] (the default) is the IPDOM
+          SIMT stack, [Its] independent thread scheduling.  Orthogonal
+          to [mem_model]: all four combinations are valid. *)
   trace : (string -> unit) option;
       (** legacy string-trace shim, kept for [darm_opt trace]: called
           once per executed basic block with
@@ -106,6 +139,7 @@ let default_config : config =
     latency = Darm_analysis.Latency.default;
     max_cycles_per_warp = 400_000_000;
     mem_model = Flat;
+    reconvergence = Stack;
     trace = None;
     obs = None;
     obs_pid = 1;
@@ -509,7 +543,10 @@ let account (ctx : launch_ctx) (d : dinstr) (fr : frame) : unit =
        branch at block [origin]; the split's other-arm lanes idle *)
     ctx.br_cycles.(fr.origin) <- ctx.br_cycles.(fr.origin) + d.d_lat;
     ctx.br_lost.(fr.origin) <-
-      ctx.br_lost.(fr.origin) + (fr.f_lost * d.d_lat)
+      ctx.br_lost.(fr.origin) + (fr.f_lost * d.d_lat);
+    (* the global counter moves in lock-step with the per-branch one,
+       so sum(br_lost_lane_cycles) = lost_lane_cycles exactly *)
+    m.lost_lane_cycles <- m.lost_lane_cycles + (fr.f_lost * d.d_lat)
   end;
   if d.d_alu then begin
     m.alu_issues <- m.alu_issues + 1;
@@ -713,7 +750,8 @@ let account_mem_hier (ctx : launch_ctx) (w : warp) (frame : frame)
   if frame.origin >= 0 then begin
     ctx.br_cycles.(frame.origin) <- ctx.br_cycles.(frame.origin) + charged;
     ctx.br_lost.(frame.origin) <-
-      ctx.br_lost.(frame.origin) + (frame.f_lost * charged)
+      ctx.br_lost.(frame.origin) + (frame.f_lost * charged);
+    m.lost_lane_cycles <- m.lost_lane_cycles + (frame.f_lost * charged)
   end;
   (match d.d_mem with
   | Mc_none -> ()
@@ -1059,6 +1097,317 @@ let run_warp (ctx : launch_ctx) (w : warp) : unit =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Independent thread scheduling (ITS).
+
+   Every lane carries its own PC, instruction index and run state; the
+   warp scheduler repeatedly picks the runnable group of lanes sharing
+   the lexicographically minimal (pc, ip) — MinPC — and issues one
+   instruction for that group.  Lanes reconverge opportunistically when
+   their PCs coincide; with [its_reconv_wait] a lane reaching a split's
+   reconvergence point additionally parks until its sibling lanes
+   arrive (the convergence-optimizer barrier), which restores maximal
+   convergence on structured code.  Liveness is unconditional: whenever
+   no lane of the warp is runnable, every parked lane is released, so
+   siblings stuck at a [syncthreads] or exited via [ret] can never
+   wedge the warp — [syncthreads] stays deadlock-free under divergence,
+   where the SIMT stack model must reject it.
+
+   Divergence attribution reuses the stack model's machinery: each
+   issue goes through a scratch [frame] whose [origin] is the issuing
+   group leader's innermost open split and whose [f_lost] counts the
+   warp's other non-retired lanes, so [account] / [account_mem_hier]
+   feed the same per-branch and global lost-lane counters and the
+   exact-sum identities hold under both models. *)
+
+(** One open split a lane is inside of: the branch block that split the
+    warp and the reconvergence point where the entry pops.  A lane's
+    list is innermost-first, mirroring the stack model's frame
+    nesting. *)
+type lane_entry = { le_origin : int; le_rpc : int }
+
+type lane_status =
+  | L_run
+  | L_wait  (** parked at a reconvergence point for sibling lanes *)
+  | L_barrier  (** parked at [syncthreads] *)
+  | L_done
+
+(** Per-lane scheduling state of one warp under ITS. *)
+type its_warp = {
+  iw_pc : int array;  (** per-lane dense block index *)
+  iw_ip : int array;  (** per-lane index into [db_code] *)
+  iw_stat : lane_status array;
+  iw_div : lane_entry list array;  (** open splits, innermost first *)
+  iw_wait : (int * int) array;
+      (** the (origin, rpc) a [L_wait] lane is parked on *)
+  iw_budget : int array;  (** per-lane runaway-loop guard *)
+}
+
+let make_its_warp (cfg : config) ~(live : int) : its_warp =
+  let ws = cfg.warp_size in
+  {
+    iw_pc = Array.make ws 0;
+    iw_ip = Array.make ws 0;
+    iw_stat = Array.init ws (fun l -> if l < live then L_run else L_done);
+    iw_div = Array.make ws [];
+    iw_wait = Array.make ws (-1, -1);
+    iw_budget = Array.make ws cfg.max_cycles_per_warp;
+  }
+
+(* lanes (other than [except], not retired) still inside split (o, r) *)
+let its_holders (iw : its_warp) (ws : int) (o : int) (r : int)
+    (except : int) : int =
+  let n = ref 0 in
+  for l = 0 to ws - 1 do
+    if
+      l <> except
+      && iw.iw_stat.(l) <> L_done
+      && List.exists
+           (fun e -> e.le_origin = o && e.le_rpc = r)
+           iw.iw_div.(l)
+    then incr n
+  done;
+  !n
+
+(** Run one warp under ITS until every lane is retired or parked at a
+    barrier. *)
+let run_warp_its (ctx : launch_ctx) (p : its_params) (w : warp)
+    (iw : its_warp) : unit =
+  let ws = ctx.cfg.warp_size in
+  let dbs = ctx.fctx.dblocks in
+  let m = ctx.metrics in
+  let gmask = Array.make ws false in
+  (* wake every lane parked on (o, r) — the split has fully drained (or
+     the warp would otherwise stall) *)
+  let wake o r =
+    for l = 0 to ws - 1 do
+      if iw.iw_stat.(l) = L_wait && iw.iw_wait.(l) = (o, r) then begin
+        iw.iw_stat.(l) <- L_run;
+        iw.iw_wait.(l) <- (-1, -1)
+      end
+    done
+  in
+  let reconverge_event o r =
+    m.reconvergences <- m.reconvergences + 1;
+    ctx.br_reconv.(o) <- ctx.br_reconv.(o) + 1;
+    if ctx.cfg.obs <> None then begin
+      let joined = Array.make ws false in
+      for l = 0 to ws - 1 do
+        joined.(l) <-
+          iw.iw_stat.(l) <> L_done && iw.iw_pc.(l) = r
+      done;
+      obs_warp ctx w "warp.reconverge"
+        [
+          ("block", Tr.Str dbs.(r).db_name);
+          ("branch_id", Tr.Str dbs.(o).db_name);
+          ("active", Tr.Int (popcount joined));
+          ("mask", Tr.Str (mask_hex joined));
+        ]
+    end
+  in
+  (* at a block entry, pop every open split whose reconvergence point
+     is this block; with [its_reconv_wait] park for straggling siblings *)
+  let process_pops lane =
+    let continue_ = ref true in
+    while !continue_ && iw.iw_stat.(lane) = L_run do
+      match iw.iw_div.(lane) with
+      | { le_origin = o; le_rpc = r } :: rest when r = iw.iw_pc.(lane) ->
+          iw.iw_div.(lane) <- rest;
+          if its_holders iw ws o r lane = 0 then begin
+            (* last lane out of the split: this is the reconvergence *)
+            reconverge_event o r;
+            wake o r
+          end
+          else if p.its_reconv_wait then begin
+            iw.iw_stat.(lane) <- L_wait;
+            iw.iw_wait.(lane) <- (o, r)
+          end
+      | _ -> continue_ := false
+    done
+  in
+  let arrive lane bi =
+    iw.iw_pc.(lane) <- bi;
+    iw.iw_ip.(lane) <- 0
+  in
+  let running = ref true in
+  while !running do
+    (* reconvergence pops happen at block entry, before any issue (also
+       covers lanes re-checked after a wake) *)
+    for l = 0 to ws - 1 do
+      if iw.iw_stat.(l) = L_run && iw.iw_ip.(l) = 0 then process_pops l
+    done;
+    let any st =
+      let found = ref false in
+      for l = 0 to ws - 1 do
+        if iw.iw_stat.(l) = st then found := true
+      done;
+      !found
+    in
+    if not (any L_run) then begin
+      if any L_wait then
+        (* liveness backstop: no runnable lane — release every parked
+           lane (its sibling lanes are at a barrier, retired, or parked
+           themselves; the reconvergence-point wait must yield) *)
+        for l = 0 to ws - 1 do
+          if iw.iw_stat.(l) = L_wait then begin
+            iw.iw_stat.(l) <- L_run;
+            iw.iw_wait.(l) <- (-1, -1)
+          end
+        done
+      else running := false
+    end
+    else begin
+      (* MinPC: the runnable group with the minimal (pc, ip) *)
+      let leader = ref (-1) in
+      for l = 0 to ws - 1 do
+        if iw.iw_stat.(l) = L_run then
+          if
+            !leader < 0
+            || iw.iw_pc.(l) < iw.iw_pc.(!leader)
+            || (iw.iw_pc.(l) = iw.iw_pc.(!leader)
+               && iw.iw_ip.(l) < iw.iw_ip.(!leader))
+          then leader := l
+      done;
+      let pc = iw.iw_pc.(!leader) and ip = iw.iw_ip.(!leader) in
+      let gsize = ref 0 and alive = ref 0 in
+      for l = 0 to ws - 1 do
+        let in_group =
+          iw.iw_stat.(l) = L_run && iw.iw_pc.(l) = pc && iw.iw_ip.(l) = ip
+        in
+        gmask.(l) <- in_group;
+        if in_group then incr gsize;
+        if iw.iw_stat.(l) = L_run || iw.iw_stat.(l) = L_wait then
+          incr alive
+      done;
+      let db = dbs.(pc) in
+      let code = db.db_code in
+      if ip >= Array.length code then
+        errf "block %s has no terminator" db.db_name;
+      (match ctx.cfg.trace with
+      | Some emit when ip = 0 ->
+          emit
+            (Printf.sprintf "block=%s warp=%d mask=%d" db.db_name
+               w.tid_base !gsize)
+      | _ -> ());
+      (* attribution: the group leader's innermost open split wins (the
+         stack model's innermost-frame rule); the split's cost in idle
+         lanes is every live lane the group leaves behind *)
+      let origin =
+        match iw.iw_div.(!leader) with e :: _ -> e.le_origin | [] -> -1
+      in
+      let fr =
+        { pc; ip; rpc = -1; mask = gmask; origin; f_lost = !alive - !gsize }
+      in
+      if ip = 0 then exec_phis ctx w fr db;
+      let d = Array.unsafe_get code ip in
+      for l = 0 to ws - 1 do
+        if gmask.(l) then begin
+          if iw.iw_budget.(l) <= 0 then
+            errf "cycle budget exhausted in lane %d (runaway loop?)"
+              (w.tid_base + l);
+          iw.iw_budget.(l) <- iw.iw_budget.(l) - 1
+        end
+      done;
+      if d.d_term then begin
+        account ctx d fr;
+        match d.d_op with
+        | Op.Ret ->
+            for l = 0 to ws - 1 do
+              if gmask.(l) then iw.iw_stat.(l) <- L_done
+            done
+        | Op.Br ->
+            set_pred_for_mask w gmask pc;
+            for l = 0 to ws - 1 do
+              if gmask.(l) then arrive l d.d_succ.(0)
+            done
+        | Op.Condbr ->
+            let cond = d.d_ops.(0) in
+            let tcount = ref 0 and fcount = ref 0 in
+            for l = 0 to ws - 1 do
+              if gmask.(l) then
+                if as_bool "condbr" (eval_dop ctx w l cond) then
+                  incr tcount
+                else incr fcount
+            done;
+            set_pred_for_mask w gmask pc;
+            if !fcount = 0 then
+              for l = 0 to ws - 1 do
+                if gmask.(l) then arrive l d.d_succ.(0)
+              done
+            else if !tcount = 0 then
+              for l = 0 to ws - 1 do
+                if gmask.(l) then arrive l d.d_succ.(1)
+              done
+            else begin
+              (* the group splits: open a per-lane divergence entry;
+                 lanes rejoin at the IPDOM (or opportunistically
+                 earlier when their PCs coincide) *)
+              m.divergent_branches <- m.divergent_branches + 1;
+              ctx.br_div.(pc) <- ctx.br_div.(pc) + 1;
+              let rpc = db.db_ipdom in
+              if ctx.cfg.obs <> None then begin
+                let tmask = Array.make ws false in
+                let fmask = Array.make ws false in
+                for l = 0 to ws - 1 do
+                  if gmask.(l) then
+                    if as_bool "condbr" (eval_dop ctx w l cond) then
+                      tmask.(l) <- true
+                    else fmask.(l) <- true
+                done;
+                obs_warp ctx w "warp.diverge"
+                  [
+                    ("block", Tr.Str db.db_name);
+                    ("branch_id", Tr.Str db.db_name);
+                    ("t_active", Tr.Int !tcount);
+                    ("f_active", Tr.Int !fcount);
+                    ("t_mask", Tr.Str (mask_hex tmask));
+                    ("f_mask", Tr.Str (mask_hex fmask));
+                    ( "reconverge",
+                      Tr.Str
+                        (if rpc >= 0 then dbs.(rpc).db_name else "<none>")
+                    );
+                  ]
+              end;
+              for l = 0 to ws - 1 do
+                if gmask.(l) then begin
+                  iw.iw_div.(l) <-
+                    { le_origin = pc; le_rpc = rpc } :: iw.iw_div.(l);
+                  if as_bool "condbr" (eval_dop ctx w l cond) then
+                    arrive l d.d_succ.(0)
+                  else arrive l d.d_succ.(1)
+                end
+              done
+            end
+        | _ ->
+            errf "run_warp_its: %s is not a terminator"
+              (Op.to_string d.d_op)
+      end
+      else if d.d_op = Op.Syncthreads then begin
+        account ctx d fr;
+        m.barriers <- m.barriers + 1;
+        obs_warp ctx w "warp.barrier"
+          [
+            ("block", Tr.Str db.db_name); ("active", Tr.Int !gsize);
+          ];
+        for l = 0 to ws - 1 do
+          if gmask.(l) then begin
+            iw.iw_stat.(l) <- L_barrier;
+            iw.iw_ip.(l) <- ip + 1
+          end
+        done
+      end
+      else begin
+        exec_instr ctx w fr d;
+        for l = 0 to ws - 1 do
+          if gmask.(l) then iw.iw_ip.(l) <- ip + 1
+        done
+      end
+    end
+  done;
+  w.status <-
+    (if Array.for_all (fun s -> s = L_done) iw.iw_stat then Finished
+     else At_barrier)
+
+(* ------------------------------------------------------------------ *)
 (* Grid launch *)
 
 type launch = { grid_dim : int; block_dim : int }
@@ -1162,6 +1511,18 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
             status = Running;
           })
     in
+    (* per-lane scheduling state, allocated only under ITS *)
+    let its_p =
+      match config.reconvergence with Stack -> None | Its p -> Some p
+    in
+    let its_warps =
+      match its_p with
+      | None -> [||]
+      | Some _ ->
+          Array.init nwarps (fun wi ->
+              let live = min ws (launch.block_dim - (wi * ws)) in
+              make_its_warp config ~live)
+    in
     (* phase execution: run every warp to its next barrier or the end;
        release the barrier when all non-finished warps have reached it *)
     let all_done () =
@@ -1171,16 +1532,31 @@ let run ?(config = default_config) (fn : func) ~(args : rv array)
     while not (all_done ()) do
       incr guard;
       if !guard > 1_000_000 then errf "barrier deadlock";
-      Array.iter
-        (fun w -> if w.status = Running then run_warp ctx w)
+      Array.iteri
+        (fun wi w ->
+          if w.status = Running then
+            match its_p with
+            | None -> run_warp ctx w
+            | Some p -> run_warp_its ctx p w its_warps.(wi))
         warps;
       (* all running warps have now either finished or hit a barrier *)
       let at_barrier =
         Array.exists (fun w -> w.status = At_barrier) warps
       in
       if at_barrier then
-        Array.iter
-          (fun w -> if w.status = At_barrier then w.status <- Running)
+        Array.iteri
+          (fun wi w ->
+            if w.status = At_barrier then begin
+              w.status <- Running;
+              match its_p with
+              | None -> ()
+              | Some _ ->
+                  let iw = its_warps.(wi) in
+                  for l = 0 to ws - 1 do
+                    if iw.iw_stat.(l) = L_barrier then
+                      iw.iw_stat.(l) <- L_run
+                  done
+            end)
           warps
     done;
     (* CONTRACT: block_cycles is kept most-recent-block-first; see

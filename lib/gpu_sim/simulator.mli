@@ -54,11 +54,49 @@ val default_hier_params : hier_params
     attribution ({!Metrics.site_stats}) is collected under both. *)
 type mem_model = Flat | Hier of hier_params
 
+(** Parameters of independent thread scheduling. *)
+type its_params = {
+  its_reconv_wait : bool;
+      (** convergence-optimizer barrier: a lane reaching a split's
+          reconvergence point (the branch's IPDOM) parks until the
+          sibling lanes of that split arrive, restoring maximal
+          convergence on structured code (Volta's reconvergence
+          optimizer).  Deadlock-free by construction: whenever no lane
+          of a warp is runnable, every parked lane is released, so
+          siblings stuck at a [syncthreads] or exited via [ret] can
+          never wedge the warp.  [false] reconverges purely
+          opportunistically. *)
+}
+
+(** [{ its_reconv_wait = true }] — the convergence-optimized variant. *)
+val default_its_params : its_params
+
+(** Reconvergence model selector: [Stack] is the IPDOM SIMT
+    reconvergence stack — bit-for-bit the original behaviour, pinned by
+    the golden cycle counts of [test/suite_reconvergence.ml]; [Its] is
+    Volta-style independent thread scheduling: every lane carries its
+    own PC and run state, the warp scheduler issues for the runnable
+    lane group sharing the minimal (pc, instruction) each cycle
+    (MinPC), and lanes reconverge opportunistically when their PCs
+    coincide.  Under [Its], [syncthreads] is legal in divergent control
+    flow (lanes park individually), where [Stack] must reject it.
+    Orthogonal to {!mem_model}: all four combinations are valid.
+
+    Divergence attribution is collected identically under both models:
+    per-branch lost-lane cycles sum exactly to
+    {!Metrics.t.lost_lane_cycles}, and a kernel with no divergent
+    branch costs identical cycles under both. *)
+type reconvergence = Stack | Its of its_params
+
 type config = {
   warp_size : int;  (** 64 = an AMD wavefront *)
   latency : Darm_analysis.Latency.config;
-  max_cycles_per_warp : int;  (** runaway-loop guard *)
+  max_cycles_per_warp : int;
+      (** runaway-loop guard: issue budget per warp under [Stack],
+          per lane under [Its] (so lane interleaving never trips it
+          earlier than lock-step execution would) *)
   mem_model : mem_model;  (** default [Flat] *)
+  reconvergence : reconvergence;  (** default [Stack] *)
   trace : (string -> unit) option;
       (** legacy string-trace compatibility shim (kept for
           [darm_opt trace]): called once per executed basic block with

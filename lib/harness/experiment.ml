@@ -142,7 +142,7 @@ let baseline ?sim (kernel : Kernel.t) ~seed ~block_size ~n :
     doc/observability.md).  An observed run always recomputes — the
     caches would otherwise swallow the events of a repeated point. *)
 let run ?(transform = darm_default) ?(seed = 2022) ?n ?sim ?obs ?mem_model
-    (kernel : Kernel.t) ~(block_size : int) : result =
+    ?reconvergence (kernel : Kernel.t) ~(block_size : int) : result =
   let n = Option.value ~default:kernel.Kernel.default_n n in
   (* a mem-model override folds into [sim], so a [Hier] run naturally
      bypasses the memoization caches below (their entries are
@@ -153,6 +153,16 @@ let run ?(transform = darm_default) ?(seed = 2022) ?n ?sim ?obs ?mem_model
     | Some Sim.Flat, None -> None (* the default model: keep cacheable *)
     | Some mm, _ ->
         Some { (Option.value ~default:sim_config sim) with Sim.mem_model = mm }
+  in
+  (* likewise for the reconvergence model: [Stack] is the default and
+     stays cacheable, [Its] folds into [sim] and bypasses the caches *)
+  let sim =
+    match (reconvergence, sim) with
+    | None, _ -> sim
+    | Some Sim.Stack, None -> None
+    | Some rc, _ ->
+        Some
+          { (Option.value ~default:sim_config sim) with Sim.reconvergence = rc }
   in
   let compute () =
     let span body =
@@ -236,24 +246,26 @@ let run ?(transform = darm_default) ?(seed = 2022) ?n ?sim ?obs ?mem_model
                 r)
 
 (** Sweep a kernel over its block sizes. *)
-let sweep ?jobs ?transform ?seed ?n ?mem_model (kernel : Kernel.t) :
-    result list =
+let sweep ?jobs ?transform ?seed ?n ?mem_model ?reconvergence
+    (kernel : Kernel.t) : result list =
   Parallel_sweep.map ?jobs
-    (fun block_size -> run ?transform ?seed ?n ?mem_model kernel ~block_size)
+    (fun block_size ->
+      run ?transform ?seed ?n ?mem_model ?reconvergence kernel ~block_size)
     kernel.Kernel.block_sizes
 
 (** Sweep several kernels over their block sizes on the domain pool;
     results come back flattened in kernel-major, block-size-minor
     order regardless of the pool size. *)
-let sweep_many ?jobs ?transform ?seed ?n ?mem_model (kernels : Kernel.t list)
-    : result list =
+let sweep_many ?jobs ?transform ?seed ?n ?mem_model ?reconvergence
+    (kernels : Kernel.t list) : result list =
   let tasks =
     List.concat_map
       (fun k -> List.map (fun bs -> (k, bs)) k.Kernel.block_sizes)
       kernels
   in
   Parallel_sweep.map ?jobs
-    (fun (k, bs) -> run ?transform ?seed ?n ?mem_model k ~block_size:bs)
+    (fun (k, bs) ->
+      run ?transform ?seed ?n ?mem_model ?reconvergence k ~block_size:bs)
     tasks
 
 (** Force a list of independent experiment thunks on the domain pool,

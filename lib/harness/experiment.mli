@@ -71,7 +71,10 @@ val run_instance : ?config:Sim.config -> Kernel.instance -> Metrics.t
 
     [mem_model] selects the memory model for both simulations (folded
     into [sim]); [Hier] runs bypass the memoization caches, which hold
-    default-model results only. *)
+    default-model results only.  [reconvergence] selects the
+    divergence-handling model the same way: [Stack] (the default) stays
+    cacheable, [Its] folds into [sim] and bypasses the caches.  The two
+    overrides compose — Flat/Hier x Stack/Its are all valid. *)
 val run :
   ?transform:transform ->
   ?seed:int ->
@@ -79,6 +82,7 @@ val run :
   ?sim:Sim.config ->
   ?obs:Darm_obs.Trace.t ->
   ?mem_model:Sim.mem_model ->
+  ?reconvergence:Sim.reconvergence ->
   Kernel.t ->
   block_size:int ->
   result
@@ -90,6 +94,7 @@ val sweep :
   ?seed:int ->
   ?n:int ->
   ?mem_model:Sim.mem_model ->
+  ?reconvergence:Sim.reconvergence ->
   Kernel.t ->
   result list
 
@@ -102,6 +107,7 @@ val sweep_many :
   ?seed:int ->
   ?n:int ->
   ?mem_model:Sim.mem_model ->
+  ?reconvergence:Sim.reconvergence ->
   Kernel.t list ->
   result list
 

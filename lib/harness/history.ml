@@ -23,9 +23,14 @@ type env = {
   mem_model : string;
       (** memory model(s) the run covered: "flat", "hier" or
           "flat+hier" — part of the v2 fingerprint *)
+  reconvergence : string;
+      (** reconvergence model(s) the run covered: "stack", "its" or
+          "stack+its"; absent from older v2 lines, which load as
+          "stack" *)
 }
 
-let current_env ?jobs ?(mem_model = "flat") () : env =
+let current_env ?jobs ?(mem_model = "flat") ?(reconvergence = "stack") () :
+    env =
   {
     ocaml_version = Sys.ocaml_version;
     os_type = Sys.os_type;
@@ -33,6 +38,7 @@ let current_env ?jobs ?(mem_model = "flat") () : env =
     warp_size = E.sim_config.E.Sim.warp_size;
     jobs = (match jobs with Some j -> j | None -> Parallel_sweep.default_jobs ());
     mem_model;
+    reconvergence;
   }
 
 type entry = {
@@ -40,6 +46,9 @@ type entry = {
   e_block_size : int;
   e_transform : string;
   e_mem_model : string;  (** "flat" or "hier"; part of the point key *)
+  e_reconvergence : string;
+      (** "stack" or "its"; part of the point key, "stack" when absent
+          from an older line *)
   e_rewrites : int;
   e_base_cycles : int;
   e_opt_cycles : int;
@@ -85,8 +94,8 @@ let of_batch ?jobs ~time (b : batch) : record =
     r_batch = Some b;
   }
 
-let entries_of_results ?(mem_model = "flat") (results : E.result list) :
-    entry list =
+let entries_of_results ?(mem_model = "flat") ?(reconvergence = "stack")
+    (results : E.result list) : entry list =
   List.map
     (fun (r : E.result) ->
       {
@@ -94,6 +103,7 @@ let entries_of_results ?(mem_model = "flat") (results : E.result list) :
         e_block_size = r.E.block_size;
         e_transform = r.E.transform_name;
         e_mem_model = mem_model;
+        e_reconvergence = reconvergence;
         e_rewrites = r.E.rewrites;
         e_base_cycles = r.E.base.Metrics.cycles;
         e_opt_cycles = r.E.opt.Metrics.cycles;
@@ -102,14 +112,14 @@ let entries_of_results ?(mem_model = "flat") (results : E.result list) :
       })
     results
 
-let of_results ?wall_s ?jobs ?mem_model ~time (results : E.result list) :
-    record =
+let of_results ?wall_s ?jobs ?mem_model ?reconvergence ~time
+    (results : E.result list) : record =
   {
     r_time = time;
-    r_env = current_env ?jobs ?mem_model ();
+    r_env = current_env ?jobs ?mem_model ?reconvergence ();
     r_wall_s = wall_s;
     r_batch = None;
-    r_entries = entries_of_results ?mem_model results;
+    r_entries = entries_of_results ?mem_model ?reconvergence results;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -124,6 +134,7 @@ let env_to_json (e : env) : J.t =
       ("warp_size", J.Int e.warp_size);
       ("jobs", J.Int e.jobs);
       ("mem_model", J.Str e.mem_model);
+      ("reconvergence", J.Str e.reconvergence);
     ]
 
 let entry_to_json (e : entry) : J.t =
@@ -133,6 +144,7 @@ let entry_to_json (e : entry) : J.t =
       ("block_size", J.Int e.e_block_size);
       ("transform", J.Str e.e_transform);
       ("mem_model", J.Str e.e_mem_model);
+      ("reconvergence", J.Str e.e_reconvergence);
       ("rewrites", J.Int e.e_rewrites);
       ("base_cycles", J.Int e.e_base_cycles);
       ("opt_cycles", J.Int e.e_opt_cycles);
@@ -209,13 +221,24 @@ let env_of_json (j : J.t) : (env, string) result =
   let* warp_size = get_int j "warp_size" in
   let* jobs = get_int j "jobs" in
   let mem_model = get_str_default j "mem_model" ~default:"flat" in
-  Ok { ocaml_version; os_type; word_size; warp_size; jobs; mem_model }
+  let reconvergence = get_str_default j "reconvergence" ~default:"stack" in
+  Ok
+    {
+      ocaml_version;
+      os_type;
+      word_size;
+      warp_size;
+      jobs;
+      mem_model;
+      reconvergence;
+    }
 
 let entry_of_json (j : J.t) : (entry, string) result =
   let* e_kernel = get_str j "kernel" in
   let* e_block_size = get_int j "block_size" in
   let* e_transform = get_str j "transform" in
   let e_mem_model = get_str_default j "mem_model" ~default:"flat" in
+  let e_reconvergence = get_str_default j "reconvergence" ~default:"stack" in
   let* e_rewrites = get_int j "rewrites" in
   let* e_base_cycles = get_int j "base_cycles" in
   let* e_opt_cycles = get_int j "opt_cycles" in
@@ -227,6 +250,7 @@ let entry_of_json (j : J.t) : (entry, string) result =
       e_block_size;
       e_transform;
       e_mem_model;
+      e_reconvergence;
       e_rewrites;
       e_base_cycles;
       e_opt_cycles;
@@ -348,9 +372,11 @@ type diff = {
   d_compared : int;
 }
 
-let key (e : entry) = (e.e_kernel, e.e_block_size, e.e_transform, e.e_mem_model)
+let key (e : entry) =
+  (e.e_kernel, e.e_block_size, e.e_transform, e.e_mem_model, e.e_reconvergence)
 
-let key_str (k, bs, t, mm) = Printf.sprintf "%s/bs%d/%s/%s" k bs t mm
+let key_str (k, bs, t, mm, rc) =
+  Printf.sprintf "%s/bs%d/%s/%s/%s" k bs t mm rc
 
 let diff ?(thresholds = default_thresholds) ~(baseline : record)
     (candidate : record) : diff =
@@ -368,6 +394,9 @@ let diff ?(thresholds = default_thresholds) ~(baseline : record)
     note "env: word_size changed %d -> %d" be.word_size ce.word_size;
   if be.mem_model <> ce.mem_model then
     note "env: mem_model coverage changed %s -> %s" be.mem_model ce.mem_model;
+  if be.reconvergence <> ce.reconvergence then
+    note "env: reconvergence coverage changed %s -> %s" be.reconvergence
+      ce.reconvergence;
   let base_tbl = Hashtbl.create 32 in
   List.iter (fun e -> Hashtbl.replace base_tbl (key e) e) baseline.r_entries;
   let compared = ref [] in

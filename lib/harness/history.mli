@@ -14,7 +14,11 @@
 
 val schema : string
 (** ["darm-bench-hist-v2"] — v2 added the memory-model fingerprint
-    ([env.mem_model], per-entry [mem_model]). *)
+    ([env.mem_model], per-entry [mem_model]).  The reconvergence-model
+    fingerprint ([env.reconvergence], per-entry [reconvergence]) was
+    added within the v2 window: it is always written going forward, and
+    lines without it load as ["stack"] (the only model that existed
+    when they were recorded). *)
 
 val default_path : string
 (** ["BENCH_history.jsonl"]. *)
@@ -30,11 +34,16 @@ type env = {
   mem_model : string;
       (** memory model(s) the run covered: "flat", "hier" or
           "flat+hier" *)
+  reconvergence : string;
+      (** reconvergence model(s) the run covered: "stack", "its" or
+          "stack+its"; "stack" when absent from an older line *)
 }
 
 (** Fingerprint of the current process ([jobs] defaults to
-    {!Parallel_sweep.default_jobs}, [mem_model] to "flat"). *)
-val current_env : ?jobs:int -> ?mem_model:string -> unit -> env
+    {!Parallel_sweep.default_jobs}, [mem_model] to "flat",
+    [reconvergence] to "stack"). *)
+val current_env :
+  ?jobs:int -> ?mem_model:string -> ?reconvergence:string -> unit -> env
 
 (** One experiment point, flattened to the serialized fields. *)
 type entry = {
@@ -42,6 +51,9 @@ type entry = {
   e_block_size : int;
   e_transform : string;
   e_mem_model : string;  (** "flat" or "hier"; part of the point key *)
+  e_reconvergence : string;
+      (** "stack" or "its"; part of the point key, "stack" when absent
+          from an older line *)
   e_rewrites : int;
   e_base_cycles : int;
   e_opt_cycles : int;
@@ -87,14 +99,19 @@ type record = {
 }
 
 (** Flatten results into entries tagged with [mem_model] (default
-    "flat") — for composing multi-model records by hand. *)
+    "flat") and [reconvergence] (default "stack") — for composing
+    multi-model records by hand. *)
 val entries_of_results :
-  ?mem_model:string -> Experiment.result list -> entry list
+  ?mem_model:string ->
+  ?reconvergence:string ->
+  Experiment.result list ->
+  entry list
 
 val of_results :
   ?wall_s:float ->
   ?jobs:int ->
   ?mem_model:string ->
+  ?reconvergence:string ->
   time:float ->
   Experiment.result list ->
   record
@@ -106,7 +123,8 @@ val record_to_json : record -> Darm_obs.Json.t
 
 (** Parse one history line; checks the [schema] key.  Accepts
     [darm-bench-hist-v1] lines for one version window — their missing
-    [mem_model] fields default to ["flat"]. *)
+    [mem_model] fields default to ["flat"].  Missing [reconvergence]
+    fields (v1 and pre-ITS v2 lines alike) default to ["stack"]. *)
 val record_of_json : Darm_obs.Json.t -> (record, string) result
 
 (** Append one line to the history file (creating it if needed). *)
@@ -152,7 +170,8 @@ type diff = {
 }
 
 (** [diff ~baseline candidate] compares the candidate record against
-    the baseline.  Points are keyed by (kernel, block size, transform, mem model);
+    the baseline.  Points are keyed by
+    (kernel, block size, transform, mem model, reconvergence model);
     only keys present in both are compared (coverage differences become
     notes).  Speedups and geomeans are recomputed from cycles.
     Correctness flips and zero-cycle entries are always regressions.

@@ -28,7 +28,7 @@ let transform_named (name : string) :
   | "none" -> Ok (fun _ -> E.identity_transform)
   | other -> Error (Printf.sprintf "unknown pass %S for profiling" other)
 
-let run_point ?seed ?n ?mem_model ~(transform : Trace.t -> E.transform)
+let run_point ?seed ?n ?mem_model ?reconvergence ~(transform : Trace.t -> E.transform)
     (kernel : Kernel.t) ~(block_size : int) : Trace.t * E.result =
   let tr = Trace.create () in
   Trace.instant tr ~cat:"profile"
@@ -39,7 +39,8 @@ let run_point ?seed ?n ?mem_model ~(transform : Trace.t -> E.transform)
       ]
     "profile.task";
   let r =
-    E.run ~transform:(transform tr) ?seed ?n ?mem_model ~obs:tr kernel
+    E.run ~transform:(transform tr) ?seed ?n ?mem_model ?reconvergence
+      ~obs:tr kernel
       ~block_size
   in
   Trace.instant tr ~cat:"profile"
@@ -61,13 +62,14 @@ let run_point ?seed ?n ?mem_model ~(transform : Trace.t -> E.transform)
    task uses pids 0 (pass/harness), 1 (baseline sim), 2 (melded sim) *)
 let pid_stride = 1000
 
-let sweep ?jobs ?seed ?n ?mem_model
+let sweep ?jobs ?seed ?n ?mem_model ?reconvergence
     ?(transform = fun tr -> darm_obs_transform tr)
     (kernel : Kernel.t) : Trace.t * E.result list =
   let points =
     Parallel_sweep.map ?jobs
       (fun block_size ->
-        run_point ?seed ?n ?mem_model ~transform kernel ~block_size)
+        run_point ?seed ?n ?mem_model ?reconvergence ~transform kernel
+          ~block_size)
       kernel.Kernel.block_sizes
   in
   let traces =

@@ -28,11 +28,13 @@ val transform_named : string -> (Trace.t -> E.transform, string) result
 
 (** Profile a single (kernel, block size) point into a fresh buffer.
     [mem_model] selects the simulator's memory model (default
-    [Flat]). *)
+    [Flat]); [reconvergence] the divergence-handling model (default
+    [Stack]). *)
 val run_point :
   ?seed:int ->
   ?n:int ->
   ?mem_model:Darm_sim.Simulator.mem_model ->
+  ?reconvergence:Darm_sim.Simulator.reconvergence ->
   transform:(Trace.t -> E.transform) ->
   Kernel.t ->
   block_size:int ->
@@ -50,6 +52,7 @@ val sweep :
   ?seed:int ->
   ?n:int ->
   ?mem_model:Darm_sim.Simulator.mem_model ->
+  ?reconvergence:Darm_sim.Simulator.reconvergence ->
   ?transform:(Trace.t -> E.transform) ->
   Kernel.t ->
   Trace.t * E.result list

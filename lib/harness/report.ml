@@ -44,6 +44,7 @@ type t = {
   rp_rewrites : int;
   rp_pass_ms : float;
   rp_mem_model : string;  (** "flat" or "hier" *)
+  rp_reconvergence : string;  (** "stack" or "its" *)
   rp_base : Metrics.t;
   rp_opt : Metrics.t;
   rp_melds : meld_row list;
@@ -79,7 +80,8 @@ let no_memory (t : t) : bool = t.rp_mem_sites = []
 (* Assembly: claim branches to melds (first application wins), join
    the two runs' per-branch counters. *)
 
-let build ?(mem_model = "flat") ~kernel ~block_size ~seed ~n ~correct
+let build ?(mem_model = "flat") ?(reconvergence = "stack") ~kernel
+    ~block_size ~seed ~n ~correct
     ~rewrites ~pass_ms ~(base : Metrics.t) ~(opt : Metrics.t)
     ~(melds : Pass.meld_record list) () : t =
   let stat_of m id = Hashtbl.find_opt m.Metrics.branches id in
@@ -160,6 +162,7 @@ let build ?(mem_model = "flat") ~kernel ~block_size ~seed ~n ~correct
     rp_rewrites = rewrites;
     rp_pass_ms = pass_ms;
     rp_mem_model = mem_model;
+    rp_reconvergence = reconvergence;
     rp_base = base;
     rp_opt = opt;
     rp_melds = meld_rows;
@@ -168,7 +171,7 @@ let build ?(mem_model = "flat") ~kernel ~block_size ~seed ~n ~correct
   }
 
 let compute ?(config = Pass.default_config) ?(seed = 2022) ?n ?mem_model
-    (kernel : Kernel.t) ~(block_size : int) : t =
+    ?reconvergence (kernel : Kernel.t) ~(block_size : int) : t =
   let n = Option.value ~default:kernel.Kernel.default_n n in
   let stats_ref = ref None in
   (* custom transform (bypasses the result cache) so the pass's
@@ -183,7 +186,10 @@ let compute ?(config = Pass.default_config) ?(seed = 2022) ?n ?mem_model
           st.Pass.melds_applied);
     }
   in
-  let r = Experiment.run ~transform ~seed ~n ?mem_model kernel ~block_size in
+  let r =
+    Experiment.run ~transform ~seed ~n ?mem_model ?reconvergence kernel
+      ~block_size
+  in
   let melds =
     match !stats_ref with Some st -> st.Pass.melds | None -> []
   in
@@ -192,15 +198,22 @@ let compute ?(config = Pass.default_config) ?(seed = 2022) ?n ?mem_model
     | None | Some Darm_sim.Simulator.Flat -> "flat"
     | Some (Darm_sim.Simulator.Hier _) -> "hier"
   in
-  build ~mem_model:mm_name ~kernel:r.Experiment.tag ~block_size ~seed ~n
+  let rc_name =
+    match reconvergence with
+    | None | Some Darm_sim.Simulator.Stack -> "stack"
+    | Some (Darm_sim.Simulator.Its _) -> "its"
+  in
+  build ~mem_model:mm_name ~reconvergence:rc_name ~kernel:r.Experiment.tag
+    ~block_size ~seed ~n
     ~correct:r.Experiment.correct ~rewrites:r.Experiment.rewrites
     ~pass_ms:r.Experiment.t_ms ~base:r.Experiment.base
     ~opt:r.Experiment.opt ~melds ()
 
-let compute_many ?jobs ?config ?seed ?n ?mem_model
+let compute_many ?jobs ?config ?seed ?n ?mem_model ?reconvergence
     (points : (Kernel.t * int) list) : t list =
   Parallel_sweep.map ?jobs
-    (fun (k, bs) -> compute ?config ?seed ?n ?mem_model k ~block_size:bs)
+    (fun (k, bs) ->
+      compute ?config ?seed ?n ?mem_model ?reconvergence k ~block_size:bs)
     points
 
 (* ------------------------------------------------------------------ *)
@@ -219,8 +232,9 @@ let pair_str (m : Pass.meld_record) : string =
 
 let header_lines (t : t) : string list =
   [
-    Printf.sprintf "kernel %s  block_size %d  (seed %d, n %d)" t.rp_kernel
-      t.rp_block_size t.rp_seed t.rp_n;
+    Printf.sprintf "kernel %s  block_size %d  (seed %d, n %d, %s \
+                    reconvergence)"
+      t.rp_kernel t.rp_block_size t.rp_seed t.rp_n t.rp_reconvergence;
     Printf.sprintf
       "base %d cycles -> opt %d cycles  (delta %d, speedup %s)  %s"
       t.rp_base.Metrics.cycles t.rp_opt.Metrics.cycles (delta t)
@@ -455,6 +469,7 @@ let json_body (t : t) : (string * J.t) list =
            t.rp_melds) );
     ("residual_cycles", J.Int (residual t));
     ("mem_model", J.Str t.rp_mem_model);
+    ("reconvergence", J.Str t.rp_reconvergence);
     ("base_mem_cycles", J.Int t.rp_base.Metrics.mem_cycles);
     ("opt_mem_cycles", J.Int t.rp_opt.Metrics.mem_cycles);
     ("mem_cycles_delta", J.Int (mem_delta t));

@@ -80,6 +80,7 @@ type t = {
   rp_rewrites : int;  (** melds applied by the pass *)
   rp_pass_ms : float;  (** wall-clock ms inside the pass pipeline *)
   rp_mem_model : string;  (** "flat" or "hier" *)
+  rp_reconvergence : string;  (** "stack" or "its" *)
   rp_base : Metrics.t;
   rp_opt : Metrics.t;
   rp_melds : meld_row list;  (** in application order *)
@@ -123,10 +124,12 @@ val no_memory : t -> bool
 (** Assemble a report from raw pieces (exposed so the tests can build
     synthetic inputs without running kernels).  Claims branches to
     melds, builds the joined branch table and the joined per-site
-    memory table.  [mem_model] is a display/schema tag only (default
-    "flat"); the site counters come from the two metrics records. *)
+    memory table.  [mem_model] and [reconvergence] are display/schema
+    tags only (defaults "flat" and "stack"); the site counters come
+    from the two metrics records. *)
 val build :
   ?mem_model:string ->
+  ?reconvergence:string ->
   kernel:string ->
   block_size:int ->
   seed:int ->
@@ -143,12 +146,15 @@ val build :
 (** Run [kernel] baseline-vs-DARM at [block_size] (capturing the pass's
     provenance) and assemble the attribution report.  Deterministic:
     identical inputs produce identical reports.  [mem_model] selects
-    the simulator's memory model for both runs (default [Flat]). *)
+    the simulator's memory model for both runs (default [Flat]);
+    [reconvergence] the divergence-handling model (default [Stack]) —
+    the two compose freely. *)
 val compute :
   ?config:Pass.config ->
   ?seed:int ->
   ?n:int ->
   ?mem_model:Darm_sim.Simulator.mem_model ->
+  ?reconvergence:Darm_sim.Simulator.reconvergence ->
   Kernel.t ->
   block_size:int ->
   t
@@ -162,6 +168,7 @@ val compute_many :
   ?seed:int ->
   ?n:int ->
   ?mem_model:Darm_sim.Simulator.mem_model ->
+  ?reconvergence:Darm_sim.Simulator.reconvergence ->
   (Kernel.t * int) list ->
   t list
 

@@ -26,6 +26,11 @@ test "$(wc -l < BENCH_history.jsonl)" -eq 2
 grep -q '"mem_model":"flat+hier"' BENCH_history.jsonl
 grep -q '"mem_model":"flat"' BENCH_history.jsonl
 grep -q '"mem_model":"hier"' BENCH_history.jsonl
+# ...and both reconvergence models: the stack and its trajectories ride
+# in the same record, keyed apart by their reconvergence field
+grep -q '"reconvergence":"stack+its"' BENCH_history.jsonl
+grep -q '"reconvergence":"stack"' BENCH_history.jsonl
+grep -q '"reconvergence":"its"' BENCH_history.jsonl
 # the 1000+-block stress kernel is part of the smoke gate: a full meld
 # pass at that scale must finish inside the CI budget, and its pass_ms
 # lands in the history so bench-diff tracks the compile-time trajectory
@@ -61,6 +66,22 @@ if dune exec bin/darm_opt.exe -- bench-diff \
   rm -f "$hist_hier_inflated"; exit 1
 fi
 rm -f "$hist_hier_inflated"
+
+# ...and the independent-thread-scheduling trajectory: inflating ONLY
+# the its entries' opt_cycles must also trip it
+hist_its_inflated=$(mktemp /tmp/darm_hist_its_inflated.XXXXXX.jsonl)
+sed 's/\("reconvergence":"its",[^{}]*"opt_cycles":[0-9]*\)/\10/g' \
+  BENCH_history.jsonl > "$hist_its_inflated"
+if cmp -s BENCH_history.jsonl "$hist_its_inflated"; then
+  echo "ci: its-entry inflation sed matched nothing" >&2
+  rm -f "$hist_its_inflated"; exit 1
+fi
+if dune exec bin/darm_opt.exe -- bench-diff \
+    --history "$hist_its_inflated" --baseline-history BENCH_history.jsonl; then
+  echo "ci: bench-diff sentinel failed to fire on its-only inflation" >&2
+  rm -f "$hist_its_inflated"; exit 1
+fi
+rm -f "$hist_its_inflated"
 
 # divergence attribution: the report must be byte-identical for any
 # --jobs count, and must join melds with per-branch counters
@@ -100,6 +121,30 @@ grep -q 'sim_site_cycles_total' /tmp/darm_metrics_hier.json
 rm -f /tmp/darm_report_flat.txt /tmp/darm_report_dflt.txt \
   /tmp/darm_report_hier_j1.txt /tmp/darm_report_hier_j4.txt \
   /tmp/darm_report_bit_hier.json /tmp/darm_metrics_hier.json
+
+# reconvergence models (doc/simulation.md): the default is the SIMT
+# stack and spelling it out changes nothing; independent thread
+# scheduling must run the whole matrix byte-identically across --jobs,
+# compose with the hierarchical memory model, and tag its reports
+dune exec bin/darm_opt.exe -- report --all --reconvergence stack -j 4 \
+  > /tmp/darm_report_rc_stack.txt
+dune exec bin/darm_opt.exe -- report --all -j 4 > /tmp/darm_report_rc_dflt.txt
+cmp /tmp/darm_report_rc_dflt.txt /tmp/darm_report_rc_stack.txt
+dune exec bin/darm_opt.exe -- report --all --reconvergence its -j 1 \
+  > /tmp/darm_report_its_j1.txt
+dune exec bin/darm_opt.exe -- report --all --reconvergence its -j 4 \
+  > /tmp/darm_report_its_j4.txt
+cmp /tmp/darm_report_its_j1.txt /tmp/darm_report_its_j4.txt
+grep -q 'its reconvergence' /tmp/darm_report_its_j1.txt
+dune exec bin/darm_opt.exe -- report --kernel BIT --block-size 64 \
+  --reconvergence its --json > /tmp/darm_report_bit_its.json
+grep -q '"reconvergence":"its"' /tmp/darm_report_bit_its.json
+dune exec bin/darm_opt.exe -- simulate --kernel SB3 --mem-model hier \
+  --reconvergence its > /tmp/darm_sim_hier_its.txt
+grep -q 'output correct' /tmp/darm_sim_hier_its.txt
+rm -f /tmp/darm_report_rc_stack.txt /tmp/darm_report_rc_dflt.txt \
+  /tmp/darm_report_its_j1.txt /tmp/darm_report_its_j4.txt \
+  /tmp/darm_report_bit_its.json /tmp/darm_sim_hier_its.txt
 
 # sanity checkers: every registry kernel must be diagnostic-clean both
 # before and after melding (non-zero exit on any error diagnostic), and
@@ -163,6 +208,16 @@ if dune exec bin/darm_opt.exe -- fuzz --smoke --count 5 --inject XBAR \
 fi
 grep -q 'checker:barrier-divergence' /tmp/darm_fuzz_inject.txt
 rm -f /tmp/darm_fuzz_inject.txt
+
+# cross-model differential: every oracle run above already re-executes
+# each subject under independent thread scheduling (the xmodel legs);
+# this wider sweep pins >=1000 generator seeds through stack-vs-its
+# memory-image comparison and must complete inside its budget
+xmodel_budget="${DARM_XMODEL_BUDGET:-900}"
+dune exec bin/darm_opt.exe -- fuzz --smoke --count 1000 \
+  --budget-s "$xmodel_budget" --jobs 4 | tee /tmp/darm_fuzz_xmodel.txt
+grep -q '1000/1000 seed(s), 0 failure(s)' /tmp/darm_fuzz_xmodel.txt
+rm -f /tmp/darm_fuzz_xmodel.txt
 
 # fleet-scale batch sweep (doc/fleet.md): a smoke fuzz manifest swept
 # cold (jobs 1, empty cache) then warm (jobs 4) — the warm run must be

@@ -1,0 +1,45 @@
+; darm-corpus-v1 name=its-smoke seed=0 input_seed=7 block_size=64 n=128 expect=pass
+; note: reconvergence-model stressor: divergent-trip loop, barriers after divergence, cross-lane shared-tile read -- stack and its must agree on final memory (the xmodel leg)
+kernel @its_smoke(%a: ptr(global), %b: ptr(global)) {
+entry:
+  %0 = alloc.shared 128
+  %1 = thread.idx
+  %2 = block.dim
+  %3 = block.idx
+  %4 = mul %3, %2
+  %5 = add %4, %1
+  %6 = gep %b, %5
+  %7 = gep %a, %5
+  %8 = load i32, %7
+  %9 = and %1, 3
+  %10 = gep %0, %1
+  store %8, %10
+  syncthreads
+  br while.head
+while.head:
+  %11 = phi i32 [%14, while.body], [0, entry]
+  %12 = phi i32 [%15, while.body], [%8, entry]
+  %13 = icmp slt %11, %9
+  condbr %13, while.body, while.end
+while.body:
+  %14 = add %11, 1
+  %15 = add %12, %11
+  br while.head
+while.end:
+  syncthreads
+  %16 = and %1, 1
+  %17 = icmp slt 0, %16
+  condbr %17, if.then, if.else
+if.then:
+  %18 = sub %1, 1
+  %19 = gep %0, %18
+  %20 = load i32, %19
+  br if.end
+if.else:
+  br if.end
+if.end:
+  %21 = phi i32 [%20, if.then], [%12, if.else]
+  %22 = add %21, %12
+  store %22, %6
+  ret
+}

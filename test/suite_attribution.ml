@@ -291,6 +291,7 @@ let entry ?(correct = true) ?(pass_ms = 1.) k bs base opt =
     e_block_size = bs;
     e_transform = "DARM";
     e_mem_model = "flat";
+    e_reconvergence = "stack";
     e_rewrites = 1;
     e_base_cycles = base;
     e_opt_cycles = opt;

@@ -9,4 +9,4 @@ let () =
    @ Suite_attribution.suites @ Suite_gen.suites @ Suite_shrink.suites
    @ Suite_corpus.suites @ Suite_batch.suites @ Suite_mem_model.suites
    @ Suite_incremental.suites @ Suite_telemetry.suites
-   @ Suite_events.suites)
+   @ Suite_events.suites @ Suite_reconvergence.suites)
